@@ -1,0 +1,48 @@
+"""Shared state for the benchmark harness.
+
+Preparing a workload (profile -> classify -> transform) and executing it
+at a given worker count are both expensive; the session-scoped runner
+memoizes them so every figure/table draws from the same runs — exactly
+like measuring once and plotting several views.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.bench.figures import ProgramCache  # noqa: E402
+from repro.workloads import ALL_WORKLOADS, BY_NAME  # noqa: E402
+
+
+class SharedRunner:
+    def __init__(self) -> None:
+        self.cache = ProgramCache(use_ref=True)
+        self._results = {}
+
+    def program(self, workload):
+        return self.cache.get(workload)
+
+    def result(self, workload, workers: int, **kwargs):
+        key = (workload.name, workers, tuple(sorted(kwargs.items())))
+        if key not in self._results:
+            prog = self.program(workload)
+            self._results[key] = prog.execute(workers=workers, **kwargs)
+        return self._results[key]
+
+    def speedup(self, workload, workers: int, **kwargs) -> float:
+        prog = self.program(workload)
+        return prog.speedup(self.result(workload, workers, **kwargs))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return SharedRunner()
+
+
+def workload_ids():
+    return [w.name for w in ALL_WORKLOADS]

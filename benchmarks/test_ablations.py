@@ -1,0 +1,104 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* Checkpoint period: the paper's one-byte timestamps bound k at 253 and
+  trade validation latency against recovery cost; we sweep k.
+* Value prediction: without it, dijkstra's queue is unrestricted and the
+  loop cannot be selected at all.
+* Control speculation: profiled-path-only classification is what keeps
+  cold error paths from polluting the footprints.
+"""
+
+import pytest
+
+from repro.classify import classify
+from repro.frontend import compile_minic
+from repro.profiling import profile_execution_time, profile_loop
+from repro.transform import PrivateerTransform, SelectionError
+from repro.workloads import BY_NAME
+
+
+class TestCheckpointPeriodAblation:
+    def test_more_checkpoints_cost_more(self, benchmark, runner):
+        w = BY_NAME["dijkstra"]
+
+        def sweep():
+            out = {}
+            for k in (4, 12, 48):
+                result = runner.result(w, 24, checkpoint_period=k)
+                out[k] = (result.runtime_stats.checkpoints,
+                          result.runtime_stats.checkpoint_cycles,
+                          result.output == runner.program(w).sequential.output)
+            return out
+
+        data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print()
+        print("checkpoint-period ablation (dijkstra, 24 workers):")
+        for k, (count, cycles, ok) in sorted(data.items()):
+            print(f"  k={k:3d}: {count:3d} checkpoints, "
+                  f"{cycles:9,d} checkpoint cycles, correct={ok}")
+        assert all(ok for _c, _cy, ok in data.values())
+        assert data[4][0] > data[48][0]
+        assert data[4][1] > data[48][1]
+
+    def test_small_period_hurts_misspec_free_speedup(self, benchmark, runner):
+        w = BY_NAME["dijkstra"]
+
+        def speeds():
+            return (runner.speedup(w, 24, checkpoint_period=4),
+                    runner.speedup(w, 24, checkpoint_period=48))
+
+        tight, loose = benchmark.pedantic(speeds, rounds=1, iterations=1)
+        assert loose > tight
+
+    def test_small_period_reduces_recovery_waste(self, benchmark, runner):
+        """Smaller epochs discard less work on misspeculation — the
+        trade-off §3.2 describes."""
+        w = BY_NAME["enc_md5"]
+
+        def recovered():
+            out = {}
+            for k in (4, 48):
+                result = runner.result(w, 24, checkpoint_period=k,
+                                       misspec_period=31)
+                out[k] = sum(i.recovered_iterations
+                             for i in result.invocations)
+            return out
+
+        data = benchmark.pedantic(recovered, rounds=1, iterations=1)
+        assert data[4] <= data[48]
+
+
+class TestValuePredictionAblation:
+    def test_dijkstra_unparallelizable_without_value_prediction(self, benchmark):
+        w = BY_NAME["dijkstra"]
+        mod = compile_minic(w.source, "dj_ablate")
+        report = profile_execution_time(mod, args=w.train)
+        ref = report.hottest(top_level_only=False)[0].ref
+        profile = profile_loop(mod, ref, args=w.train)
+        profile.value_predictions.clear()  # ablate
+        assignment = classify(profile)
+
+        def attempt():
+            try:
+                PrivateerTransform(mod, ref, profile, assignment).run()
+                return None
+            except SelectionError as e:
+                return e
+
+        error = benchmark.pedantic(attempt, rounds=1, iterations=1)
+        assert error is not None
+        assert any("unrestricted" in r for r in error.reasons)
+        assert "global:Q" in assignment.unrestricted_sites
+
+
+class TestControlSpeculationAblation:
+    def test_cold_paths_guarded_by_misspec(self, benchmark, runner):
+        """dijkstra's queue-underflow path never ran during profiling, so
+        the transformation guards it with a misspec() call."""
+        w = BY_NAME["dijkstra"]
+
+        def count():
+            return runner.program(w).plan.checks.control_misspec
+
+        guards = benchmark.pedantic(count, rounds=1, iterations=1)
+        assert guards >= 1

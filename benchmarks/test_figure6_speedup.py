@@ -1,0 +1,52 @@
+"""Figure 6: whole-program speedup over best sequential execution.
+
+Paper result: every program scales with worker count; the geomean at 24
+workers is 11.4x.  We assert the *shape*: all five programs beat
+sequential at 24 workers, speedups grow from 4 to 24 workers, and the
+geomean lands in the same ballpark (>= 7x).
+"""
+
+import pytest
+
+from repro.bench.figures import WORKER_COUNTS, geomean, render_figure6
+from repro.workloads import ALL_WORKLOADS
+
+_SWEEP = (4, 8, 16, 24)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_program_speedup_scales(benchmark, runner, workload):
+    prog = runner.program(workload)
+
+    def run_at_24():
+        return prog.execute(workers=24)
+
+    result = benchmark.pedantic(run_at_24, rounds=1, iterations=1)
+    assert result.output == prog.sequential.output
+
+    speedups = {w: runner.speedup(workload, w) for w in _SWEEP}
+    assert speedups[24] > 1.0, f"{workload.name} fails to beat sequential"
+    assert speedups[24] > speedups[4], f"{workload.name} does not scale"
+    # No misspeculation on the evaluated programs (paper §6.3).
+    assert runner.result(workload, 24).runtime_stats.misspec_count() == 0
+
+
+def test_figure6_geomean(benchmark, runner):
+    data = {}
+    for w in ALL_WORKLOADS:
+        data[w.name] = {n: runner.speedup(w, n) for n in _SWEEP}
+    data["geomean"] = {
+        n: geomean(data[w.name][n] for w in ALL_WORKLOADS) for n in _SWEEP
+    }
+
+    def summarize():
+        return data["geomean"][24]
+
+    gm24 = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print()
+    print("Figure 6 — whole-program speedup vs workers "
+          "(paper: geomean 11.4x at 24)")
+    print(render_figure6(data))
+
+    assert gm24 >= 7.0, f"geomean at 24 workers too low: {gm24:.2f}"
+    assert data["geomean"][24] > data["geomean"][8] > data["geomean"][4]

@@ -1,0 +1,77 @@
+"""Figure 8: breakdown of overheads on parallel performance.
+
+Paper result: useful work dominates; privacy validation is the next
+largest overhead and stays a roughly constant *fraction* of capacity as
+workers grow (so its absolute cost grows with workers); alvinn and
+dijkstra lose significant capacity joining workers.
+"""
+
+import pytest
+
+from repro.bench.figures import render_figure8
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+
+_COUNTS = (4, 8, 12, 16, 20, 24)
+
+
+def _breakdowns(runner, workload):
+    return {
+        n: runner.result(workload, n).overhead_breakdown() for n in _COUNTS
+    }
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_breakdown_is_a_partition(benchmark, runner, workload):
+    data = benchmark.pedantic(lambda: _breakdowns(runner, workload),
+                              rounds=1, iterations=1)
+    for workers, bd in data.items():
+        total = sum(bd.values())
+        assert total == pytest.approx(1.0, abs=0.02), (workload.name, workers)
+        assert all(v >= -1e-9 for v in bd.values())
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_useful_work_dominates_at_low_worker_counts(benchmark, runner, workload):
+    bd = benchmark.pedantic(
+        lambda: runner.result(workload, 4).overhead_breakdown(),
+        rounds=1, iterations=1)
+    assert bd["useful"] > 0.5, (workload.name, bd)
+
+
+def test_privacy_fraction_roughly_constant(benchmark, runner):
+    """'Percent of capacity used for privacy validation remained mostly
+    constant as the number of workers increased' (§6.2) — i.e. absolute
+    validation work grows with workers."""
+    workload = BY_NAME["dijkstra"]
+
+    def fractions():
+        return [
+            runner.result(workload, n).overhead_breakdown()["private_read"]
+            for n in (8, 16, 24)
+        ]
+
+    fr = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    assert fr[0] > 0.01  # dijkstra's privacy validation is visible
+    assert max(fr) < 3.5 * min(fr)
+
+
+def test_spawn_join_grows_with_workers(benchmark, runner):
+    workload = BY_NAME["alvinn"]  # many invocations: join-heavy (paper)
+
+    def fractions():
+        return {
+            n: runner.result(workload, n).overhead_breakdown()["spawn_join"]
+            for n in (4, 24)
+        }
+
+    fr = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    assert fr[24] > fr[4]
+
+
+def test_render_figure8(benchmark, runner):
+    data = benchmark.pedantic(
+        lambda: {w.name: _breakdowns(runner, w) for w in ALL_WORKLOADS},
+        rounds=1, iterations=1)
+    print()
+    print("Figure 8 — overhead breakdown (fraction of capacity)")
+    print(render_figure8(data))

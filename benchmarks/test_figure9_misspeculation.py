@@ -1,0 +1,68 @@
+"""Figure 9: performance degradation with injected misspeculation.
+
+Paper result: "Four of five programs lose half of their speedup with a
+misspeculation rate of 0.1%" — a rate at which roughly one in four
+checkpoints fails.  Our iteration counts are ~10^3 smaller, so the same
+*checkpoint-failure fraction* occurs at proportionally higher iteration
+rates (see MISSPEC_RATES); the asserted shape is the same: monotone
+degradation, with speedup at least halved once misspeculation makes a
+significant fraction of checkpoints fail, and correctness always intact.
+"""
+
+import pytest
+
+from repro.bench.figures import MISSPEC_RATES, geomean, render_figure9
+from repro.workloads import ALL_WORKLOADS
+
+
+def _series(runner, workload):
+    out = {}
+    for rate in MISSPEC_RATES:
+        period = 0 if rate <= 0 else max(2, round(1.0 / rate))
+        out[rate] = runner.speedup(workload, 24, misspec_period=period)
+    return out
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_degradation_is_monotone_and_safe(benchmark, runner, workload):
+    series = benchmark.pedantic(lambda: _series(runner, workload),
+                                rounds=1, iterations=1)
+    rates = sorted(series)
+    clean = series[0.0]
+    worst = series[rates[-1]]
+    assert worst < clean, f"{workload.name}: no degradation at all"
+    # Allow small non-monotonicity between adjacent rates, but the trend
+    # must be downward.
+    assert series[rates[-1]] <= series[rates[1]] * 1.1
+
+    # Misspeculating runs still produce correct output.
+    period = max(2, round(1.0 / rates[-1]))
+    result = runner.result(workload, 24, misspec_period=period)
+    prog = runner.program(workload)
+    assert result.output == prog.sequential.output
+    assert result.runtime_stats.recoveries > 0
+
+
+def test_half_speedup_at_moderate_rate(benchmark, runner):
+    """Most programs lose at least half their speedup once a significant
+    fraction of checkpoints fail (the paper's headline for Figure 9)."""
+
+    def halved_count():
+        halved = 0
+        for w in ALL_WORKLOADS:
+            series = _series(runner, w)
+            if series[max(MISSPEC_RATES)] <= series[0.0] / 2:
+                halved += 1
+        return halved
+
+    halved = benchmark.pedantic(halved_count, rounds=1, iterations=1)
+    assert halved >= 4, f"only {halved}/5 programs lost half their speedup"
+
+
+def test_render_figure9(benchmark, runner):
+    data = benchmark.pedantic(
+        lambda: {w.name: _series(runner, w) for w in ALL_WORKLOADS},
+        rounds=1, iterations=1)
+    print()
+    print("Figure 9 — speedup vs injected misspeculation rate at 24 workers")
+    print(render_figure9(data))

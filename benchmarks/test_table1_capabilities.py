@@ -1,0 +1,55 @@
+"""Table 1: comparison of Privateer with prior privatization/reduction
+schemes, regenerated as a capability matrix over feature probes.
+
+Paper claims reproduced: array-based schemes (PD/LRPD/R-LRPD, Hybrid
+Analysis, array expansion/ASSA/DSA) handle array loops and reductions but
+cannot express pointer/dynamic-allocation layouts; non-privatizing DOALL
+handles none of them; Privateer handles all three probes.
+"""
+
+import pytest
+
+from repro.bench.figures import render_table1, table1_data
+
+_ROWS = {}
+
+
+def _rows(benchmark):
+    if "rows" not in _ROWS:
+        _ROWS["rows"] = benchmark.pedantic(table1_data, rounds=1, iterations=1)
+    else:
+        benchmark.pedantic(lambda: _ROWS["rows"], rounds=1, iterations=1)
+    return _ROWS["rows"]
+
+
+def _matrix(rows):
+    return {(r["technique"], r["probe"]): r["handles"] for r in rows}
+
+
+def test_privateer_handles_all_probes(benchmark):
+    m = _matrix(_rows(benchmark))
+    assert m[("privateer", "array")]
+    assert m[("privateer", "linked-list")]
+    assert m[("privateer", "reduction")]
+
+
+def test_lrpd_limited_to_array_layouts(benchmark):
+    m = _matrix(_rows(benchmark))
+    assert m[("lrpd", "array")]
+    assert m[("lrpd", "reduction")]
+    assert not m[("lrpd", "linked-list")]
+
+
+def test_doall_only_handles_nothing(benchmark):
+    m = _matrix(_rows(benchmark))
+    assert not any(
+        m[("doall_only", probe)]
+        for probe in ("array", "linked-list", "reduction")
+    )
+
+
+def test_render_table1(benchmark):
+    rows = _rows(benchmark)
+    print()
+    print("Table 1 — capability matrix (feature probes)")
+    print(render_table1(rows))

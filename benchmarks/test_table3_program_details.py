@@ -1,0 +1,88 @@
+"""Table 3: details of the privatized and parallelized programs.
+
+Shape targets from the paper's row for each program: which logical heaps
+are populated, the extra speculation kinds (Value/Control/I/O), whether
+the region is invoked many times (alvinn: once per epoch), and whether
+private reads or writes dominate (dijkstra reads >> writes; blackscholes
+has zero private reads).
+"""
+
+import pytest
+
+from repro.bench.figures import render_table3, table3_row
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+
+
+def _row(runner, workload):
+    prog = runner.program(workload)
+    return table3_row(prog, runner.result(workload, 24))
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_heap_population_matches_paper(benchmark, runner, workload):
+    row = benchmark.pedantic(lambda: _row(runner, workload),
+                             rounds=1, iterations=1)
+    for heap, populated in workload.expectations.heaps.items():
+        count = row[f"{heap}_sites"]
+        if populated:
+            assert count > 0, f"{workload.name}: {heap} should be populated"
+        else:
+            assert count == 0, f"{workload.name}: {heap} should be empty"
+    assert row["unrestricted_sites"] == 0
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_extras_match_paper(benchmark, runner, workload):
+    row = benchmark.pedantic(lambda: _row(runner, workload),
+                             rounds=1, iterations=1)
+    extras = set() if row["extras"] == "-" else set(
+        e.strip() for e in str(row["extras"]).split(","))
+    assert set(workload.expectations.extras) <= extras, (
+        f"{workload.name}: expected at least {workload.expectations.extras}, "
+        f"got {extras}")
+
+
+def test_alvinn_row_exact(benchmark, runner):
+    row = benchmark.pedantic(lambda: _row(runner, BY_NAME["alvinn"]),
+                             rounds=1, iterations=1)
+    # Paper: Private 4, Short-Lived 0, Read-Only 4, Redux 3, Unrestricted 0.
+    assert row["private_sites"] == 4
+    assert row["short_lived_sites"] == 0
+    assert row["read_only_sites"] == 4
+    assert row["redux_sites"] == 3
+    # ...and one invocation per epoch.
+    assert row["invocations"] == BY_NAME["alvinn"].ref[1]
+
+
+def test_read_write_byte_shapes(benchmark, runner):
+    def shapes():
+        return {
+            w.name: _row(runner, w) for w in ALL_WORKLOADS
+        }
+
+    rows = benchmark.pedantic(shapes, rounds=1, iterations=1)
+    # dijkstra: private reads dominate writes (paper: 84.9 GB vs 56.7 GB).
+    dj = rows["dijkstra"]
+    assert dj["private_bytes_read"] > dj["private_bytes_written"]
+    # blackscholes: zero private reads (paper: 0 B), substantial writes.
+    bs = rows["blackscholes"]
+    assert bs["private_bytes_read"] == 0
+    assert bs["private_bytes_written"] > 0
+
+
+def test_checkpoints_taken_every_program(benchmark, runner):
+    def counts():
+        return {w.name: _row(runner, w)["checkpoints"] for w in ALL_WORKLOADS}
+
+    ckpts = benchmark.pedantic(counts, rounds=1, iterations=1)
+    for name, n in ckpts.items():
+        assert n >= 2, f"{name}: too few checkpoints ({n})"
+
+
+def test_render_table3(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: [_row(runner, w) for w in ALL_WORKLOADS],
+        rounds=1, iterations=1)
+    print()
+    print("Table 3 — privatized and parallelized program details")
+    print(render_table3(rows))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: speculatively privatize and parallelize a C program.
+
+The program below reuses a scratch buffer and a linked-list stack across
+loop iterations — false dependences that defeat non-speculative
+parallelization.  Privateer profiles it, classifies every memory object
+into a logical heap, inserts validation, and runs it under the simulated
+multicore DOALL executor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.pipeline import prepare
+
+SOURCE = """
+struct item { int v; struct item* next; };
+struct item* stack;
+int scratch[32];
+int out[128];
+long checksum;
+
+void push(int v) {
+    struct item* c = (struct item*)malloc(sizeof(struct item));
+    c->v = v;
+    c->next = stack;
+    stack = c;
+}
+
+int pop() {
+    struct item* c = stack;
+    int v = c->v;
+    stack = c->next;
+    free(c);
+    return v;
+}
+
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        /* reuse the scratch buffer ... */
+        for (int j = 0; j < 32; j++) { scratch[j] = (i + j) * (i + j); }
+        /* ... and the linked-list stack, every iteration */
+        for (int j = 0; j < 8; j++) { push(scratch[j]); }
+        int acc = 0;
+        while (stack != 0) { acc += pop(); }
+        out[i] = acc;
+        checksum += acc;
+        printf("iteration %d -> %d\\n", i, acc);
+    }
+    printf("checksum %ld\\n", checksum);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("compiling, profiling, classifying, transforming ...")
+    program = prepare(SOURCE, "quickstart", args=(64,))
+
+    print()
+    print(program.assignment.describe())
+    print()
+    print(program.plan.describe())
+    print()
+
+    print(f"best sequential: {program.sequential.cycles:,} simulated cycles")
+    for workers in (4, 8, 16, 24):
+        result = program.execute(workers=workers)
+        assert result.output == program.sequential.output, "output mismatch!"
+        speedup = program.speedup(result)
+        stats = result.runtime_stats
+        print(f"  {workers:2d} workers: speedup {speedup:5.2f}x   "
+              f"checkpoints {stats.checkpoints}, "
+              f"misspeculations {stats.misspec_count()}, "
+              f"deferred I/O {stats.io_deferred}")
+    print()
+    print("outputs are byte-identical to sequential execution")
+
+
+if __name__ == "__main__":
+    main()

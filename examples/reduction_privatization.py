@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Reduction privatization: expanding an accumulator across workers.
+
+A histogram + sum-of-squares loop carries *real* flow dependences through
+its accumulators — privatization alone cannot help, and non-speculative
+DOALL rejects the loop outright.  Privateer recognizes the updates as
+associative/commutative reductions, gives each worker an
+identity-initialized copy of the reduction heap, and merges the partial
+results at each checkpoint (§3.2).
+
+Run:  python examples/reduction_privatization.py
+"""
+
+from repro.baselines import analyze_loops, select_compatible
+from repro.bench.pipeline import prepare
+from repro.frontend import compile_minic
+
+SOURCE = """
+int data[256];
+long hist[16];
+double sumsq;
+
+int main(int n) {
+    rand_seed(99);
+    for (int i = 0; i < 256; i++) { data[i] = (int)(rand_int() % 1000); }
+    for (int i = 0; i < n; i++) {
+        int v = data[i % 256];
+        hist[v % 16] += 1;
+        sumsq += (double)v * (double)v;
+        /* some per-iteration work so the loop is worth parallelizing */
+        int acc = 0;
+        for (int j = 0; j < 40; j++) { acc = acc * 5 + v + j; }
+        hist[acc & 15] += 1;
+    }
+    for (int b = 0; b < 16; b++) { printf("bucket %d: %ld\\n", b, hist[b]); }
+    printf("sum of squares %.1f\\n", sumsq);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # The non-speculative baseline rejects the loop: the accumulators are
+    # loop-carried flow dependences.
+    module = compile_minic(SOURCE, "hist")
+    candidates = analyze_loops(module, args=(192,))
+    hot = candidates[0]
+    print(f"DOALL-only verdict for {hot.ref}: "
+          f"{'legal' if hot.legal else 'REJECTED'}")
+    for reason in hot.reasons[:4]:
+        print(f"   - {reason}")
+
+    print("\nPrivateer pipeline:")
+    program = prepare(SOURCE, "hist", args=(192,))
+    print(program.assignment.describe())
+
+    for site, rplan in program.plan.redux_objects.items():
+        print(f"  merge recipe: {site}: operator {rplan.operator}, "
+              f"{rplan.element_size}-byte elements")
+
+    result = program.execute(workers=8)
+    assert result.output == program.sequential.output
+    print(f"\n8 workers: speedup {program.speedup(result):.2f}x, "
+          f"reduction updates tracked: {result.runtime_stats.redux_updates}")
+    print("merged histogram and sum are byte-identical to sequential")
+
+
+if __name__ == "__main__":
+    main()

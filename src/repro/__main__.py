@@ -1,0 +1,175 @@
+"""Command-line interface for the Privateer reproduction.
+
+Usage::
+
+    python -m repro analyze prog.c --args 64
+    python -m repro run prog.c --args 64 --workers 24 --timeline
+    python -m repro baselines prog.c --args 64
+    python -m repro workloads
+    python -m repro report > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def _parse_args_list(values: Optional[List[str]]) -> tuple:
+    return tuple(int(v) for v in (values or []))
+
+
+def _load_source(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .bench.pipeline import prepare
+    from .transform.plan import SelectionError
+
+    source = _load_source(args.source)
+    try:
+        program = prepare(source, Path(args.source).stem,
+                          args=_parse_args_list(args.args))
+    except SelectionError as e:
+        print("no parallelizable loop found:")
+        for reason in e.reasons:
+            print(f"  - {reason}")
+        return 1
+    print(program.assignment.describe())
+    print()
+    print(program.plan.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .bench.pipeline import prepare
+
+    source = _load_source(args.source)
+    program = prepare(source, Path(args.source).stem,
+                      args=_parse_args_list(args.args))
+    result = program.execute(
+        workers=args.workers,
+        checkpoint_period=args.checkpoint_period,
+        misspec_period=args.misspec_period,
+        record_timeline=args.timeline,
+    )
+    ok = result.output == program.sequential.output
+    stats = result.runtime_stats
+    sys.stdout.write("".join(result.output))
+    print("---")
+    print(f"workers:          {args.workers}")
+    print(f"speedup:          {program.speedup(result):.2f}x "
+          f"({program.sequential.cycles:,} -> {result.total_wall_cycles:,} cycles)")
+    print(f"output matches sequential: {ok}")
+    print(f"invocations:      {stats.invocations}")
+    print(f"checkpoints:      {stats.checkpoints}")
+    print(f"misspeculations:  {stats.misspec_count()} "
+          f"(recoveries: {stats.recoveries})")
+    breakdown = result.overhead_breakdown()
+    print("capacity:         " + ", ".join(
+        f"{k} {v:.1%}" for k, v in breakdown.items()))
+    if args.timeline and result.timeline is not None:
+        print()
+        print(result.timeline.render())
+    return 0 if ok else 1
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    from .baselines import (
+        estimate_dependence_speculation,
+        judge_hot_loop,
+        run_doall_only,
+    )
+    from .bench.pipeline import run_sequential
+
+    source = _load_source(args.source)
+    name = Path(args.source).stem
+    guest_args = _parse_args_list(args.args)
+
+    seq = run_sequential(source, name, args=guest_args)
+    print(f"sequential: {seq.cycles:,} cycles")
+
+    base = run_doall_only(source, name, args=guest_args, workers=args.workers)
+    print(f"DOALL-only @ {args.workers}: "
+          f"{base.speedup_over(seq.cycles):.2f}x "
+          f"({len(base.selected)} loop(s) proven parallel)")
+
+    lrpd = judge_hot_loop(source, name, args=guest_args)
+    print(f"LRPD applicable to hot loop: {lrpd.applicable}")
+    for reason in lrpd.reasons[:3]:
+        print(f"  - {reason}")
+
+    dep = estimate_dependence_speculation(source, name, args=guest_args)
+    print(f"dependence speculation: {dep.misspec_rate:.0%} of iterations "
+          f"conflict (projected {dep.projected_speedup(args.workers):.2f}x)")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .workloads import ALL_WORKLOADS
+
+    for w in ALL_WORKLOADS:
+        print(f"{w.name:14s} [{w.suite}] train={w.train} ref={w.ref}")
+        print(f"    {w.description}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report import main as report_main
+
+    report_main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privateer: speculative separation for privatization "
+                    "and reductions (PLDI 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="profile, classify, and show the "
+                                       "heap assignment and plan")
+    p.add_argument("source", help="MiniC source file")
+    p.add_argument("--args", nargs="*", help="integer arguments for main")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("run", help="parallelize and execute on the "
+                                   "simulated multicore")
+    p.add_argument("source")
+    p.add_argument("--args", nargs="*")
+    p.add_argument("--workers", type=int, default=24)
+    p.add_argument("--checkpoint-period", type=int, default=None)
+    p.add_argument("--misspec-period", type=int, default=0,
+                   help="inject a misspeculation every N iterations")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the Figure 5 execution timeline")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("baselines", help="judge the program under the "
+                                         "comparison systems")
+    p.add_argument("source")
+    p.add_argument("--args", nargs="*")
+    p.add_argument("--workers", type=int, default=24)
+    p.set_defaults(func=cmd_baselines)
+
+    p = sub.add_parser("workloads", help="list the five evaluated programs")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md content "
+                                      "on stdout (slow)")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Control-flow graph utilities over mini-IR functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.module import BasicBlock, Function
+
+
+class CFG:
+    """Predecessor/successor maps plus traversal orders for a function."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.succs: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.preds: Dict[BasicBlock, List[BasicBlock]] = {}
+        for bb in fn.blocks:
+            self.succs[bb] = bb.successors()
+            self.preds.setdefault(bb, [])
+        for bb in fn.blocks:
+            for s in self.succs[bb]:
+                self.preds.setdefault(s, []).append(bb)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def reachable(self) -> Set[BasicBlock]:
+        seen: Set[BasicBlock] = set()
+        stack = [self.entry]
+        while stack:
+            bb = stack.pop()
+            if bb in seen:
+                continue
+            seen.add(bb)
+            stack.extend(self.succs.get(bb, []))
+        return seen
+
+    def reverse_postorder(self) -> List[BasicBlock]:
+        """Blocks in reverse postorder of a DFS from the entry (a topological
+        order for acyclic regions; loop headers precede their bodies)."""
+        visited: Set[BasicBlock] = set()
+        post: List[BasicBlock] = []
+
+        # Iterative DFS so deep CFGs don't hit the recursion limit.
+        stack: List[tuple] = [(self.entry, iter(self.succs.get(self.entry, [])))]
+        visited.add(self.entry)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.succs.get(succ, []))))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(node)
+                stack.pop()
+        post.reverse()
+        return post
+
+    def remove_unreachable(self) -> int:
+        """Drop blocks not reachable from the entry; returns count removed."""
+        live = self.reachable()
+        dead = [bb for bb in self.function.blocks if bb not in live]
+        for bb in dead:
+            self.function.blocks.remove(bb)
+        return len(dead)

@@ -1,0 +1,34 @@
+"""Def-use chains for mini-IR functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from ..ir.values import Value
+
+
+class DefUse:
+    """Map from each value to the instructions using it."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.users: Dict[Value, List[Instruction]] = {}
+        for inst in fn.instructions():
+            for op in inst.operands:
+                self.users.setdefault(op, []).append(inst)
+
+    def uses_of(self, value: Value) -> List[Instruction]:
+        return self.users.get(value, [])
+
+    def is_dead(self, inst: Instruction) -> bool:
+        """True for a value-producing instruction with no users and no side
+        effects (loads are considered side-effect free)."""
+        from ..ir.instructions import Call, Opcode
+
+        if inst.is_terminator or isinstance(inst, Call):
+            return False
+        if inst.opcode == Opcode.STORE:
+            return False
+        return not self.uses_of(inst)

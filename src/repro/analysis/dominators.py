@@ -1,0 +1,95 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "simple, fast dominance" algorithm,
+which is the standard choice for compiler IRs of this size, plus the
+dominance-frontier computation used by mem2reg's phi placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.module import BasicBlock, Function
+from .cfg import CFG
+
+
+class DominatorTree:
+    def __init__(self, fn: Function, cfg: Optional[CFG] = None):
+        self.function = fn
+        self.cfg = cfg or CFG(fn)
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._order_index: Dict[BasicBlock, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        self._order_index = {bb: i for i, bb in enumerate(rpo)}
+        entry = self.cfg.entry
+        self.idom = {bb: None for bb in rpo}
+        self.idom[entry] = entry
+
+        changed = True
+        while changed:
+            changed = False
+            for bb in rpo:
+                if bb is entry:
+                    continue
+                preds = [
+                    p for p in self.cfg.preds.get(bb, []) if self.idom.get(p) is not None
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom[bb] is not new_idom:
+                    self.idom[bb] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        idx = self._order_index
+        while a is not b:
+            while idx[a] > idx[b]:
+                a = self.idom[a]  # type: ignore[assignment]
+            while idx[b] > idx[a]:
+                b = self.idom[b]  # type: ignore[assignment]
+        return a
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        entry = self.cfg.entry
+        while node is not None:
+            if node is a:
+                return True
+            if node is entry:
+                return False
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        out: Dict[BasicBlock, List[BasicBlock]] = {bb: [] for bb in self.idom}
+        for bb, parent in self.idom.items():
+            if parent is not None and parent is not bb:
+                out[parent].append(bb)
+        return out
+
+    def dominance_frontiers(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        df: Dict[BasicBlock, Set[BasicBlock]] = {bb: set() for bb in self.idom}
+        for bb in self.idom:
+            preds = self.cfg.preds.get(bb, [])
+            if len(preds) < 2:
+                continue
+            for p in preds:
+                if p not in self.idom:
+                    continue
+                runner: Optional[BasicBlock] = p
+                while runner is not None and runner is not self.idom[bb]:
+                    df[runner].add(bb)
+                    if runner is self.cfg.entry:
+                        break
+                    runner = self.idom.get(runner)
+        return df

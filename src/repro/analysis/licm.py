@@ -1,0 +1,137 @@
+"""Loop-invariant code motion.
+
+Runs after mem2reg, before profiling — mirroring the LLVM cleanups the
+paper's compiler depends on.  Two kinds of hoisting:
+
+* **pure computations** (binops, comparisons, casts, pointer arithmetic,
+  selects) whose operands are loop-invariant move to the preheader;
+* **loads from global variables** move to the preheader when no store or
+  unanalyzable call inside the loop can modify the global (checked with
+  points-to + mod/ref).  This is what makes a loop bound like
+  ``for (i = 0; i < numOptions; i++)`` recognizable as a canonical
+  induction variable.
+
+Loads are only hoisted when the pointer is a global (always mapped, so
+executing the load early can never fault even for zero-trip loops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.instructions import (
+    BinOp,
+    BinOpKind,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    PtrAdd,
+    Select,
+    Store,
+)
+from ..ir.module import Function, Module
+from ..ir.values import GlobalVariable, Value
+from .cfg import CFG
+from .loops import Loop, LoopInfo
+from .modref import ModRefAnalysis
+from .pointsto import PointsToAnalysis, PointsToSet
+
+_PURE = (BinOp, ICmp, FCmp, Cast, PtrAdd, Select)
+
+#: Division/remainder can trap; never speculate them out of the loop.
+_TRAPPING = {BinOpKind.DIV, BinOpKind.REM}
+
+
+def _is_invariant_operand(v: Value, loop: Loop, hoisted: Set[Instruction]) -> bool:
+    if not isinstance(v, Instruction):
+        return True  # constants, arguments, globals
+    if v in hoisted:
+        return True
+    return v.parent not in loop.blocks
+
+
+def _loop_mod_set(module: Module, loop: Loop, pta: PointsToAnalysis,
+                  modref: ModRefAnalysis) -> PointsToSet:
+    """Everything the loop may write (including through callees)."""
+    mods = PointsToSet()
+    for bb in loop.blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, Store):
+                mods.merge(pta.points_to(inst.pointer))
+            elif isinstance(inst, Call):
+                summary = modref.summary(inst.callee)
+                mods.merge(summary.mod)
+                if summary.allocates:
+                    # Fresh objects can't alias pre-existing globals.
+                    pass
+    return mods
+
+
+def hoist_loop_invariants(
+    module: Module,
+    fn: Function,
+    pta: Optional[PointsToAnalysis] = None,
+    modref: Optional[ModRefAnalysis] = None,
+) -> int:
+    """Hoist invariants in every loop of ``fn``; returns the number of
+    instructions moved."""
+    info = LoopInfo(fn)
+    if not info.loops:
+        return 0
+    pta = pta or PointsToAnalysis(module)
+    modref = modref or ModRefAnalysis(module, pta)
+    cfg = info.cfg
+    moved = 0
+
+    # Innermost loops first, so invariants can bubble outward pass by pass.
+    for loop in sorted(info.loops, key=lambda l: l.depth, reverse=True):
+        preheader = loop.preheader(cfg)
+        if preheader is None or preheader.terminator is None:
+            continue
+        mods = _loop_mod_set(module, loop, pta, modref)
+        hoisted: Set[Instruction] = set()
+        changed = True
+        while changed:
+            changed = False
+            for bb in sorted(loop.blocks, key=lambda b: b.name):
+                for inst in list(bb.instructions):
+                    if inst in hoisted:
+                        continue
+                    if not _can_hoist(inst, loop, hoisted, mods, pta):
+                        continue
+                    bb.remove(inst)
+                    preheader.insert(len(preheader.instructions) - 1, inst)
+                    hoisted.add(inst)
+                    moved += 1
+                    changed = True
+    return moved
+
+
+def _can_hoist(inst: Instruction, loop: Loop, hoisted: Set[Instruction],
+               mods: PointsToSet, pta: PointsToAnalysis) -> bool:
+    if isinstance(inst, _PURE):
+        if isinstance(inst, BinOp) and inst.kind in _TRAPPING:
+            return False
+        return all(_is_invariant_operand(op, loop, hoisted)
+                   for op in inst.operands)
+    if isinstance(inst, Load):
+        pointer = inst.pointer
+        if not isinstance(pointer, GlobalVariable):
+            return False  # only always-mapped addresses are speculation-safe
+        if not _is_invariant_operand(pointer, loop, hoisted):
+            return False
+        return not mods.may_alias(pta.points_to(pointer))
+    return False
+
+
+def hoist_module(module: Module) -> int:
+    """Run LICM over every defined function; returns instructions moved."""
+    pta = PointsToAnalysis(module)
+    modref = ModRefAnalysis(module, pta)
+    total = 0
+    for fn in module.defined_functions():
+        total += hoist_loop_invariants(module, fn, pta, modref)
+    return total

@@ -1,0 +1,234 @@
+"""Promote scalar stack slots to SSA registers (LLVM's mem2reg).
+
+The MiniC frontend lowers every local variable to an ``alloca`` plus
+loads/stores.  Before Privateer's classification runs, promotable scalars
+(address never taken, never indexed, non-aggregate) are lifted into SSA
+registers with phi nodes.  This matters for fidelity: without it the loop
+induction variable is a memory object carrying a loop-carried flow
+dependence, and no loop would ever be DOALL-able.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.module import BasicBlock, Function
+from ..ir.values import ConstFloat, ConstInt, ConstNull, Undef, Value
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+def promotable_allocas(fn: Function) -> List[Alloca]:
+    """Allocas that are only ever loaded from or stored to (as the pointer
+    operand), hold a single non-aggregate element, and never escape."""
+    allocas: List[Alloca] = [
+        inst
+        for inst in fn.instructions()
+        if isinstance(inst, Alloca)
+        and isinstance(inst.count, ConstInt)
+        and inst.count.value == 1
+        and not inst.allocated_type.is_aggregate()
+    ]
+    promotable: List[Alloca] = []
+    for alloca in allocas:
+        ok = True
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if op is not alloca:
+                    continue
+                if isinstance(inst, Load):
+                    continue
+                if isinstance(inst, Store) and inst.pointer is alloca and inst.value is not alloca:
+                    continue
+                ok = False
+            if not ok:
+                break
+        if ok:
+            promotable.append(alloca)
+    return promotable
+
+
+def _default_value(alloca: Alloca) -> Value:
+    ty = alloca.allocated_type
+    if ty.is_integer():
+        return ConstInt(ty, 0)  # type: ignore[arg-type]
+    if ty.is_float():
+        return ConstFloat(ty, 0.0)  # type: ignore[arg-type]
+    if ty.is_pointer():
+        return ConstNull(ty)  # type: ignore[arg-type]
+    return Undef(ty)
+
+
+class _Promoter:
+    def __init__(self, fn: Function, allocas: List[Alloca]):
+        self.fn = fn
+        self.cfg = CFG(fn)
+        self.domtree = DominatorTree(fn, self.cfg)
+        self.allocas = allocas
+        self.phi_slot: Dict[Phi, Alloca] = {}
+
+    def run(self) -> None:
+        frontiers = self.domtree.dominance_frontiers()
+        reachable = self.cfg.reachable()
+
+        # Phase 1: place phis at the iterated dominance frontier of defs.
+        for alloca in self.allocas:
+            def_blocks: Set[BasicBlock] = {
+                inst.parent  # type: ignore[misc]
+                for inst in self.fn.instructions()
+                if isinstance(inst, Store) and inst.pointer is alloca
+            }
+            has_phi: Set[BasicBlock] = set()
+            worklist = [bb for bb in def_blocks if bb in reachable]
+            while worklist:
+                bb = worklist.pop()
+                for df_block in frontiers.get(bb, ()):
+                    if df_block in has_phi or df_block not in reachable:
+                        continue
+                    phi = Phi(alloca.allocated_type, name=f"{alloca.name or 'mem'}.phi")
+                    df_block.insert(0, phi)
+                    self.phi_slot[phi] = alloca
+                    has_phi.add(df_block)
+                    if df_block not in def_blocks:
+                        worklist.append(df_block)
+
+        # Phase 2: rename along the dominator tree.
+        stacks: Dict[Alloca, List[Value]] = {a: [_default_value(a)] for a in self.allocas}
+        alloca_set = set(self.allocas)
+        self._rename(self.cfg.entry, stacks, alloca_set, set())
+
+        # Phase 3: delete the allocas and their dead loads/stores.
+        for bb in self.fn.blocks:
+            bb.instructions = [
+                inst
+                for inst in bb.instructions
+                if not (
+                    (isinstance(inst, Alloca) and inst in alloca_set)
+                    or (isinstance(inst, Load) and inst.pointer in alloca_set)
+                    or (isinstance(inst, Store) and inst.pointer in alloca_set)
+                )
+            ]
+
+    def _rename(
+        self,
+        bb: BasicBlock,
+        stacks: Dict[Alloca, List[Value]],
+        alloca_set: Set[Alloca],
+        visited: Set[BasicBlock],
+    ) -> None:
+        # Iterative DFS over the dominator tree with explicit push counts so
+        # the value stacks unwind correctly.
+        children = self.domtree.children()
+        work: List[tuple] = [("visit", bb)]
+        while work:
+            action, node = work.pop()
+            if action == "pop":
+                for slot, count in node:  # node is a list of (alloca, pushes)
+                    for _ in range(count):
+                        stacks[slot].pop()
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            pushes: Dict[Alloca, int] = {}
+
+            replacements: Dict[Value, Value] = {}
+            new_insts: List[Instruction] = []
+            for inst in node.instructions:
+                if isinstance(inst, Phi) and inst in self.phi_slot:
+                    slot = self.phi_slot[inst]
+                    stacks[slot].append(inst)
+                    pushes[slot] = pushes.get(slot, 0) + 1
+                    new_insts.append(inst)
+                elif isinstance(inst, Load) and inst.pointer in alloca_set:
+                    replacements[inst] = stacks[inst.pointer][-1]  # type: ignore[index]
+                elif isinstance(inst, Store) and inst.pointer in alloca_set:
+                    slot = inst.pointer  # type: ignore[assignment]
+                    value = replacements.get(inst.value, inst.value)
+                    stacks[slot].append(value)
+                    pushes[slot] = pushes.get(slot, 0) + 1
+                else:
+                    for old, new in replacements.items():
+                        inst.replace_operand(old, new)
+                    new_insts.append(inst)
+            # Propagate replacements into *later* blocks via the stacks (done)
+            # and rewrite any remaining uses in this function lazily below.
+            if replacements:
+                self._pending_replacements.update(replacements)
+
+            # Fill phi arms in CFG successors.
+            for succ in self.cfg.succs.get(node, []):
+                for inst in succ.instructions:
+                    if isinstance(inst, Phi) and inst in self.phi_slot:
+                        slot = self.phi_slot[inst]
+                        inst.add_incoming(node, stacks[slot][-1])
+
+            work.append(("pop", list(pushes.items())))
+            for child in children.get(node, []):
+                work.append(("visit", child))
+
+    _pending_replacements: Dict[Value, Value]
+
+
+def _prune_dead_phis(fn: Function) -> int:
+    """Remove phis with no (transitive) non-phi users.
+
+    Blind phi placement at dominance frontiers creates phis for variables
+    that are dead across the join (e.g. an inner-loop counter at the outer
+    loop's header).  Such phis would look like loop-carried scalar state
+    and wrongly disqualify loops from DOALL, so prune them — this makes
+    the construction semi-pruned SSA, like LLVM's.
+    """
+    # A phi is live iff it is reachable, through phi operands, from some
+    # non-phi instruction.  This handles cycles of mutually-referencing
+    # dead phis, which a simple no-users fixpoint would keep forever.
+    live: Set[Phi] = set()
+    worklist: List[Phi] = []
+    for inst in fn.instructions():
+        if isinstance(inst, Phi):
+            continue
+        for op in inst.operands:
+            if isinstance(op, Phi) and op not in live:
+                live.add(op)
+                worklist.append(op)
+    while worklist:
+        phi = worklist.pop()
+        for _bb, value in phi.incoming:
+            if isinstance(value, Phi) and value not in live:
+                live.add(value)
+                worklist.append(value)
+
+    removed_total = 0
+    for bb in fn.blocks:
+        dead = [i for i in bb.instructions if isinstance(i, Phi) and i not in live]
+        for phi in dead:
+            bb.remove(phi)
+            removed_total += 1
+    return removed_total
+
+
+def promote_memory_to_registers(fn: Function) -> int:
+    """Run mem2reg on ``fn``; returns the number of allocas promoted."""
+    allocas = promotable_allocas(fn)
+    if not allocas:
+        return 0
+    promoter = _Promoter(fn, allocas)
+    promoter._pending_replacements = {}
+    promoter.run()
+    # Rewrite any uses of deleted loads that appear in blocks dominated by
+    # the definition but visited before the replacement map was recorded.
+    if promoter._pending_replacements:
+        for inst in fn.instructions():
+            for old, new in promoter._pending_replacements.items():
+                inst.replace_operand(old, new)
+    _prune_dead_phis(fn)
+    return len(allocas)
+
+
+def promote_module(mod) -> int:
+    """Run mem2reg on every defined function in a module."""
+    total = 0
+    for fn in mod.defined_functions():
+        total += promote_memory_to_registers(fn)
+    return total

@@ -1,0 +1,103 @@
+"""Mod/Ref summaries: which abstract objects each function may read or
+write, including through its callees.
+
+Used by the static dependence graph to model the memory effects of call
+instructions, and by the DOALL-only baseline to reject loops whose callees
+have unanalyzable side effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..ir.instructions import Call, Load, Store
+from ..ir.module import Function, Module
+from .callgraph import CallGraph
+from .pointsto import AbstractObject, PointsToAnalysis, PointsToSet
+
+#: Intrinsics with no guest-memory side effects relevant to dependences.
+PURE_INTRINSICS = {
+    "abs", "sqrt", "exp", "log", "pow", "fabs", "floor", "sin", "cos",
+}
+#: The guest PRNG carries hidden state: every call reads and advances it,
+#: which is a genuine loop-carried dependence.
+STATEFUL_INTRINSICS = {"rand_int", "rand_seed"}
+#: Intrinsics that allocate/free but do not touch other guest objects.
+ALLOCATOR_INTRINSICS = {"malloc", "calloc", "free", "h_alloc", "h_dealloc"}
+#: Intrinsics with externally visible I/O effects.
+IO_INTRINSICS = {"printf", "puts", "exit"}
+
+
+@dataclass
+class ModRefSummary:
+    mod: PointsToSet = field(default_factory=PointsToSet)
+    ref: PointsToSet = field(default_factory=PointsToSet)
+    does_io: bool = False
+    allocates: bool = False
+
+    def merge(self, other: "ModRefSummary") -> bool:
+        changed = self.mod.merge(other.mod)
+        changed |= self.ref.merge(other.ref)
+        if other.does_io and not self.does_io:
+            self.does_io = changed = True
+        if other.allocates and not self.allocates:
+            self.allocates = changed = True
+        return changed
+
+
+class ModRefAnalysis:
+    def __init__(self, mod: Module, pta: Optional[PointsToAnalysis] = None):
+        self.module = mod
+        self.pta = pta or PointsToAnalysis(mod)
+        self.callgraph = CallGraph(mod)
+        self.summaries: Dict[Function, ModRefSummary] = {}
+        self._run()
+
+    def _run(self) -> None:
+        for fn in self.module.functions.values():
+            self.summaries[fn] = self._intrinsic_summary(fn) or ModRefSummary()
+
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.module.defined_functions():
+                summary = self.summaries[fn]
+                for inst in fn.instructions():
+                    if isinstance(inst, Load):
+                        changed |= summary.ref.merge(self.pta.points_to(inst.pointer))
+                    elif isinstance(inst, Store):
+                        changed |= summary.mod.merge(self.pta.points_to(inst.pointer))
+                    elif isinstance(inst, Call):
+                        callee = self.summaries.get(inst.callee)
+                        if callee is not None:
+                            changed |= summary.merge(callee)
+
+    def _intrinsic_summary(self, fn: Function) -> Optional[ModRefSummary]:
+        if not fn.is_intrinsic and not fn.is_declaration:
+            return None
+        name = fn.name
+        if name in PURE_INTRINSICS:
+            return ModRefSummary()
+        if name in STATEFUL_INTRINSICS:
+            from .pointsto import AbstractObject
+
+            prng = PointsToSet.of(AbstractObject("global", "<prng-state>"))
+            return ModRefSummary(mod=prng, ref=PointsToSet(set(prng.objects)))
+        if name in ALLOCATOR_INTRINSICS:
+            return ModRefSummary(allocates=True)
+        if name in IO_INTRINSICS:
+            return ModRefSummary(does_io=True)
+        if name in ("memset", "memcpy"):
+            # Effects handled at the call site via argument points-to; be
+            # conservative here.
+            return ModRefSummary(mod=PointsToSet.top(), ref=PointsToSet.top())
+        if name in ("private_read", "private_write", "check_heap", "predict_value",
+                    "misspec", "loop_iter_begin", "loop_iter_end", "redux_update"):
+            return ModRefSummary()  # validation intrinsics: no guest effects
+        if fn.is_declaration:
+            return ModRefSummary(mod=PointsToSet.top(), ref=PointsToSet.top(), does_io=True)
+        return None
+
+    def summary(self, fn: Function) -> ModRefSummary:
+        return self.summaries[fn]

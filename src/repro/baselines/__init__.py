@@ -1,0 +1,20 @@
+"""Comparison systems: non-speculative DOALL (Figure 7), the LRPD
+applicability model (Table 1), and naive dependence speculation (§2)."""
+
+from .depspec import DepSpecEstimate, estimate_dependence_speculation
+from .doall_only import (
+    DOALLCandidate,
+    DOALLOnlyExecutor,
+    DOALLOnlyResult,
+    analyze_loops,
+    run_doall_only,
+    select_compatible,
+)
+from .lrpd import LRPDVerdict, judge_hot_loop, lrpd_applicable
+
+__all__ = [
+    "DOALLCandidate", "DOALLOnlyExecutor", "DOALLOnlyResult",
+    "DepSpecEstimate", "LRPDVerdict", "analyze_loops",
+    "estimate_dependence_speculation", "judge_hot_loop", "lrpd_applicable",
+    "run_doall_only", "select_compatible",
+]

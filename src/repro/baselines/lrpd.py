@@ -1,0 +1,92 @@
+"""LRPD-style baseline (Table 1): speculative run-time parallelization of
+loops *with array-restricted memory layout*.
+
+The LRPD test [22] evaluates the privatization criterion speculatively
+with shadow arrays, but its memory layout is limited to arrays and scalar
+variables with statically known base and size.  This module models that
+applicability frontier:
+
+* ``applicable`` — every memory access in the loop region resolves
+  statically to a named global array/scalar (no pointers loaded from
+  memory, no dynamic allocation, no recursive structures);
+* when applicable, LRPD can privatize and reduce exactly like Privateer
+  (the criterion is the same); when not, the loop is out of scope.
+
+Used by the Table 1 capability-matrix bench: LRPD passes on the array
+feature probe and fails on every linked/dynamic-structure program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..analysis.loops import Loop
+from ..analysis.pointsto import PointsToAnalysis
+from ..frontend.lower import compile_minic
+from ..ir.instructions import Call, Load, Store
+from ..ir.module import Module
+from ..profiling.data import LoopRef
+from ..profiling.looptracker import LoopInfoCache
+from ..profiling.timeprof import profile_execution_time
+from ..transform.selection import region_functions
+
+
+@dataclass
+class LRPDVerdict:
+    ref: LoopRef
+    applicable: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+def lrpd_applicable(module: Module, ref: LoopRef) -> LRPDVerdict:
+    """Can the LRPD test even express this loop's memory layout?"""
+    reasons: List[str] = []
+    cache = LoopInfoCache(module)
+    fn = module.function_named(ref.function)
+    loop = cache.info(fn).loop_with_header(ref.header)
+    pta = PointsToAnalysis(module)
+
+    region_fns = [fn, *region_functions(module, fn, loop)]
+    blocks = list(loop.blocks)
+    for g in region_fns[1:]:
+        blocks.extend(g.blocks)
+
+    for bb in blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, Call) and inst.callee.name in (
+                "malloc", "calloc", "free", "h_alloc", "h_dealloc"
+            ):
+                reasons.append(
+                    f"dynamic allocation at {inst.site_id()} — object count "
+                    f"and sizes unknown to an array-based layout")
+                continue
+            if not isinstance(inst, (Load, Store)):
+                continue
+            pointer = inst.pointer  # type: ignore[union-attr]
+            pts = pta.points_to(pointer)
+            if pts.is_top:
+                reasons.append(
+                    f"access {inst.site_id()} through an unanalyzable "
+                    f"pointer — not a named array")
+            else:
+                for obj in pts.objects:
+                    if obj.kind == "heap":
+                        reasons.append(
+                            f"access {inst.site_id()} targets heap object "
+                            f"{obj.name} — outside the array model")
+    # Deduplicate while keeping order.
+    seen = set()
+    unique = [r for r in reasons if not (r in seen or seen.add(r))]
+    return LRPDVerdict(ref, not unique, unique[:8])
+
+
+def judge_hot_loop(source: str, name: str, entry: str = "main",
+                   args: Sequence[object] = ()) -> LRPDVerdict:
+    """Compile, find the hottest loop, and judge LRPD applicability."""
+    module = compile_minic(source, name)
+    report = profile_execution_time(module, entry, tuple(args))
+    hottest = report.hottest(top_level_only=False)
+    if not hottest:
+        return LRPDVerdict(LoopRef(entry, "?"), False, ["no loops executed"])
+    return lrpd_applicable(module, hottest[0].ref)

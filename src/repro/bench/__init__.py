@@ -1,0 +1,37 @@
+"""Benchmark harness: the end-to-end pipeline plus regeneration of every
+table and figure in the paper's evaluation."""
+
+from .figures import (
+    MISSPEC_RATES,
+    WORKER_COUNTS,
+    ProgramCache,
+    figure6_data,
+    figure7_data,
+    figure8_data,
+    figure9_data,
+    geomean,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_table1,
+    render_table3,
+    table1_data,
+    table3_data,
+)
+from .pipeline import (
+    PreparedProgram,
+    SequentialBaseline,
+    prepare,
+    run_sequential,
+)
+from .probes import PROBES, run_capability_probes
+
+__all__ = [
+    "MISSPEC_RATES", "PROBES", "PreparedProgram", "ProgramCache",
+    "SequentialBaseline", "WORKER_COUNTS", "figure6_data", "figure7_data",
+    "figure8_data", "figure9_data", "geomean", "prepare",
+    "render_figure6", "render_figure7", "render_figure8", "render_figure9",
+    "render_table1", "render_table3", "run_capability_probes",
+    "run_sequential", "table1_data", "table3_data",
+]

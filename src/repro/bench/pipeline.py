@@ -1,0 +1,150 @@
+"""End-to-end Privateer pipeline: compile, profile, classify, transform,
+and execute — the driver used by examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..classify.classifier import HeapAssignment, classify
+from ..frontend.lower import compile_minic
+from ..interp.interpreter import Interpreter
+from ..ir.module import Module
+from ..parallel.costmodel import CostModelConfig
+from ..parallel.executor import DOALLExecutor
+from ..parallel.stats import ExecutionResult
+from ..profiling.data import HotLoopReport, LoopProfile, LoopRef
+from ..profiling.loopprof import profile_loop
+from ..profiling.timeprof import profile_execution_time
+from ..transform.plan import ParallelPlan, SelectionError
+from ..transform.privatize import PrivateerTransform
+
+
+@dataclass
+class SequentialBaseline:
+    """Best sequential execution of the unmodified program."""
+
+    cycles: int
+    return_value: object
+    output: List[str]
+
+
+@dataclass
+class PreparedProgram:
+    """A program taken through profile -> classify -> transform.
+
+    Following the paper's methodology, profiling uses the *train* input
+    and performance evaluation uses the *ref* input (§6).
+    """
+
+    name: str
+    source: str
+    entry: str
+    train_args: tuple
+    ref_args: tuple
+    sequential: SequentialBaseline
+    module: Module               # the transformed module
+    hot_report: HotLoopReport
+    profile: LoopProfile
+    assignment: HeapAssignment
+    plan: ParallelPlan
+    rejected: Dict[LoopRef, List[str]] = field(default_factory=dict)
+
+    def execute(
+        self,
+        workers: int = 24,
+        checkpoint_period: Optional[int] = None,
+        misspec_period: int = 0,
+        costs: Optional[CostModelConfig] = None,
+        record_timeline: bool = False,
+        args: Optional[Sequence[object]] = None,
+    ) -> ExecutionResult:
+        """Run the transformed program under the speculative DOALL
+        executor on the ref input; each call uses a fresh simulated
+        machine."""
+        executor = DOALLExecutor(
+            self.module,
+            self.plan,
+            workers=workers,
+            checkpoint_period=checkpoint_period,
+            misspec_period=misspec_period,
+            costs=costs,
+            record_timeline=record_timeline,
+        )
+        result = executor.run(self.entry, tuple(args) if args is not None
+                              else self.ref_args)
+        result.timeline = executor.timeline  # type: ignore[attr-defined]
+        return result
+
+    def speedup(self, result: ExecutionResult) -> float:
+        return result.speedup_over(self.sequential.cycles)
+
+
+def run_sequential(source: str, name: str, entry: str = "main",
+                   args: Sequence[object] = ()) -> SequentialBaseline:
+    """Compile and run the unmodified program (the clang -O3 stand-in)."""
+    module = compile_minic(source, name)
+    interp = Interpreter(module)
+    rv = interp.run(entry, tuple(args))
+    return SequentialBaseline(interp.cycles, rv, list(interp.output))
+
+
+def prepare(
+    source: str,
+    name: str,
+    entry: str = "main",
+    args: Sequence[object] = (),
+    ref_args: Optional[Sequence[object]] = None,
+    checkpoint_period: Optional[int] = None,
+    min_coverage: float = 0.10,
+    max_candidates: int = 6,
+) -> PreparedProgram:
+    """Run the full Privateer compiler pipeline on MiniC source.
+
+    Profiles hot loops with the train input (``args``), selects the
+    hottest transformable loop, and applies the privatization
+    transformation.  The sequential baseline is measured on the ref input
+    (``ref_args``, defaulting to the train input).  Raises
+    :class:`SelectionError` if no loop can be parallelized.
+    """
+    train_args = tuple(args)
+    eval_args = tuple(ref_args) if ref_args is not None else train_args
+    sequential = run_sequential(source, name, entry, eval_args)
+
+    module = compile_minic(source, name)
+    hot_report = profile_execution_time(module, entry, train_args)
+
+    rejected: Dict[LoopRef, List[str]] = {}
+    candidates = [
+        rec for rec in hot_report.hottest(top_level_only=False)
+        if hot_report.coverage(rec.ref) >= min_coverage
+    ][:max_candidates]
+
+    last_error: Optional[SelectionError] = None
+    for rec in candidates:
+        profile = profile_loop(module, rec.ref, entry, train_args)
+        assignment = classify(profile)
+        period = checkpoint_period or _default_period(profile)
+        try:
+            plan = PrivateerTransform(module, rec.ref, profile, assignment,
+                                      checkpoint_period=period).run()
+        except SelectionError as e:
+            rejected[rec.ref] = e.reasons
+            last_error = e
+            continue
+        return PreparedProgram(
+            name=name, source=source, entry=entry, train_args=train_args,
+            ref_args=eval_args, sequential=sequential, module=module,
+            hot_report=hot_report, profile=profile, assignment=assignment,
+            plan=plan, rejected=rejected,
+        )
+    raise last_error or SelectionError(
+        LoopRef(entry, "?"), ["no hot loop candidates found"])
+
+
+def _default_period(profile: LoopProfile) -> int:
+    """Checkpoint period: the paper uses k <= 253; with our scaled-down
+    iteration counts we aim for a handful of checkpoints per invocation,
+    which is the same *rate* relative to total work."""
+    per_invocation = max(1, profile.iterations // max(1, profile.invocations))
+    return max(2, min(250, per_invocation // 5))

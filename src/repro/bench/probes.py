@@ -1,0 +1,140 @@
+"""Feature probes for the Table 1 capability matrix.
+
+Three tiny programs isolate the dimensions Table 1 compares: an
+array-only privatizable loop (everything handles it), a linked-list /
+dynamic-allocation loop (only Privateer handles it), and a reduction loop
+(handled by systems with reduction support).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..baselines.doall_only import analyze_loops, select_compatible
+from ..baselines.lrpd import judge_hot_loop
+from ..bench.pipeline import prepare
+from ..classify.heaps import HeapKind
+from ..frontend.lower import compile_minic
+from ..transform.plan import SelectionError
+
+ARRAY_PROBE = """
+int scratch[16];
+int out[64];
+
+int main(int n, int seed) {
+    rand_seed(seed);
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 16; j++) { scratch[j] = i + j; }
+        int acc = 0;
+        for (int j = 0; j < 16; j++) { acc = acc + scratch[j] * scratch[j]; }
+        out[i] = acc;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) { total = total + out[i]; }
+    printf("%d\\n", total);
+    return 0;
+}
+"""
+
+LINKED_PROBE = """
+struct cell { int v; struct cell* next; };
+struct cell* stack;
+int out[64];
+
+void push(int v) {
+    struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+    c->v = v;
+    c->next = stack;
+    stack = c;
+}
+
+int pop() {
+    struct cell* c = stack;
+    int v = c->v;
+    stack = c->next;
+    free(c);
+    return v;
+}
+
+int main(int n, int seed) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 8; j++) { push(i * j + 1); }
+        int acc = 0;
+        while (stack != 0) { acc = acc + pop(); }
+        out[i] = acc;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) { total = total + out[i]; }
+    printf("%d\\n", total);
+    return 0;
+}
+"""
+
+REDUX_PROBE = """
+int data[64];
+long total;
+
+int main(int n, int seed) {
+    rand_seed(seed);
+    for (int i = 0; i < n; i++) { data[i] = rand_int() % 100; }
+    for (int i = 0; i < n; i++) {
+        total += data[i] * data[i];
+    }
+    printf("%ld\\n", total);
+    return 0;
+}
+"""
+
+PROBES = {
+    "array": ARRAY_PROBE,
+    "linked-list": LINKED_PROBE,
+    "reduction": REDUX_PROBE,
+}
+PROBE_ARGS = (48, 3)
+
+
+def _privateer_handles(name: str, source: str) -> Dict[str, object]:
+    try:
+        prog = prepare(source, f"probe_{name}", args=PROBE_ARGS)
+    except SelectionError as e:
+        return {"handles": False, "reason": "; ".join(e.reasons)[:90]}
+    kinds = {k for k in prog.assignment.site_heaps.values()}
+    detail = ", ".join(sorted(str(k) for k in kinds))
+    return {"handles": True, "reason": f"heaps used: {detail}"}
+
+
+def _lrpd_handles(name: str, source: str) -> Dict[str, object]:
+    verdict = judge_hot_loop(source, f"probe_{name}", args=PROBE_ARGS)
+    reason = "array/scalar layout expressible" if verdict.applicable \
+        else (verdict.reasons[0] if verdict.reasons else "inapplicable")
+    return {"handles": verdict.applicable, "reason": reason[:90]}
+
+
+def _doall_handles(name: str, source: str) -> Dict[str, object]:
+    module = compile_minic(source, f"probe_{name}")
+    candidates = analyze_loops(module, args=PROBE_ARGS)
+    hot = candidates[0] if candidates else None
+    if hot is not None and hot.legal:
+        return {"handles": True, "reason": "statically proven independent"}
+    reason = "; ".join(hot.reasons)[:90] if hot else "no loops"
+    return {"handles": False, "reason": reason}
+
+
+def run_capability_probes() -> List[Dict[str, object]]:
+    """Judge each technique on each probe; rows for Table 1."""
+    rows: List[Dict[str, object]] = []
+    judges = {
+        "privateer": _privateer_handles,
+        "lrpd": _lrpd_handles,
+        "doall_only": _doall_handles,
+    }
+    for probe_name, source in PROBES.items():
+        for technique, judge in judges.items():
+            verdict = judge(probe_name, source)
+            rows.append({
+                "technique": technique,
+                "probe": probe_name,
+                "handles": verdict["handles"],
+                "reason": verdict["reason"],
+            })
+    return rows

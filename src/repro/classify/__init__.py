@@ -1,0 +1,9 @@
+"""Classification of memory objects into logical heaps (Algorithms 1–2)."""
+
+from .classifier import HeapAssignment, classify, get_footprint
+from .heaps import RELAXED_HEAPS, SHADOW_BIT, HeapKind, shadow_address, tag_matches
+
+__all__ = [
+    "HeapAssignment", "HeapKind", "RELAXED_HEAPS", "SHADOW_BIT", "classify",
+    "get_footprint", "shadow_address", "tag_matches",
+]

@@ -1,0 +1,219 @@
+"""Object classification: Algorithms 1 and 2 of the paper.
+
+``classify`` partitions the loop's memory footprint (object allocation
+sites) across the five logical heaps according to the profiled access
+patterns:
+
+* **short-lived** — allocated and freed within a single iteration;
+* **reduction** — updated only by a single associative/commutative
+  operator, with no other reads or writes;
+* **unrestricted** — involved in a cross-iteration memory flow dependence
+  that value prediction cannot remove;
+* **private** — everything else that is written;
+* **read-only** — everything else that is read.
+
+The footprints come from the pointer-to-object profile rather than from a
+static ``getFootprint`` recursion; profiled coverage plays the role of
+control speculation ("limited profile coverage has minimal effect since
+such code is likely removed via control speculation", §4.2).  A static
+``get_footprint`` is also provided for the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.callgraph import CallGraph
+from ..analysis.pointsto import PointsToAnalysis
+from ..analysis.reduction import reduction_sites
+from ..ir.instructions import Call, Load, Store
+from ..ir.module import Function, Module
+from ..profiling.data import FlowDep, LoopProfile, ValuePrediction
+from .heaps import HeapKind
+
+
+@dataclass
+class HeapAssignment:
+    """The classification result: object site -> logical heap, plus the
+    speculation support the transformation must arrange."""
+
+    loop: object  # LoopRef
+    site_heaps: Dict[str, HeapKind] = field(default_factory=dict)
+    redux_ops: Dict[str, str] = field(default_factory=dict)
+    predictions: List[ValuePrediction] = field(default_factory=list)
+    removed_deps: Set[FlowDep] = field(default_factory=set)
+    residual_deps: Set[FlowDep] = field(default_factory=set)
+    io_sites: Set[str] = field(default_factory=set)
+    uses_control_speculation: bool = False
+    unexecuted_blocks: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def sites_of(self, kind: HeapKind) -> Set[str]:
+        return {s for s, k in self.site_heaps.items() if k is kind}
+
+    @property
+    def private_sites(self) -> Set[str]:
+        return self.sites_of(HeapKind.PRIVATE)
+
+    @property
+    def shortlived_sites(self) -> Set[str]:
+        return self.sites_of(HeapKind.SHORTLIVED)
+
+    @property
+    def readonly_sites(self) -> Set[str]:
+        return self.sites_of(HeapKind.READONLY)
+
+    @property
+    def redux_sites(self) -> Set[str]:
+        return self.sites_of(HeapKind.REDUX)
+
+    @property
+    def unrestricted_sites(self) -> Set[str]:
+        return self.sites_of(HeapKind.UNRESTRICTED)
+
+    @property
+    def uses_value_prediction(self) -> bool:
+        return bool(self.predictions)
+
+    @property
+    def uses_io_deferral(self) -> bool:
+        return bool(self.io_sites)
+
+    def counts(self) -> Dict[str, int]:
+        """Static allocation sites per heap (Table 3 columns)."""
+        return {
+            "private": len(self.private_sites),
+            "short_lived": len(self.shortlived_sites),
+            "read_only": len(self.readonly_sites),
+            "redux": len(self.redux_sites),
+            "unrestricted": len(self.unrestricted_sites),
+        }
+
+    def extras(self) -> List[str]:
+        """The 'Extras' column of Table 3."""
+        out: List[str] = []
+        if self.uses_value_prediction:
+            out.append("Value")
+        if self.uses_control_speculation:
+            out.append("Control")
+        if self.uses_io_deferral:
+            out.append("I/O")
+        return out
+
+    def describe(self) -> str:
+        lines = [f"Heap assignment for {self.loop}:"]
+        for kind in (HeapKind.PRIVATE, HeapKind.SHORTLIVED, HeapKind.READONLY,
+                     HeapKind.REDUX, HeapKind.UNRESTRICTED):
+            sites = sorted(self.sites_of(kind))
+            if sites:
+                lines.append(f"  {kind.name:<12} {', '.join(sites)}")
+        if self.predictions:
+            lines.append("  value predictions: " +
+                         "; ".join(str(p) for p in self.predictions))
+        if self.io_sites:
+            lines.append(f"  deferred I/O sites: {len(self.io_sites)}")
+        return "\n".join(lines)
+
+
+def classify(profile: LoopProfile) -> HeapAssignment:
+    """Algorithm 1, driven by the loop profile."""
+    assignment = HeapAssignment(loop=profile.ref)
+
+    read = set(profile.read_sites)
+    write = set(profile.write_sites)
+    redux_fp = set(profile.redux_sites)
+
+    # Short-lived: allocated and freed within one iteration, and actually
+    # part of the loop's footprint.
+    short_lived = profile.short_lived_sites & (read | write | redux_fp)
+
+    # Reduction criterion: updated *only* through the reduction operator.
+    redux = {o for o in redux_fp if o not in read and o not in write}
+    for o in redux:
+        assignment.redux_ops[o] = profile.redux_ops[o]
+
+    # Cross-iteration flow dependences, minus those value prediction can
+    # remove.  A prediction only helps if it covers *every* dependence on
+    # its object.
+    deps_by_obj: Dict[str, Set[FlowDep]] = {}
+    for dep in profile.flow_deps:
+        deps_by_obj.setdefault(dep.obj_site, set()).add(dep)
+
+    predicted_deps: Set[FlowDep] = set()
+    predictions_by_obj: Dict[str, List[ValuePrediction]] = {}
+    for vp, deps in profile.value_predictions.items():
+        predictions_by_obj.setdefault(vp.obj_site, []).append(vp)
+        predicted_deps |= deps
+
+    unrestricted: Set[str] = set()
+    for obj, deps in deps_by_obj.items():
+        if obj in short_lived or obj in redux:
+            continue
+        if deps <= predicted_deps:
+            # Every dependence removable: commit to the predictions.
+            for vp in predictions_by_obj.get(obj, []):
+                assignment.predictions.append(vp)
+            assignment.removed_deps |= deps
+        else:
+            unrestricted.add(obj)
+            assignment.residual_deps |= deps
+
+    private = write - short_lived - unrestricted - redux
+    read_only = read - short_lived - unrestricted - redux - private
+
+    for site in short_lived:
+        assignment.site_heaps[site] = HeapKind.SHORTLIVED
+    for site in redux:
+        assignment.site_heaps[site] = HeapKind.REDUX
+    for site in unrestricted:
+        assignment.site_heaps[site] = HeapKind.UNRESTRICTED
+    for site in private:
+        assignment.site_heaps[site] = HeapKind.PRIVATE
+    for site in read_only:
+        assignment.site_heaps[site] = HeapKind.READONLY
+
+    assignment.io_sites = set(profile.io_sites)
+    assignment.unexecuted_blocks = set(profile.unexecuted_blocks)
+    assignment.uses_control_speculation = bool(profile.unexecuted_blocks)
+    return assignment
+
+
+def get_footprint(
+    module: Module, fn: Function, blocks, pta: Optional[PointsToAnalysis] = None,
+    _seen: Optional[Set[Function]] = None,
+) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Algorithm 2, static version: (read, write, redux) footprints of a
+    statement region, recursing into callees.  Object names are abstract
+    points-to objects; TOP contributes the pseudo-site ``<any>``."""
+    pta = pta or PointsToAnalysis(module)
+    _seen = _seen if _seen is not None else set()
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    redux: Set[str] = set()
+
+    redux_map = reduction_sites(fn)
+
+    def objects_of(ptr) -> Set[str]:
+        s = pta.points_to(ptr)
+        if s.is_top:
+            return {"<any>"}
+        return {str(o) for o in s.objects}
+
+    for bb in blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, Load):
+                (redux if inst in redux_map else reads).update(
+                    objects_of(inst.pointer))
+            elif isinstance(inst, Store):
+                (redux if inst in redux_map else writes).update(
+                    objects_of(inst.pointer))
+            elif isinstance(inst, Call):
+                callee = inst.callee
+                if callee.is_declaration or callee in _seen:
+                    continue
+                _seen.add(callee)
+                r, w, x = get_footprint(module, callee, callee.blocks, pta, _seen)
+                reads |= r
+                writes |= w
+                redux |= x
+    return reads, writes, redux

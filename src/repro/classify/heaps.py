@@ -1,0 +1,54 @@
+"""Logical heaps and their address-space encoding (§3.2, §5.1).
+
+Each memory object is assigned to one of five logical heaps.  At runtime
+every heap occupies a fixed virtual range whose base encodes a 3-bit tag
+in pointer bits 44–46, so
+
+* a separation check is two bit operations on the pointer value, and
+* the shadow-metadata address of a private byte is ``addr | SHADOW_BIT``
+  (the private and shadow tags differ in exactly one bit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..interp.memory import TAG_SHIFT, heap_base_for_tag
+
+
+class HeapKind(enum.IntEnum):
+    """The five semantic heaps, plus the shadow heap backing privacy
+    metadata.  Values are the 3-bit address tags."""
+
+    PRIVATE = 0b001
+    REDUX = 0b010
+    SHORTLIVED = 0b011
+    READONLY = 0b100
+    UNRESTRICTED = 0b110
+    # Shadow differs from PRIVATE only in bit 2 (0b001 -> 0b101): the
+    # shadow address of a private byte is one OR away (§5.1).
+    SHADOW = 0b101
+
+    @property
+    def base(self) -> int:
+        return heap_base_for_tag(int(self))
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Bit that maps a private-heap address to its shadow-heap twin.
+SHADOW_BIT = (HeapKind.SHADOW ^ HeapKind.PRIVATE) << TAG_SHIFT
+
+#: Heaps whose loop-carried dependences are removed by privatization.
+RELAXED_HEAPS = (HeapKind.PRIVATE, HeapKind.SHORTLIVED, HeapKind.REDUX)
+
+
+def shadow_address(private_addr: int) -> int:
+    """Shadow-metadata byte for a private byte — a single bitwise OR."""
+    return private_addr | SHADOW_BIT
+
+
+def tag_matches(addr: int, kind: HeapKind) -> bool:
+    """The runtime separation check: does the pointer carry this tag?"""
+    return (addr >> TAG_SHIFT) & 0x7 == int(kind)

@@ -1,0 +1,10 @@
+"""MiniC frontend: lexer, parser, and IR lowering."""
+
+from .lexer import CompileError, Lexer, TokKind, Token, tokenize
+from .lower import Lowerer, compile_minic
+from .parser import Parser, parse
+
+__all__ = [
+    "CompileError", "Lexer", "Lowerer", "Parser", "TokKind", "Token",
+    "compile_minic", "parse", "tokenize",
+]

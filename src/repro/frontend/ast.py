@@ -1,0 +1,213 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# -- type expressions ---------------------------------------------------------
+
+
+@dataclass
+class TypeExpr(Node):
+    """A parsed type: base name plus pointer depth and array dimensions."""
+
+    base: str = "int"            # "void"|"char"|"int"|"unsigned"|"long"|"double"|struct name
+    is_struct: bool = False
+    pointer_depth: int = 0
+    array_dims: Tuple[int, ...] = ()
+
+    def with_pointer(self) -> "TypeExpr":
+        return TypeExpr(self.line, self.col, self.base, self.is_struct,
+                        self.pointer_depth + 1, self.array_dims)
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                 # "-" "!" "~" "*" "&" "++" "--" "p++" "p--"
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="                # "=" "+=" "-=" ...
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    base: Optional[Expr] = None
+    field_name: str = ""
+    arrow: bool = False          # True for ``->``, False for ``.``
+
+
+@dataclass
+class CastExpr(Expr):
+    type: Optional[TypeExpr] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    type: Optional[TypeExpr] = None
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: Optional[TypeExpr] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None      # DeclStmt or ExprStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top level -------------------------------------------------------------------------
+
+
+@dataclass
+class StructDef(Node):
+    name: str = ""
+    fields: List[Tuple[TypeExpr, str]] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDef(Node):
+    type: Optional[TypeExpr] = None
+    name: str = ""
+    init: Optional[Expr] = None
+    is_const: bool = False
+
+
+@dataclass
+class Param(Node):
+    type: Optional[TypeExpr] = None
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: Optional[TypeExpr] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    structs: List[StructDef] = field(default_factory=list)
+    globals: List[GlobalDef] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,237 @@
+"""Lexer for MiniC, the C subset the workloads are written in.
+
+MiniC covers the C features that matter to the paper's argument: pointers,
+type casts, structs, fixed-size arrays, dynamic allocation, and ordinary
+control flow.  The evaluated programs (dijkstra, blackscholes, swaptions,
+alvinn, enc-md5) are all expressed in it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class CompileError(Exception):
+    """Raised for lexical, syntactic, and semantic errors in guest code."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "break", "char", "continue", "const", "double", "else", "for", "if",
+    "int", "long", "return", "sizeof", "struct", "unsigned", "void", "while",
+}
+
+# Longest-match-first punctuation table.
+PUNCTUATION = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+@dataclass
+class Token:
+    kind: TokKind
+    text: str
+    value: object = None
+    line: int = 0
+    col: int = 0
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<minic>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.source[self.pos:self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                break
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokKind.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self.line, self.col
+        if self.pos >= len(self.source):
+            return Token(TokKind.EOF, "", line=line, col=col)
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start:self.pos]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            return Token(kind, text, line=line, col=col)
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+
+        if ch == "'":
+            return self._lex_char(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+
+        for punct in PUNCTUATION:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokKind.PUNCT, punct, line=line, col=col)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            text = self.source[start:self.pos]
+            value = float(text) if is_float else int(text)
+        # Integer suffixes (L, U, UL) are accepted and ignored.
+        while self._peek() and self._peek() in "uUlL" and not is_float:
+            text += self._advance()
+        kind = TokKind.FLOAT if is_float else TokKind.INT
+        return Token(kind, text, value, line=line, col=col)
+
+    def _read_escape(self) -> str:
+        self._advance()  # backslash
+        ch = self._advance()
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        if ch == "x":
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise self._error("\\x with no hex digits")
+            return chr(int(digits, 16))
+        raise self._error(f"unknown escape \\{ch}")
+
+    def _lex_char(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            ch = self._read_escape()
+        else:
+            ch = self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokKind.CHAR, f"'{ch}'", ord(ch), line=line, col=col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._read_escape())
+            else:
+                chars.append(self._advance())
+        text = "".join(chars)
+        return Token(TokKind.STRING, text, text, line=line, col=col)
+
+
+def tokenize(source: str, filename: str = "<minic>") -> List[Token]:
+    return Lexer(source, filename).tokens()

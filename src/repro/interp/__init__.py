@@ -1,0 +1,23 @@
+"""IR interpreter and simulated guest memory."""
+
+from .errors import GuestError, GuestExit, GuestFault, GuestTimeout, Misspeculation
+from .interpreter import BlockBreakpoint, Frame, Hook, Interpreter
+from .memory import (
+    ALIGNMENT,
+    GLOBAL_BASE,
+    HEAP_BASE,
+    PAGE_SIZE,
+    STACK_BASE,
+    TAG_SHIFT,
+    AddressSpace,
+    MemoryObject,
+    heap_base_for_tag,
+    heap_tag_of,
+)
+
+__all__ = [
+    "ALIGNMENT", "AddressSpace", "BlockBreakpoint", "Frame", "GLOBAL_BASE",
+    "GuestError", "GuestExit", "GuestFault", "GuestTimeout", "HEAP_BASE",
+    "Hook", "Interpreter", "MemoryObject", "Misspeculation", "PAGE_SIZE",
+    "STACK_BASE", "TAG_SHIFT", "heap_base_for_tag", "heap_tag_of",
+]

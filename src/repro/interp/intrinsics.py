@@ -1,0 +1,181 @@
+"""Library intrinsics for the guest: allocation, string/byte ops, printf,
+math, and a deterministic PRNG.
+
+Each implementation receives the interpreter, the call instruction, and
+already-evaluated argument values, and returns the call's result value (or
+None for void).  The Privateer runtime intrinsics (``h_alloc``,
+``check_heap``, …) are installed by :mod:`repro.runtime`; in a plain
+sequential run they fall back to the neutral behaviours defined here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from .errors import GuestExit, GuestFault
+from .memory import HEAP_BASE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+
+def _i_malloc(interp: "Interpreter", inst, args: List) -> int:
+    size = int(args[0])
+    obj = interp.space.allocate(
+        size, interp.object_name(inst), "heap", HEAP_BASE, site=inst.site_id()
+    )
+    interp.notify_alloc(obj, inst)
+    return obj.base
+
+
+def _i_calloc(interp: "Interpreter", inst, args: List) -> int:
+    count, size = int(args[0]), int(args[1])
+    obj = interp.space.allocate(
+        count * size, interp.object_name(inst), "heap", HEAP_BASE, site=inst.site_id()
+    )
+    interp.notify_alloc(obj, inst)
+    return obj.base
+
+
+def _i_free(interp: "Interpreter", inst, args: List) -> None:
+    addr = int(args[0])
+    if addr == 0:
+        return  # free(NULL) is a no-op, as in C
+    obj = interp.space.free(addr)
+    interp.notify_free(obj, inst)
+
+
+def _i_memset(interp: "Interpreter", inst, args: List) -> int:
+    addr, value, size = int(args[0]), int(args[1]), int(args[2])
+    if size:
+        interp.notify_store(inst, addr, size)
+        interp.space.fill(addr, value, size)
+    return addr
+
+
+def _i_memcpy(interp: "Interpreter", inst, args: List) -> int:
+    dst, src, size = int(args[0]), int(args[1]), int(args[2])
+    if size:
+        interp.notify_load(inst, src, size)
+        interp.notify_store(inst, dst, size)
+        interp.space.copy(dst, src, size)
+    return dst
+
+
+def format_printf(interp: "Interpreter", fmt: str, args: List) -> str:
+    """Minimal printf formatter: %d %ld %u %x %c %s %f %g %e %%, with
+    optional width/precision digits which are passed through to Python."""
+    out: List[str] = []
+    i = 0
+    argi = 0
+    n = len(fmt)
+    while i < n:
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        j = i + 1
+        spec = ""
+        while j < n and fmt[j] in "-+ 0123456789.*lhz":
+            if fmt[j] != "l" and fmt[j] != "h" and fmt[j] != "z":
+                spec += fmt[j]
+            j += 1
+        if j >= n:
+            out.append("%")
+            break
+        conv = fmt[j]
+        if conv == "%":
+            out.append("%")
+        else:
+            arg = args[argi] if argi < len(args) else 0
+            argi += 1
+            if conv in "di":
+                out.append(format(int(arg), spec + "d"))
+            elif conv == "u":
+                out.append(format(int(arg) & 0xFFFFFFFFFFFFFFFF, spec + "d"))
+            elif conv in "xX":
+                out.append(format(int(arg) & 0xFFFFFFFFFFFFFFFF, spec + conv))
+            elif conv == "c":
+                out.append(chr(int(arg) & 0xFF))
+            elif conv == "s":
+                out.append(interp.space.read_cstring(int(arg)))
+            elif conv in "feEgG":
+                out.append(format(float(arg), spec + conv))
+            elif conv == "p":
+                out.append(hex(int(arg)))
+            else:
+                raise GuestFault(f"printf: unsupported conversion %{conv}")
+        i = j + 1
+    return "".join(out)
+
+
+def _i_printf(interp: "Interpreter", inst, args: List) -> int:
+    fmt = interp.space.read_cstring(int(args[0]))
+    text = format_printf(interp, fmt, args[1:])
+    interp.emit_output(text)
+    return len(text)
+
+
+def _i_puts(interp: "Interpreter", inst, args: List) -> int:
+    text = interp.space.read_cstring(int(args[0]))
+    interp.emit_output(text + "\n")
+    return 0
+
+
+def _i_exit(interp: "Interpreter", inst, args: List) -> None:
+    raise GuestExit(int(args[0]) if args else 0)
+
+
+def _i_abs(interp: "Interpreter", inst, args: List) -> int:
+    return abs(int(args[0]))
+
+
+def _wrap_math(fn: Callable[..., float]) -> Callable:
+    def impl(interp: "Interpreter", inst, args: List) -> float:
+        try:
+            return float(fn(*[float(a) for a in args]))
+        except (ValueError, OverflowError):
+            return float("nan")
+    return impl
+
+
+def _i_rand_seed(interp: "Interpreter", inst, args: List) -> None:
+    seed = int(args[0]) & 0xFFFFFFFFFFFFFFFF
+    interp.prng_state = seed or 0x9E3779B97F4A7C15
+
+
+def _i_rand_int(interp: "Interpreter", inst, args: List) -> int:
+    """xorshift64*: deterministic, fast, well distributed."""
+    x = interp.prng_state
+    x ^= (x >> 12)
+    x ^= (x << 25) & 0xFFFFFFFFFFFFFFFF
+    x ^= (x >> 27)
+    interp.prng_state = x
+    value = (x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+    return (value >> 16) & 0x7FFFFFFF  # non-negative, fits an i32
+
+
+def default_intrinsics() -> Dict[str, Callable]:
+    return {
+        "malloc": _i_malloc,
+        "calloc": _i_calloc,
+        "free": _i_free,
+        "memset": _i_memset,
+        "memcpy": _i_memcpy,
+        "printf": _i_printf,
+        "puts": _i_puts,
+        "exit": _i_exit,
+        "abs": _i_abs,
+        "sqrt": _wrap_math(math.sqrt),
+        "exp": _wrap_math(math.exp),
+        "log": _wrap_math(math.log),
+        "sin": _wrap_math(math.sin),
+        "cos": _wrap_math(math.cos),
+        "pow": _wrap_math(math.pow),
+        "fabs": _wrap_math(abs),
+        "floor": _wrap_math(math.floor),
+        "rand_seed": _i_rand_seed,
+        "rand_int": _i_rand_int,
+    }

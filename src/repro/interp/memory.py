@@ -1,0 +1,283 @@
+"""Simulated guest memory: a 64-bit address space with named objects.
+
+This substrate replaces the paper's POSIX ``shm``/``mmap`` machinery.  Key
+properties preserved from the paper's design:
+
+* **Heap tags in pointer bits.**  Logical heaps live at fixed virtual
+  ranges whose base encodes a 3-bit tag in address bits 44–46 (§5.1), so a
+  separation check is two bit operations on the pointer value, and the
+  shadow address of a private byte is ``addr | SHADOW_BIT``.
+* **Interval object map.**  Every allocation is a named object occupying a
+  half-open address interval; any interior pointer resolves to (object,
+  offset), which is what the pointer-to-object profiler records.
+* **Copy-on-write overlays.**  A child address space sees its parent's
+  bytes until it writes them, mirroring per-worker ``fork`` isolation;
+  dirty pages are tracked at 4 KiB granularity for checkpoint costing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .errors import GuestFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+#: Heap-tag field location (paper §5.1: bits 44-46 of the address).
+TAG_SHIFT = 44
+TAG_MASK = 0x7
+
+#: Region bases for ordinary (untagged) memory.
+GLOBAL_BASE = 0x0000_1000_0000
+STACK_BASE = 0x0000_2000_0000
+HEAP_BASE = 0x0000_3000_0000
+
+ALIGNMENT = 16
+
+
+def heap_tag_of(addr: int) -> int:
+    """Extract the 3-bit logical-heap tag from a pointer value."""
+    return (addr >> TAG_SHIFT) & TAG_MASK
+
+
+def heap_base_for_tag(tag: int) -> int:
+    if not 1 <= tag <= 7:
+        raise ValueError(f"heap tag must be 1..7, got {tag}")
+    return tag << TAG_SHIFT
+
+
+class MemoryObject:
+    """A contiguous allocation: ``[base, base+size)`` plus its identity.
+
+    ``name`` is the profiler-visible object name (static site + dynamic
+    context for heap/stack objects, the symbol name for globals).
+    """
+
+    __slots__ = ("base", "size", "data", "name", "kind", "alive", "site", "writable")
+
+    def __init__(self, base: int, size: int, name: str, kind: str,
+                 site: str = "", writable: bool = True):
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.name = name
+        self.kind = kind  # "global" | "stack" | "heap" | "logical"
+        self.site = site  # static allocation site id ("" for globals)
+        self.alive = True
+        self.writable = writable
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def tag(self) -> int:
+        return heap_tag_of(self.base)
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def __repr__(self) -> str:
+        return f"<MemoryObject {self.name} @0x{self.base:x} +{self.size}>"
+
+
+class AddressSpace:
+    """Byte-addressable memory backed by named objects.
+
+    Lookup is via a page map (page number -> objects overlapping the
+    page).  Allocation is bump-pointer per region — addresses are never
+    reused, so stale pointers fault instead of silently aliasing, which is
+    what the lifetime profiler and the short-lived heap validation rely
+    on.
+    """
+
+    def __init__(self, parent: Optional["AddressSpace"] = None):
+        self.parent = parent
+        self._pages: Dict[int, List[MemoryObject]] = {}
+        if parent is None:
+            self._cursors: Dict[int, int] = {
+                GLOBAL_BASE: GLOBAL_BASE,
+                STACK_BASE: STACK_BASE,
+                HEAP_BASE: HEAP_BASE,
+            }
+        else:
+            self._cursors = dict(parent._cursors)
+        self._cow_copies: Dict[int, MemoryObject] = {}  # parent obj base -> copy
+        self.dirty_pages: Set[int] = set()
+        self.bytes_allocated = 0
+        # Dirty-page tracking only matters for worker overlays (checkpoint
+        # costing); skip the bookkeeping on the base space.
+        self._track_dirty = parent is not None
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, obj: MemoryObject) -> None:
+        first = obj.base >> PAGE_SHIFT
+        last = (obj.end - 1) >> PAGE_SHIFT if obj.size else first
+        for page in range(first, last + 1):
+            self._pages.setdefault(page, []).append(obj)
+
+    def _unregister(self, obj: MemoryObject) -> None:
+        first = obj.base >> PAGE_SHIFT
+        last = (obj.end - 1) >> PAGE_SHIFT if obj.size else first
+        for page in range(first, last + 1):
+            bucket = self._pages.get(page)
+            if bucket is not None and obj in bucket:
+                bucket.remove(obj)
+                if not bucket:
+                    del self._pages[page]
+
+    # -- allocation ----------------------------------------------------------
+
+    def region_cursor(self, region_base: int) -> int:
+        if region_base not in self._cursors:
+            self._cursors[region_base] = region_base
+        return self._cursors[region_base]
+
+    def allocate(
+        self,
+        size: int,
+        name: str,
+        kind: str,
+        region_base: int = HEAP_BASE,
+        site: str = "",
+        writable: bool = True,
+    ) -> MemoryObject:
+        if size < 0:
+            raise GuestFault(f"negative allocation size {size}")
+        size = max(size, 1)
+        cursor = self.region_cursor(region_base)
+        base = (cursor + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+        self._cursors[region_base] = base + size
+        obj = MemoryObject(base, size, name, kind, site, writable)
+        self._register(obj)
+        self.bytes_allocated += size
+        return obj
+
+    def free(self, addr: int) -> MemoryObject:
+        obj, offset = self.find(addr)
+        if offset != 0:
+            raise GuestFault(f"free of interior pointer 0x{addr:x} into {obj.name}")
+        if not obj.alive:
+            raise GuestFault(f"double free of {obj.name}")
+        obj.alive = False
+        self._unregister(obj)
+        return obj
+
+    # -- lookup -----------------------------------------------------------------
+
+    def find(self, addr: int, size: int = 1) -> Tuple[MemoryObject, int]:
+        """Resolve an address to (object, offset) or fault."""
+        if addr == 0:
+            raise GuestFault("null pointer dereference")
+        page = addr >> PAGE_SHIFT
+        space: Optional[AddressSpace] = self
+        while space is not None:
+            for obj in space._pages.get(page, ()):
+                if obj.alive and obj.contains(addr, size):
+                    # Prefer a local COW copy when one exists.
+                    if space is not self:
+                        copy = self._cow_copies.get(obj.base)
+                        if copy is not None and copy.contains(addr, size):
+                            return copy, addr - copy.base
+                    return obj, addr - obj.base
+            space = space.parent
+        raise GuestFault(f"wild pointer 0x{addr:x} (size {size})")
+
+    def try_find(self, addr: int, size: int = 1) -> Optional[Tuple[MemoryObject, int]]:
+        try:
+            return self.find(addr, size)
+        except GuestFault:
+            return None
+
+    def object_for(self, addr: int) -> MemoryObject:
+        return self.find(addr)[0]
+
+    # -- copy-on-write -------------------------------------------------------------
+
+    def _writable_object(self, addr: int, size: int) -> Tuple[MemoryObject, int]:
+        obj, offset = self.find(addr, size)
+        if not obj.writable:
+            raise GuestFault(f"write to read-only object {obj.name} @0x{addr:x}")
+        if self.parent is not None and not self._owns(obj):
+            copy = self._cow_copies.get(obj.base)
+            if copy is None:
+                copy = MemoryObject(obj.base, obj.size, obj.name, obj.kind,
+                                    obj.site, obj.writable)
+                copy.data[:] = obj.data
+                self._cow_copies[obj.base] = copy
+                self._register(copy)
+            obj, offset = copy, addr - copy.base
+        return obj, offset
+
+    def _owns(self, obj: MemoryObject) -> bool:
+        for candidate in self._pages.get(obj.base >> PAGE_SHIFT, ()):
+            if candidate is obj:
+                return True
+        return False
+
+    def _touch_pages(self, addr: int, size: int) -> None:
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self.dirty_pages.add(page)
+
+    # -- typed access -----------------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        obj, offset = self.find(addr, size)
+        return bytes(obj.data[offset:offset + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        obj, offset = self._writable_object(addr, len(data))
+        obj.data[offset:offset + len(data)] = data
+        if self._track_dirty:
+            self._touch_pages(addr, len(data))
+
+    def read_int(self, addr: int, size: int, signed: bool) -> int:
+        obj, offset = self.find(addr, size)
+        return int.from_bytes(obj.data[offset:offset + size], "little",
+                              signed=signed)
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        obj, offset = self._writable_object(addr, size)
+        mask = (1 << (size * 8)) - 1
+        obj.data[offset:offset + size] = (value & mask).to_bytes(size, "little")
+        if self._track_dirty:
+            self._touch_pages(addr, size)
+
+    def read_float(self, addr: int, size: int = 8) -> float:
+        obj, offset = self.find(addr, size)
+        return struct.unpack(
+            "<d" if size == 8 else "<f", obj.data[offset:offset + size])[0]
+
+    def write_float(self, addr: int, value: float, size: int = 8) -> None:
+        self.write_bytes(addr, struct.pack("<d" if size == 8 else "<f", value))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        obj, offset = self.find(addr)
+        end = obj.data.find(b"\x00", offset)
+        if end == -1 or end - offset > limit:
+            raise GuestFault(f"unterminated string at 0x{addr:x}")
+        return obj.data[offset:end].decode("utf-8", errors="replace")
+
+    def fill(self, addr: int, value: int, size: int) -> None:
+        self.write_bytes(addr, bytes([value & 0xFF]) * size)
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        self.write_bytes(dst, self.read_bytes(src, size))
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def live_objects(self) -> Iterable[MemoryObject]:
+        seen: Set[int] = set()
+        for bucket in self._pages.values():
+            for obj in bucket:
+                if obj.alive and id(obj) not in seen:
+                    seen.add(id(obj))
+                    yield obj
+
+    def cow_copied_objects(self) -> List[MemoryObject]:
+        return list(self._cow_copies.values())

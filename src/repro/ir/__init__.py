@@ -1,0 +1,93 @@
+"""Typed mini-IR: the compiler substrate for the Privateer reproduction.
+
+Public surface::
+
+    from repro.ir import (
+        Module, Function, BasicBlock, IRBuilder,
+        types, values, instructions,
+        format_module, verify_module,
+    )
+"""
+
+from . import instructions, types, values
+from .builder import IRBuilder
+from .instructions import (
+    Alloca,
+    BinOp,
+    BinOpKind,
+    Br,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Opcode,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .printer import format_function, format_instruction, format_module
+from .types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    IRTypeError,
+    PointerType,
+    StructField,
+    StructType,
+    Type,
+    TypeContext,
+    ptr,
+)
+from .values import (
+    Argument,
+    ConstFloat,
+    ConstInt,
+    ConstNull,
+    Constant,
+    GlobalString,
+    GlobalValue,
+    GlobalVariable,
+    Undef,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .verifier import VerificationError, verify_module
+
+__all__ = [
+    "Alloca", "ArrayType", "Argument", "BOOL", "BasicBlock", "BinOp",
+    "BinOpKind", "Br", "Call", "Cast", "CastKind", "CmpPred", "CondBr",
+    "ConstFloat", "ConstInt", "ConstNull", "Constant", "F32", "F64", "FCmp",
+    "FloatType", "Function", "FunctionType", "GlobalString", "GlobalValue",
+    "GlobalVariable", "I16", "I32", "I64", "I8", "ICmp", "IRBuilder",
+    "IRTypeError", "Instruction", "IntType", "Load", "Module", "Opcode", "Phi",
+    "PointerType", "PtrAdd", "Ret", "Select", "Store", "StructField",
+    "StructType", "Type", "TypeContext", "U16", "U32", "U64", "U8", "Undef",
+    "Unreachable", "VOID", "Value", "VerificationError", "const_bool",
+    "const_float", "const_int", "format_function", "format_instruction",
+    "format_module", "instructions", "ptr", "types", "values",
+    "verify_module",
+]

@@ -1,0 +1,229 @@
+"""IRBuilder: convenience layer for constructing IR, in the style of
+``llvm::IRBuilder``.
+
+The builder tracks an insertion point (a basic block) and provides one
+method per instruction.  It also performs the small amount of implicit
+coercion the frontend relies on (wrapping Python ints/floats in constants).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    BinOpKind,
+    Br,
+    Call,
+    Cast,
+    CastKind,
+    CmpPred,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import F64, FloatType, I64, IntType, IRTypeError, Type
+from .values import ConstFloat, ConstInt, Value
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    def __init__(self, module: Module, block: Optional[BasicBlock] = None):
+        self.module = module
+        self.block = block
+
+    # -- positioning ---------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise IRTypeError("builder has no insertion point")
+        return self.block.parent
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRTypeError("builder has no insertion point")
+        self.block.append(inst)
+        return inst
+
+    # -- operand coercion ----------------------------------------------------
+
+    def _coerce(self, v: Operand, like: Optional[Type] = None) -> Value:
+        if isinstance(v, Value):
+            return v
+        if isinstance(v, bool):
+            return ConstInt(IntType(1), int(v))
+        if isinstance(v, int):
+            ty = like if isinstance(like, IntType) else I64
+            return ConstInt(ty, v)
+        if isinstance(v, float):
+            ty = like if isinstance(like, FloatType) else F64
+            return ConstFloat(ty, v)
+        raise IRTypeError(f"cannot use {v!r} as an operand")
+
+    def _coerce_pair(self, a: Operand, b: Operand) -> tuple:
+        if isinstance(a, Value) and not isinstance(b, Value):
+            return a, self._coerce(b, a.type)
+        if isinstance(b, Value) and not isinstance(a, Value):
+            return self._coerce(a, b.type), b
+        return self._coerce(a), self._coerce(b)
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, type_: Type, count: Operand = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(type_, self._coerce(count, I64), name))  # type: ignore[return-value]
+
+    def load(self, pointer: Value, type_: Type, name: str = "") -> Load:
+        return self._emit(Load(pointer, type_, name))  # type: ignore[return-value]
+
+    def store(self, value: Operand, pointer: Value) -> Store:
+        return self._emit(Store(self._coerce(value), pointer))  # type: ignore[return-value]
+
+    def ptradd(
+        self,
+        base: Value,
+        offset: Operand,
+        pointee: Optional[Type] = None,
+        name: str = "",
+    ) -> PtrAdd:
+        return self._emit(PtrAdd(base, self._coerce(offset, I64), pointee, name))  # type: ignore[return-value]
+
+    # -- arithmetic ------------------------------------------------------------
+
+    _FOLDABLE_INT_OPS = {
+        BinOpKind.ADD: lambda a, b: a + b,
+        BinOpKind.SUB: lambda a, b: a - b,
+        BinOpKind.MUL: lambda a, b: a * b,
+        BinOpKind.AND: lambda a, b: a & b,
+        BinOpKind.OR: lambda a, b: a | b,
+        BinOpKind.XOR: lambda a, b: a ^ b,
+        BinOpKind.SHL: lambda a, b: a << (b & 63),
+    }
+
+    def binop(self, kind: BinOpKind, a: Operand, b: Operand, name: str = ""):
+        lhs, rhs = self._coerce_pair(a, b)
+        # Fold constant integer arithmetic at build time; this removes the
+        # literal-heavy address computations the frontend generates.
+        if (
+            isinstance(lhs, ConstInt)
+            and isinstance(rhs, ConstInt)
+            and kind in self._FOLDABLE_INT_OPS
+            and isinstance(lhs.type, IntType)
+        ):
+            value = self._FOLDABLE_INT_OPS[kind](lhs.value, rhs.value)
+            return ConstInt(lhs.type, value)
+        return self._emit(BinOp(kind, lhs, rhs, name))  # type: ignore[return-value]
+
+    def add(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.ADD, a, b, name)
+
+    def sub(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.SUB, a, b, name)
+
+    def mul(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.MUL, a, b, name)
+
+    def div(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.DIV, a, b, name)
+
+    def rem(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.REM, a, b, name)
+
+    def and_(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.AND, a, b, name)
+
+    def or_(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.OR, a, b, name)
+
+    def xor(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.XOR, a, b, name)
+
+    def shl(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.SHL, a, b, name)
+
+    def shr(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.SHR, a, b, name)
+
+    def fadd(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.FADD, a, b, name)
+
+    def fsub(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.FSUB, a, b, name)
+
+    def fmul(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.FMUL, a, b, name)
+
+    def fdiv(self, a: Operand, b: Operand, name: str = "") -> BinOp:
+        return self.binop(BinOpKind.FDIV, a, b, name)
+
+    # -- comparisons -------------------------------------------------------------
+
+    def icmp(self, pred: CmpPred, a: Operand, b: Operand, name: str = "") -> ICmp:
+        lhs, rhs = self._coerce_pair(a, b)
+        return self._emit(ICmp(pred, lhs, rhs, name))  # type: ignore[return-value]
+
+    def fcmp(self, pred: CmpPred, a: Operand, b: Operand, name: str = "") -> FCmp:
+        lhs, rhs = self._coerce_pair(a, b)
+        return self._emit(FCmp(pred, lhs, rhs, name))  # type: ignore[return-value]
+
+    # -- casts ---------------------------------------------------------------------
+
+    def cast(self, kind: CastKind, value: Value, to_type: Type, name: str = ""):
+        # Fold integer width/sign changes of constants at build time.
+        if isinstance(value, ConstInt) and isinstance(to_type, IntType) and kind in (
+            CastKind.TRUNC, CastKind.ZEXT, CastKind.SEXT,
+        ):
+            iv = value.value
+            if kind is CastKind.ZEXT and isinstance(value.type, IntType):
+                iv &= (1 << value.type.bits) - 1
+            return ConstInt(to_type, iv)
+        if isinstance(value, ConstInt) and isinstance(to_type, FloatType) and kind in (
+            CastKind.SITOFP, CastKind.UITOFP,
+        ):
+            iv = value.value
+            if kind is CastKind.UITOFP and isinstance(value.type, IntType):
+                iv &= (1 << value.type.bits) - 1
+            return ConstFloat(to_type, float(iv))
+        return self._emit(Cast(kind, value, to_type, name))  # type: ignore[return-value]
+
+    def select(self, cond: Value, a: Operand, b: Operand, name: str = "") -> Select:
+        lhs, rhs = self._coerce_pair(a, b)
+        return self._emit(Select(cond, lhs, rhs, name))  # type: ignore[return-value]
+
+    # -- calls / intrinsics ----------------------------------------------------------
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Call:
+        return self._emit(Call(callee, args, name))  # type: ignore[return-value]
+
+    def call_intrinsic(self, name: str, args: Sequence[Operand]) -> Call:
+        fn = self.module.get_or_declare_intrinsic(name)
+        coerced: List[Value] = [self._coerce(a) for a in args]
+        return self._emit(Call(fn, coerced))  # type: ignore[return-value]
+
+    # -- control flow ------------------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Br:
+        return self._emit(Br(target))  # type: ignore[return-value]
+
+    def condbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> CondBr:
+        return self._emit(CondBr(cond, if_true, if_false))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Operand] = None) -> Ret:
+        coerced = self._coerce(value) if value is not None else None
+        return self._emit(Ret(coerced))  # type: ignore[return-value]
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())  # type: ignore[return-value]

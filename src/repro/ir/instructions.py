@@ -1,0 +1,423 @@
+"""Instruction set of the Privateer mini-IR.
+
+The instruction set intentionally mirrors the LLVM subset that the paper's
+compiler manipulates: stack allocation, loads/stores through pointers,
+pointer arithmetic, integer/float arithmetic, comparisons, casts, calls,
+and structured control flow via basic-block terminators.
+
+Privateer-specific runtime operations (``h_alloc``, ``check_heap``,
+``private_read`` …) are modelled as calls to intrinsics — see
+:data:`PRIVATEER_INTRINSICS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from .types import BOOL, I64, IntType, IRTypeError, PointerType, Type, VOID
+from .values import Value
+
+
+class Opcode(enum.Enum):
+    PHI = "phi"
+    ALLOCA = "alloca"
+    LOAD = "load"
+    STORE = "store"
+    PTRADD = "ptradd"
+    BINOP = "binop"
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    CAST = "cast"
+    SELECT = "select"
+    CALL = "call"
+    BR = "br"
+    CONDBR = "condbr"
+    RET = "ret"
+    UNREACHABLE = "unreachable"
+
+
+class BinOpKind(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"  # arithmetic for signed types, logical for unsigned
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+
+    @property
+    def is_float(self) -> bool:
+        return self.value.startswith("f")
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in (
+            BinOpKind.ADD,
+            BinOpKind.MUL,
+            BinOpKind.AND,
+            BinOpKind.OR,
+            BinOpKind.XOR,
+            BinOpKind.FADD,
+            BinOpKind.FMUL,
+        )
+
+    @property
+    def is_associative(self) -> bool:
+        """Treated-as-associative set for reduction recognition.
+
+        Following the paper (and LRPD), floating-point add/mul are treated
+        as associative for reduction purposes even though they are only
+        approximately so.
+        """
+        return self.is_commutative
+
+
+class CmpPred(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class CastKind(enum.Enum):
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    BITCAST = "bitcast"
+    PTRTOINT = "ptrtoint"
+    INTTOPTR = "inttoptr"
+    SITOFP = "sitofp"
+    UITOFP = "uitofp"
+    FPTOSI = "fptosi"
+    FPTOUI = "fptoui"
+    FPEXT = "fpext"
+    FPTRUNC = "fptrunc"
+
+
+class Instruction(Value):
+    """Base class for all instructions.
+
+    ``operands`` is the authoritative list of value operands — transforms
+    that rewrite operands must go through :meth:`replace_operand` so
+    subclass accessors stay consistent.
+    """
+
+    opcode: Opcode
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name)
+        self.operands: List[Value] = list(operands)
+        self.parent: Optional["BasicBlock"] = None  # set on insertion
+        self.meta: dict = {}
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (Opcode.BR, Opcode.CONDBR, Opcode.RET, Opcode.UNREACHABLE)
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in the operand list; returns
+        the number of replacements."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def site_id(self) -> str:
+        """Stable name for this instruction as a static program point
+        (used by the profilers to name allocation sites and accesses)."""
+        fn = self.parent.parent.name if self.parent is not None else "?"
+        return f"{fn}:{self.uid}"
+
+
+class Phi(Instruction):
+    """SSA phi node.  ``incoming`` maps predecessor blocks to values.
+
+    Phis are created by the mem2reg pass (:mod:`repro.analysis.mem2reg`);
+    the frontend lowers all mutable locals to allocas.
+    """
+
+    opcode = Opcode.PHI
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(type_, [], name)
+        self.incoming: "List[tuple]" = []  # (BasicBlock, Value) pairs
+
+    def add_incoming(self, block: "BasicBlock", value: Value) -> None:
+        self.incoming.append((block, value))
+        self.operands.append(value)
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for bb, v in self.incoming:
+            if bb is block:
+                return v
+        raise IRTypeError(f"phi has no incoming value for block {block.name}")
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        count = super().replace_operand(old, new)
+        self.incoming = [
+            (bb, new if v is old else v) for bb, v in self.incoming
+        ]
+        return count
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``count`` elements of ``allocated_type``.
+
+    Returns a pointer into the current function's stack frame; the slot is
+    deallocated when the frame pops.
+    """
+
+    opcode = Opcode.ALLOCA
+
+    def __init__(self, allocated_type: Type, count: Value, name: str = ""):
+        super().__init__(PointerType(allocated_type), [count], name)
+        self.allocated_type = allocated_type
+
+    @property
+    def count(self) -> Value:
+        return self.operands[0]
+
+
+class Load(Instruction):
+    opcode = Opcode.LOAD
+
+    def __init__(self, pointer: Value, type_: Type, name: str = ""):
+        if not pointer.type.is_pointer():
+            raise IRTypeError(f"load requires a pointer operand, got {pointer.type}")
+        super().__init__(type_, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    opcode = Opcode.STORE
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer():
+            raise IRTypeError(f"store requires a pointer operand, got {pointer.type}")
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class PtrAdd(Instruction):
+    """Pointer plus byte offset.  ``result_pointee`` records the element
+    type the frontend believes lives at the computed address (used only
+    for printing and for typing subsequent loads)."""
+
+    opcode = Opcode.PTRADD
+
+    def __init__(
+        self,
+        base: Value,
+        offset: Value,
+        result_pointee: Optional[Type] = None,
+        name: str = "",
+    ):
+        if not base.type.is_pointer():
+            raise IRTypeError(f"ptradd requires a pointer base, got {base.type}")
+        super().__init__(PointerType(result_pointee), [base, offset], name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def offset(self) -> Value:
+        return self.operands[1]
+
+
+class BinOp(Instruction):
+    opcode = Opcode.BINOP
+
+    def __init__(self, kind: BinOpKind, lhs: Value, rhs: Value, name: str = ""):
+        if lhs.type != rhs.type:
+            raise IRTypeError(f"binop operand mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.kind = kind
+        self.float_op = kind.is_float  # cached for the interpreter hot path
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmp(Instruction):
+    opcode = Opcode.ICMP
+
+    def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str = ""):
+        super().__init__(BOOL, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmp(Instruction):
+    opcode = Opcode.FCMP
+
+    def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str = ""):
+        super().__init__(BOOL, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    opcode = Opcode.CAST
+
+    def __init__(self, kind: CastKind, value: Value, to_type: Type, name: str = ""):
+        super().__init__(to_type, [value], name)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — the ternary operator."""
+
+    opcode = Opcode.SELECT
+
+    def __init__(self, cond: Value, a: Value, b: Value, name: str = ""):
+        if a.type != b.type:
+            raise IRTypeError(f"select arm mismatch: {a.type} vs {b.type}")
+        super().__init__(a.type, [cond, a, b], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+
+class Call(Instruction):
+    """Direct call to a function or intrinsic."""
+
+    opcode = Opcode.CALL
+
+    def __init__(self, callee: "Function", args: Sequence[Value], name: str = ""):
+        super().__init__(callee.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+
+class Br(Instruction):
+    opcode = Opcode.BR
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(VOID, [])
+        self.target = target
+
+
+class CondBr(Instruction):
+    opcode = Opcode.CONDBR
+
+    def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock"):
+        super().__init__(VOID, [cond])
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+
+class Ret(Instruction):
+    opcode = Opcode.RET
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Unreachable(Instruction):
+    opcode = Opcode.UNREACHABLE
+
+    def __init__(self) -> None:
+        super().__init__(VOID, [])
+
+
+# ---------------------------------------------------------------------------
+# Intrinsics
+# ---------------------------------------------------------------------------
+
+#: Library intrinsics available to guest programs (MiniC maps libc-ish
+#: calls onto these).  Each entry is name -> (return kind, purpose).
+LIBRARY_INTRINSICS = {
+    "malloc": "heap allocation",
+    "free": "heap deallocation",
+    "calloc": "zeroed heap allocation",
+    "memset": "byte fill",
+    "memcpy": "byte copy",
+    "printf": "formatted output (deferred under speculation)",
+    "puts": "line output (deferred under speculation)",
+    "exit": "program termination",
+    "abs": "integer absolute value",
+    "sqrt": "float square root",
+    "exp": "float exponential",
+    "log": "float natural logarithm",
+    "sin": "float sine",
+    "cos": "float cosine",
+    "pow": "float power",
+    "fabs": "float absolute value",
+    "floor": "float floor",
+    "rand_seed": "seed the deterministic guest PRNG",
+    "rand_int": "deterministic guest PRNG (xorshift64*)",
+}
+
+#: Runtime intrinsics inserted by the Privateer transformation (§4.4–§4.6).
+PRIVATEER_INTRINSICS = {
+    "h_alloc": "allocate from a logical heap (heap kind as immediate)",
+    "h_dealloc": "free into a logical heap",
+    "check_heap": "separation check: pointer must carry the expected heap tag",
+    "private_read": "privacy check before a load from the private heap",
+    "private_write": "privacy check before a store to the private heap",
+    "redux_update": "register a reduction update (operator as immediate)",
+    "predict_value": "value-prediction check: misspeculate on mismatch",
+    "misspec": "explicit misspeculation trigger",
+    "loop_iter_begin": "parallel-region iteration boundary marker",
+    "loop_iter_end": "parallel-region iteration boundary marker (validates short-lived)",
+}
+
+ALL_INTRINSICS = {**LIBRARY_INTRINSICS, **PRIVATEER_INTRINSICS}

@@ -1,0 +1,124 @@
+"""Textual printer for the mini-IR.
+
+The output format is LLVM-flavoured and is used by the examples to show
+the "before vs after" of the Privateer transformation (Figure 2 of the
+paper), and by tests to assert on structural properties.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    PtrAdd,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import GlobalString, GlobalVariable, Value
+
+
+def _op(v: Value) -> str:
+    return v.short()
+
+
+def format_instruction(inst: Instruction) -> str:
+    if isinstance(inst, Phi):
+        arms = ", ".join(f"[{_op(v)}, %{bb.name}]" for bb, v in inst.incoming)
+        return f"{_op(inst)} = phi {inst.type} {arms}"
+    if isinstance(inst, Alloca):
+        return f"{_op(inst)} = alloca {inst.allocated_type}, count {_op(inst.count)}"
+    if isinstance(inst, Load):
+        return f"{_op(inst)} = load {inst.type}, {_op(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {inst.value.type} {_op(inst.value)}, {_op(inst.pointer)}"
+    if isinstance(inst, PtrAdd):
+        return f"{_op(inst)} = ptradd {_op(inst.base)}, {_op(inst.offset)}"
+    if isinstance(inst, BinOp):
+        return (
+            f"{_op(inst)} = {inst.kind.value} {inst.type} "
+            f"{_op(inst.lhs)}, {_op(inst.rhs)}"
+        )
+    if isinstance(inst, ICmp):
+        return (
+            f"{_op(inst)} = icmp {inst.pred.value} {inst.lhs.type} "
+            f"{_op(inst.lhs)}, {_op(inst.rhs)}"
+        )
+    if isinstance(inst, FCmp):
+        return (
+            f"{_op(inst)} = fcmp {inst.pred.value} {inst.lhs.type} "
+            f"{_op(inst.lhs)}, {_op(inst.rhs)}"
+        )
+    if isinstance(inst, Cast):
+        return f"{_op(inst)} = {inst.kind.value} {_op(inst.value)} to {inst.type}"
+    if isinstance(inst, Select):
+        a, b = inst.operands[1], inst.operands[2]
+        return f"{_op(inst)} = select {_op(inst.cond)}, {_op(a)}, {_op(b)}"
+    if isinstance(inst, Call):
+        args = ", ".join(_op(a) for a in inst.args)
+        prefix = "" if inst.type.is_void() else f"{_op(inst)} = "
+        return f"{prefix}call {inst.callee.short()}({args})"
+    if isinstance(inst, Br):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBr):
+        return (
+            f"condbr {_op(inst.cond)}, label %{inst.if_true.name}, "
+            f"label %{inst.if_false.name}"
+        )
+    if isinstance(inst, Ret):
+        return f"ret {_op(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    return f"<unknown instruction {inst.opcode}>"
+
+
+def format_block(bb: BasicBlock) -> str:
+    lines = [f"{bb.name}:"]
+    for inst in bb.instructions:
+        note = ""
+        if inst.meta.get("privateer"):
+            note = f"    ; privateer: {inst.meta['privateer']}"
+        lines.append(f"  {format_instruction(inst)}{note}")
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} {_op(a)}" for a in fn.args)
+    head = f"define {fn.return_type} @{fn.name}({params})"
+    if fn.is_declaration:
+        return f"declare {fn.return_type} @{fn.name}({params})"
+    body = "\n\n".join(format_block(bb) for bb in fn.blocks)
+    return f"{head} {{\n{body}\n}}"
+
+
+def format_global(gv: GlobalVariable) -> str:
+    kind = "constant" if gv.constant else "global"
+    if isinstance(gv, GlobalString):
+        return f"@{gv.name} = {kind} {gv.value_type} c{gv.text!r}"
+    init = "" if gv.initializer is None else " <initialized>"
+    return f"@{gv.name} = {kind} {gv.value_type}{init}"
+
+
+def format_module(mod: Module) -> str:
+    parts: List[str] = [f"; module {mod.name}"]
+    for st in mod.types.structs.values():
+        fields = ", ".join(f"{f.type} {f.name}" for f in st.fields)
+        parts.append(f"%{st.name} = struct {{ {fields} }}")
+    for gv in mod.globals.values():
+        parts.append(format_global(gv))
+    for fn in mod.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,330 @@
+"""Type system for the Privateer mini-IR.
+
+The IR is byte-addressed and little-endian, mirroring the x86-64 target of
+the paper's LLVM-based implementation.  Every first-class type knows its
+size and alignment; struct layout follows the usual C rules (each field is
+aligned to its natural alignment, the struct is padded to a multiple of its
+own alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+POINTER_SIZE = 8
+POINTER_ALIGN = 8
+
+
+class IRTypeError(Exception):
+    """Raised for malformed or mismatched IR types."""
+
+
+class Type:
+    """Base class of all IR types."""
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        raise NotImplementedError
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    @property
+    def size(self) -> int:
+        raise IRTypeError("void has no size")
+
+    @property
+    def align(self) -> int:
+        raise IRTypeError("void has no alignment")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Fixed-width integer.  ``signed`` controls division, comparison and
+    right-shift semantics; storage is two's complement either way."""
+
+    bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 8, 16, 32, 64):
+            raise IRTypeError(f"unsupported integer width: {self.bits}")
+        # Cached wrap() constants (the dataclass is frozen, so go through
+        # object.__setattr__); wrap() is on the interpreter's hot path.
+        object.__setattr__(self, "_mask", (1 << self.bits) - 1)
+        object.__setattr__(
+            self, "_max", (1 << (self.bits - 1)) - 1 if self.signed
+            else (1 << self.bits) - 1)
+        object.__setattr__(self, "_modulus", 1 << self.bits)
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def align(self) -> int:
+        return self.size
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python int into this type's value range."""
+        value &= self._mask  # type: ignore[attr-defined]
+        if self.signed and value > self._max:  # type: ignore[attr-defined]
+            value -= self._modulus  # type: ignore[attr-defined]
+        return value
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.bits}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE-754 floating point (f64 only; f32 is accepted for storage)."""
+
+    bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bits not in (32, 64):
+            raise IRTypeError(f"unsupported float width: {self.bits}")
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    @property
+    def align(self) -> int:
+        return self.size
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """Pointer to ``pointee``.  ``pointee`` may be None for an opaque
+    pointer (the result of an int-to-pointer cast, for example)."""
+
+    pointee: Optional[Type] = None
+
+    @property
+    def size(self) -> int:
+        return POINTER_SIZE
+
+    @property
+    def align(self) -> int:
+        return POINTER_ALIGN
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*" if self.pointee is not None else "ptr"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise IRTypeError("array count must be non-negative")
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+
+
+class StructType(Type):
+    """Named struct with C-style layout.
+
+    Structs are mutable (fields may be set after creation) to allow
+    recursive types such as linked-list nodes; identity is by name.
+    """
+
+    def __init__(self, name: str, fields: Optional[List[StructField]] = None):
+        self.name = name
+        self._fields: List[StructField] = list(fields or [])
+        self._layout: Optional[Tuple[Tuple[int, ...], int, int]] = None
+
+    @property
+    def fields(self) -> List[StructField]:
+        return self._fields
+
+    def set_fields(self, fields: List[StructField]) -> None:
+        self._fields = list(fields)
+        self._layout = None
+
+    def _compute_layout(self) -> Tuple[Tuple[int, ...], int, int]:
+        if self._layout is None:
+            offsets: List[int] = []
+            offset = 0
+            align = 1
+            for f in self._fields:
+                fa = f.type.align
+                align = max(align, fa)
+                offset = (offset + fa - 1) // fa * fa
+                offsets.append(offset)
+                offset += f.type.size
+            size = (offset + align - 1) // align * align if offset else 0
+            self._layout = (tuple(offsets), max(size, 0), align)
+        return self._layout
+
+    @property
+    def size(self) -> int:
+        return self._compute_layout()[1]
+
+    @property
+    def align(self) -> int:
+        return self._compute_layout()[2]
+
+    def field_index(self, name: str) -> int:
+        for i, f in enumerate(self._fields):
+            if f.name == name:
+                return i
+        raise IRTypeError(f"struct {self.name} has no field {name!r}")
+
+    def field_offset(self, index: int) -> int:
+        offsets = self._compute_layout()[0]
+        if not 0 <= index < len(offsets):
+            raise IRTypeError(f"struct {self.name}: field index {index} out of range")
+        return offsets[index]
+
+    def field_type(self, index: int) -> Type:
+        return self._fields[index].type
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    return_type: Type
+    param_types: Tuple[Type, ...]
+    variadic: bool = False
+
+    @property
+    def size(self) -> int:
+        raise IRTypeError("function type has no size")
+
+    @property
+    def align(self) -> int:
+        raise IRTypeError("function type has no alignment")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.param_types)
+        if self.variadic:
+            params = params + ", ..." if params else "..."
+        return f"{self.return_type} ({params})"
+
+
+# Canonical singletons for the common types.
+VOID = VoidType()
+BOOL = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U8 = IntType(8, signed=False)
+U16 = IntType(16, signed=False)
+U32 = IntType(32, signed=False)
+U64 = IntType(64, signed=False)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: Optional[Type] = None) -> PointerType:
+    """Convenience constructor for pointer types."""
+    return PointerType(pointee)
+
+
+def types_compatible(a: Type, b: Type) -> bool:
+    """Structural compatibility used by the verifier: identical types, or
+    any two pointers (the IR, like LLVM with opaque pointers, does not
+    distinguish pointer element types at the value level)."""
+    if a == b:
+        return True
+    if a.is_pointer() and b.is_pointer():
+        return True
+    return False
+
+
+class TypeContext:
+    """Registry of named struct types for a module."""
+
+    def __init__(self) -> None:
+        self._structs: Dict[str, StructType] = {}
+
+    def declare_struct(self, name: str) -> StructType:
+        if name not in self._structs:
+            self._structs[name] = StructType(name)
+        return self._structs[name]
+
+    def define_struct(self, name: str, fields: List[StructField]) -> StructType:
+        st = self.declare_struct(name)
+        st.set_fields(fields)
+        return st
+
+    def get_struct(self, name: str) -> StructType:
+        if name not in self._structs:
+            raise IRTypeError(f"unknown struct {name!r}")
+        return self._structs[name]
+
+    def has_struct(self, name: str) -> bool:
+        return name in self._structs
+
+    @property
+    def structs(self) -> Dict[str, StructType]:
+        return dict(self._structs)

@@ -1,0 +1,123 @@
+"""Structural verifier for the mini-IR.
+
+Run after frontend lowering and after each Privateer transformation to
+catch malformed IR early.  Checks:
+
+* every block ends in exactly one terminator (and only at the end);
+* branch targets belong to the same function;
+* operand types satisfy per-instruction constraints;
+* instruction results are defined before use within a block ordering that
+  dominates the use (approximated: defined somewhere in the function);
+* calls reference functions that exist in the module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Instruction,
+    Load,
+    PtrAdd,
+    Ret,
+    Store,
+)
+from .module import Function, Module
+from .types import IntType
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR is structurally invalid."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_module(mod: Module) -> None:
+    errors: List[str] = []
+    for fn in mod.functions.values():
+        if not fn.is_declaration:
+            errors.extend(_verify_function(mod, fn))
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(mod: Module, fn: Function) -> List[str]:
+    errors: List[str] = []
+    blocks: Set[object] = set(fn.blocks)
+
+    defined: Set[Value] = set(fn.args)
+    for inst in fn.instructions():
+        if not inst.type.is_void():
+            defined.add(inst)
+
+    for bb in fn.blocks:
+        term = bb.terminator
+        if term is None:
+            errors.append(f"{fn.name}/{bb.name}: missing terminator")
+        for i, inst in enumerate(bb.instructions):
+            if inst.is_terminator and i != len(bb.instructions) - 1:
+                errors.append(f"{fn.name}/{bb.name}: terminator not at block end")
+            errors.extend(_verify_instruction(mod, fn, bb.name, inst, defined, blocks))
+    return errors
+
+
+def _verify_instruction(mod, fn, bname, inst: Instruction, defined, blocks) -> List[str]:
+    errors: List[str] = []
+    where = f"{fn.name}/{bname}"
+
+    for op in inst.operands:
+        if op is None:
+            errors.append(f"{where}: null operand in {inst.opcode.value}")
+            continue
+        if isinstance(op, (Constant, Argument)):
+            continue
+        if isinstance(op, Instruction) and op not in defined:
+            errors.append(
+                f"{where}: {inst.opcode.value} uses undefined value {op.short()}"
+            )
+
+    if isinstance(inst, Load) and not inst.pointer.type.is_pointer():
+        errors.append(f"{where}: load from non-pointer")
+    if isinstance(inst, Store) and not inst.pointer.type.is_pointer():
+        errors.append(f"{where}: store to non-pointer")
+    if isinstance(inst, PtrAdd):
+        if not inst.base.type.is_pointer():
+            errors.append(f"{where}: ptradd base is not a pointer")
+        if not inst.offset.type.is_integer():
+            errors.append(f"{where}: ptradd offset is not an integer")
+    if isinstance(inst, BinOp):
+        if inst.kind.is_float and not inst.lhs.type.is_float():
+            errors.append(f"{where}: float binop on {inst.lhs.type}")
+        if not inst.kind.is_float and not (
+            inst.lhs.type.is_integer() or inst.lhs.type.is_pointer()
+        ):
+            errors.append(f"{where}: integer binop on {inst.lhs.type}")
+    if isinstance(inst, Alloca):
+        if not isinstance(inst.count.type, IntType):
+            errors.append(f"{where}: alloca count is not an integer")
+    if isinstance(inst, Call):
+        if inst.callee.name not in mod.functions:
+            errors.append(f"{where}: call to unknown function @{inst.callee.name}")
+    if isinstance(inst, Br) and inst.target not in blocks:
+        errors.append(f"{where}: branch to foreign block {inst.target.name}")
+    if isinstance(inst, CondBr):
+        if inst.if_true not in blocks or inst.if_false not in blocks:
+            errors.append(f"{where}: condbr to foreign block")
+        if not isinstance(inst.cond.type, IntType):
+            errors.append(f"{where}: condbr condition is not an integer")
+    if isinstance(inst, Ret):
+        want_void = fn.return_type.is_void()
+        if want_void and inst.value is not None:
+            errors.append(f"{where}: ret with value in void function")
+        if not want_void and inst.value is None:
+            errors.append(f"{where}: ret void in non-void function")
+    return errors

@@ -1,0 +1,12 @@
+"""Simulated-multicore DOALL execution of speculatively privatized code."""
+
+from .costmodel import DEFAULT_COSTS, CostModelConfig
+from .executor import DOALLExecutor, trip_count
+from .stats import BUCKETS, ExecutionResult, InvocationResult
+from .timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "BUCKETS", "CostModelConfig", "DEFAULT_COSTS", "DOALLExecutor",
+    "ExecutionResult", "InvocationResult", "Timeline", "TimelineEvent",
+    "trip_count",
+]

@@ -1,0 +1,30 @@
+"""Cost model for the simulated multicore (replaces the 24-core Xeon).
+
+All values are simulated cycles.  ``spawn`` models the latency of forking
+the worker pool (the paper attributes this to the OS fork implementation);
+``join`` models worker-completed signalling, installing the final
+non-committed state, and committing deferred output; recovery covers
+teardown + sequential restart + respawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModelConfig:
+    spawn_base: int = 3_000
+    spawn_per_worker: int = 800
+    join_base: int = 2_000
+    join_per_worker: int = 400
+    recovery_fixed: int = 20_000
+
+    def spawn_time(self, workers: int) -> int:
+        return self.spawn_base + self.spawn_per_worker * workers
+
+    def join_time(self, workers: int) -> int:
+        return self.join_base + self.join_per_worker * workers
+
+
+DEFAULT_COSTS = CostModelConfig()

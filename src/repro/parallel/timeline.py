@@ -1,0 +1,61 @@
+"""Execution timeline for Figure 5: worker iteration spans, checkpoints,
+misspeculation, and recovery, rendered as text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TimelineEvent:
+    kind: str           # "iteration" | "checkpoint" | "misspec" | "recovery" | "spawn" | "join"
+    worker: Optional[int]
+    start: int
+    end: int
+    label: str = ""
+
+
+@dataclass
+class Timeline:
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def add(self, kind: str, worker: Optional[int], start: int, end: int,
+            label: str = "") -> None:
+        self.events.append(TimelineEvent(kind, worker, start, end, label))
+
+    def render(self, width: int = 72) -> str:
+        """ASCII rendering in the style of Figure 5: one row per worker,
+        checkpoint/misspec/recovery markers below."""
+        if not self.events:
+            return "(empty timeline)"
+        t_end = max(e.end for e in self.events)
+        t_end = max(t_end, 1)
+        scale = width / t_end
+        workers = sorted({e.worker for e in self.events if e.worker is not None})
+        lines: List[str] = []
+        for w in workers:
+            row = [" "] * width
+            for e in self.events:
+                if e.worker != w:
+                    continue
+                a = min(width - 1, int(e.start * scale))
+                b = min(width - 1, max(a, int(e.end * scale) - 1))
+                ch = {"iteration": "=", "checkpoint": "C", "misspec": "X",
+                      "spawn": ".", "recovery": "R"}.get(e.kind, "?")
+                for i in range(a, b + 1):
+                    row[i] = ch
+            lines.append(f"worker {w}: [{''.join(row)}]")
+        marker_row = [" "] * width
+        for e in self.events:
+            if e.worker is None:
+                a = min(width - 1, int(e.start * scale))
+                b = min(width - 1, max(a, int(e.end * scale) - 1))
+                ch = {"checkpoint": "C", "misspec": "X", "recovery": "R",
+                      "join": "J", "spawn": "S"}.get(e.kind, "|")
+                for i in range(a, b + 1):
+                    marker_row[i] = ch
+        lines.append(f"events  : [{''.join(marker_row)}]")
+        lines.append("legend  : = iteration, C checkpoint, X misspec, "
+                     "R recovery, S spawn, J join")
+        return "\n".join(lines)

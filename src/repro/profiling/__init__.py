@@ -1,0 +1,28 @@
+"""Profilers: execution time (hot loops), and the detailed per-loop
+pointer-to-object / flow-dependence / lifetime / value profiler."""
+
+from .data import (
+    FlowDep,
+    HotLoopReport,
+    LoopProfile,
+    LoopRef,
+    LoopTimeRecord,
+    ValuePrediction,
+)
+from .loopprof import profile_loop
+from .looptracker import ActiveLoop, LoopInfoCache, LoopTracker
+from .serialize import (
+    load_profile,
+    module_fingerprint,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from .timeprof import profile_execution_time
+
+__all__ = [
+    "ActiveLoop", "FlowDep", "HotLoopReport", "LoopInfoCache", "LoopProfile",
+    "LoopRef", "LoopTimeRecord", "LoopTracker", "ValuePrediction",
+    "load_profile", "module_fingerprint", "profile_execution_time",
+    "profile_from_dict", "profile_loop", "profile_to_dict", "save_profile",
+]

@@ -1,0 +1,278 @@
+"""Detailed per-loop profiler (§4.1 of the paper).
+
+Given one candidate loop, a profiling run records — only while an
+invocation of that loop is active, at any call depth:
+
+* the pointer-to-object map (which named objects each access touches);
+* read/write/reduction footprints at object-site granularity;
+* cross-iteration memory flow dependences (byte-accurate last-writer);
+* object lifetimes, yielding short-lived allocation sites;
+* value-prediction candidates (locations whose cross-iteration reads
+  always observed one constant — restricted to global objects so the
+  location is nameable by the transformation);
+* I/O call sites (for deferral) and block coverage (for control
+  speculation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..analysis.callgraph import CallGraph
+from ..analysis.reduction import ReductionUpdate, reduction_sites
+from ..interp.interpreter import Hook, Interpreter
+from ..ir.instructions import Call, Instruction
+from ..ir.module import Function, Module
+from .data import FlowDep, LoopProfile, LoopRef, ValuePrediction
+from .looptracker import ActiveLoop, LoopInfoCache, LoopTracker
+
+_IO_NAMES = {"printf", "puts"}
+
+#: last_writer value for bytes written outside any invocation of the loop.
+_OUTSIDE = (None, None)
+
+
+class _LoopProfileHook(Hook):
+    def __init__(self, module: Module, ref: LoopRef):
+        self.module = module
+        self.ref = ref
+        self.profile = LoopProfile(ref)
+        self.cache = LoopInfoCache(module)
+        self.tracker = LoopTracker(
+            self.cache,
+            on_enter=self._on_enter,
+            on_iterate=self._on_iterate,
+            on_exit=self._on_exit,
+        )
+        self.active: Optional[ActiveLoop] = None
+        self.invocation = -1
+
+        # Byte address -> ((invocation, iteration) | None, store site | None)
+        self.last_writer: Dict[int, Tuple] = {}
+        # In-loop live allocations: base -> (site, (invocation, iteration))
+        self.live_allocs: Dict[int, Tuple[str, Tuple[int, int]]] = {}
+        self.lifetime_violations: Set[str] = set()
+        # (obj_site, offset, size) -> set of observed values (capped)
+        self.vp_values: Dict[Tuple[str, int, int], Set[int]] = {}
+        self.vp_deps: Dict[Tuple[str, int, int], Set[FlowDep]] = {}
+        # Static reduction pairing, per function (lazy).
+        self._redux_maps: Dict[Function, Dict[Instruction, ReductionUpdate]] = {}
+
+    # -- loop lifecycle ------------------------------------------------------
+
+    def _key(self) -> Tuple[int, int]:
+        assert self.active is not None
+        return (self.invocation, self.active.iteration)
+
+    def _on_enter(self, active: ActiveLoop) -> None:
+        if active.ref == self.ref and self.active is None:
+            self.active = active
+            self.invocation += 1
+            self.profile.invocations += 1
+
+    def _on_iterate(self, active: ActiveLoop) -> None:
+        if active is self.active:
+            self.profile.iterations += 1
+            self._check_lifetimes()
+
+    def _on_exit(self, active: ActiveLoop, cycles_now: int) -> None:
+        if active is self.active:
+            self._check_lifetimes(end_of_invocation=True)
+            self.active = None
+
+    def _check_lifetimes(self, end_of_invocation: bool = False) -> None:
+        """Objects allocated in an earlier iteration and still live violate
+        short-lived lifetime speculation [13]."""
+        assert self.active is not None
+        now = (self.invocation, self.active.iteration)
+        stale = [
+            base
+            for base, (site, key) in self.live_allocs.items()
+            if key != now or end_of_invocation
+        ]
+        for base in stale:
+            site, _ = self.live_allocs.pop(base)
+            self.lifetime_violations.add(site)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _redux_map(self, fn: Function) -> Dict[Instruction, ReductionUpdate]:
+        if fn not in self._redux_maps:
+            self._redux_maps[fn] = reduction_sites(fn)
+        return self._redux_maps[fn]
+
+    def _object_site(self, interp, addr: int, size: int) -> Optional[Tuple[str, int]]:
+        found = interp.space.try_find(addr, size)
+        if found is None:
+            return None
+        obj, offset = found
+        return obj.site or obj.name, offset
+
+    def _record_pointer(self, inst: Instruction, obj_site: str) -> None:
+        self.profile.pointer_objects.setdefault(inst.site_id(), set()).add(obj_site)
+
+    # -- hook events -----------------------------------------------------------------
+
+    def on_branch(self, interp, inst, target) -> None:
+        self.tracker.handle_branch(interp, inst, target)
+        if self.active is not None:
+            fn = target.parent
+            if fn is not None:
+                self.profile.executed_blocks.add((fn.name, target.name))
+
+    def on_return(self, interp, fn) -> None:
+        self.tracker.handle_return(interp, fn)
+
+    def on_call(self, interp, inst: Call, callee) -> None:
+        if self.active is None:
+            return
+        if callee.name in _IO_NAMES:
+            self.profile.io_sites.add(inst.site_id())
+        if not callee.is_declaration:
+            self.profile.executed_blocks.add((callee.name, callee.entry.name))
+
+    def on_alloc(self, interp, obj, inst) -> None:
+        if self.active is None:
+            return
+        site = obj.site
+        self.profile.loop_alloc_sites.add(site)
+        self.live_allocs[obj.base] = (site, self._key())
+
+    def on_free(self, interp, obj, inst) -> None:
+        if self.active is None:
+            return
+        if isinstance(inst, Call) and obj.site:
+            # The pointer-to-object map also covers free sites, so the
+            # transformation can route them to the right logical heap.
+            self._record_pointer(inst, obj.site)
+        entry = self.live_allocs.pop(obj.base, None)
+        if entry is None:
+            # Freeing an object allocated outside the loop (or in an
+            # earlier invocation): its site cannot be short-lived.
+            if obj.site:
+                self.lifetime_violations.add(obj.site)
+            return
+        site, key = entry
+        if key != self._key():
+            self.lifetime_violations.add(site)
+
+    def on_load(self, interp, inst, addr: int, size: int) -> None:
+        if self.active is None:
+            return
+        resolved = self._object_site(interp, addr, size)
+        if resolved is None:
+            return
+        obj_site, offset = resolved
+        self._record_pointer(inst, obj_site)
+        self.profile.loads += 1
+        self.profile.bytes_read += size
+
+        fn = inst.parent.parent if inst.parent is not None else None
+        is_redux = fn is not None and inst in self._redux_map(fn)
+        if is_redux:
+            upd = self._redux_map(fn)[inst]
+            self.profile.redux_sites.add(obj_site)
+            self.profile.redux_ops[obj_site] = upd.operator.name
+        else:
+            self.profile.read_sites.add(obj_site)
+
+        # Cross-iteration flow detection (byte granular).
+        key = self._key()
+        dep_store_sites: Set[str] = set()
+        for b in range(addr, addr + size):
+            writer = self.last_writer.get(b)
+            if writer is None or writer[0] is None:
+                continue
+            w_key, w_site = writer
+            if w_key[0] == key[0] and w_key[1] < key[1]:
+                dep_store_sites.add(w_site)
+        if dep_store_sites:
+            load_site = inst.site_id()
+            deps = {FlowDep(s, load_site, obj_site) for s in dep_store_sites}
+            self.profile.flow_deps |= deps
+            # Value-prediction candidate: global objects only, word-sized.
+            if obj_site.startswith("global:") and size <= 8:
+                vp_key = (obj_site, offset, size)
+                value = interp.space.read_int(addr, size, signed=False)
+                values = self.vp_values.setdefault(vp_key, set())
+                if len(values) < 3:
+                    values.add(value)
+                self.vp_deps.setdefault(vp_key, set()).update(deps)
+
+    def on_store(self, interp, inst, addr: int, size: int) -> None:
+        key_entry: Tuple
+        if self.active is None:
+            key_entry = _OUTSIDE
+            for b in range(addr, addr + size):
+                if b in self.last_writer:
+                    self.last_writer[b] = key_entry
+            return
+        resolved = self._object_site(interp, addr, size)
+        if resolved is None:
+            return
+        obj_site, _offset = resolved
+        self._record_pointer(inst, obj_site)
+        self.profile.stores += 1
+        self.profile.bytes_written += size
+
+        fn = inst.parent.parent if inst.parent is not None else None
+        is_redux = fn is not None and inst in self._redux_map(fn)
+        if is_redux:
+            upd = self._redux_map(fn)[inst]
+            self.profile.redux_sites.add(obj_site)
+            self.profile.redux_ops[obj_site] = upd.operator.name
+        else:
+            self.profile.write_sites.add(obj_site)
+
+        site = inst.site_id()
+        entry = (self._key(), site)
+        for b in range(addr, addr + size):
+            self.last_writer[b] = entry
+
+    # -- finalize ----------------------------------------------------------------------
+
+    def finalize(self) -> LoopProfile:
+        p = self.profile
+        p.short_lived_sites = p.loop_alloc_sites - self.lifetime_violations
+        for vp_key, values in self.vp_values.items():
+            if len(values) == 1:
+                obj_site, offset, size = vp_key
+                vp = ValuePrediction(obj_site, offset, size, next(iter(values)))
+                p.value_predictions[vp] = set(self.vp_deps[vp_key])
+        p.unexecuted_blocks = self._region_blocks() - p.executed_blocks
+        return p
+
+    def _region_blocks(self) -> Set[Tuple[str, str]]:
+        """All blocks statically reachable inside the loop region: the
+        loop's blocks plus every block of defined functions transitively
+        callable from it."""
+        fn = self.module.function_named(self.ref.function)
+        loop = self.cache.loop_by_ref(self.ref)
+        out: Set[Tuple[str, str]] = {(fn.name, bb.name) for bb in loop.blocks}
+        cg = CallGraph(self.module)
+        callees: Set[Function] = set()
+        for bb in loop.blocks:
+            for inst in bb.instructions:
+                if isinstance(inst, Call):
+                    callees.add(inst.callee)
+                    callees |= cg.transitive_callees(inst.callee)
+        for g in callees:
+            if not g.is_declaration:
+                out |= {(g.name, bb.name) for bb in g.blocks}
+        return out
+
+
+def profile_loop(
+    module: Module,
+    ref: LoopRef,
+    entry: str = "main",
+    args: Sequence[object] = (),
+) -> LoopProfile:
+    """Run the program once with detailed instrumentation for ``ref``."""
+    interp = Interpreter(module)
+    hook = _LoopProfileHook(module, ref)
+    interp.hooks.append(hook)
+    interp.run(entry, args)
+    while hook.tracker.stack:
+        hook.tracker._pop(interp)
+    return hook.finalize()

@@ -1,0 +1,125 @@
+"""Profile serialization.
+
+The paper's workflow profiles offline (train input) and compiles later;
+these helpers persist a :class:`LoopProfile` as JSON so the expensive
+profiling run can be reused across compilations of the same source.
+
+Profiles name program points by stable site ids, which are only valid for
+the module object they were collected on — so the JSON embeds a module
+fingerprint and loading verifies it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..ir.module import Module
+from .data import FlowDep, LoopProfile, LoopRef, ValuePrediction
+
+FORMAT_VERSION = 1
+
+
+def module_fingerprint(module: Module) -> str:
+    """A stable fingerprint of the module's structure (function names,
+    block names, instruction uids in order)."""
+    h = hashlib.sha256()
+    for fn in module.defined_functions():
+        h.update(fn.name.encode())
+        for bb in fn.blocks:
+            h.update(bb.name.encode())
+            for inst in bb.instructions:
+                h.update(str(inst.uid).encode())
+    return h.hexdigest()[:16]
+
+
+def profile_to_dict(profile: LoopProfile,
+                    module: Module = None) -> Dict:  # type: ignore[assignment]
+    return {
+        "version": FORMAT_VERSION,
+        "fingerprint": module_fingerprint(module) if module else None,
+        "ref": {"function": profile.ref.function, "header": profile.ref.header},
+        "invocations": profile.invocations,
+        "iterations": profile.iterations,
+        "read_sites": sorted(profile.read_sites),
+        "write_sites": sorted(profile.write_sites),
+        "redux_sites": sorted(profile.redux_sites),
+        "redux_ops": dict(profile.redux_ops),
+        "flow_deps": sorted(
+            [d.src_site, d.dst_site, d.obj_site] for d in profile.flow_deps
+        ),
+        "short_lived_sites": sorted(profile.short_lived_sites),
+        "loop_alloc_sites": sorted(profile.loop_alloc_sites),
+        "pointer_objects": {
+            site: sorted(objs)
+            for site, objs in sorted(profile.pointer_objects.items())
+        },
+        "value_predictions": [
+            {
+                "obj_site": vp.obj_site, "offset": vp.offset,
+                "size": vp.size, "value": vp.value,
+                "deps": sorted([d.src_site, d.dst_site, d.obj_site]
+                               for d in deps),
+            }
+            for vp, deps in sorted(profile.value_predictions.items(),
+                                   key=lambda e: str(e[0]))
+        ],
+        "io_sites": sorted(profile.io_sites),
+        "unexecuted_blocks": sorted(list(b) for b in profile.unexecuted_blocks),
+        "executed_blocks": sorted(list(b) for b in profile.executed_blocks),
+        "loads": profile.loads,
+        "stores": profile.stores,
+        "bytes_read": profile.bytes_read,
+        "bytes_written": profile.bytes_written,
+    }
+
+
+def profile_from_dict(data: Dict, module: Module = None) -> LoopProfile:  # type: ignore[assignment]
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported profile version {data.get('version')}")
+    if module is not None and data.get("fingerprint") is not None:
+        actual = module_fingerprint(module)
+        if actual != data["fingerprint"]:
+            raise ValueError(
+                f"profile was collected on a different module "
+                f"(fingerprint {data['fingerprint']} != {actual})")
+    profile = LoopProfile(LoopRef(data["ref"]["function"],
+                                  data["ref"]["header"]))
+    profile.invocations = data["invocations"]
+    profile.iterations = data["iterations"]
+    profile.read_sites = set(data["read_sites"])
+    profile.write_sites = set(data["write_sites"])
+    profile.redux_sites = set(data["redux_sites"])
+    profile.redux_ops = dict(data["redux_ops"])
+    profile.flow_deps = {FlowDep(*entry) for entry in data["flow_deps"]}
+    profile.short_lived_sites = set(data["short_lived_sites"])
+    profile.loop_alloc_sites = set(data["loop_alloc_sites"])
+    profile.pointer_objects = {
+        site: set(objs) for site, objs in data["pointer_objects"].items()
+    }
+    profile.value_predictions = {
+        ValuePrediction(vp["obj_site"], vp["offset"], vp["size"], vp["value"]):
+            {FlowDep(*d) for d in vp["deps"]}
+        for vp in data["value_predictions"]
+    }
+    profile.io_sites = set(data["io_sites"])
+    profile.unexecuted_blocks = {tuple(b) for b in data["unexecuted_blocks"]}
+    profile.executed_blocks = {tuple(b) for b in data["executed_blocks"]}
+    profile.loads = data["loads"]
+    profile.stores = data["stores"]
+    profile.bytes_read = data["bytes_read"]
+    profile.bytes_written = data["bytes_written"]
+    return profile
+
+
+def save_profile(profile: LoopProfile, path: Union[str, Path],
+                 module: Module = None) -> None:  # type: ignore[assignment]
+    Path(path).write_text(json.dumps(profile_to_dict(profile, module),
+                                     indent=2, sort_keys=True))
+
+
+def load_profile(path: Union[str, Path],
+                 module: Module = None) -> LoopProfile:  # type: ignore[assignment]
+    return profile_from_dict(json.loads(Path(path).read_text()), module)

@@ -1,0 +1,60 @@
+"""Execution-time profiler: finds hot loops (à la gprof, §4.1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..interp.interpreter import Hook, Interpreter
+from ..ir.module import Module
+from .data import HotLoopReport, LoopRef, LoopTimeRecord
+from .looptracker import ActiveLoop, LoopInfoCache, LoopTracker
+
+
+class _TimeHook(Hook):
+    def __init__(self, module: Module):
+        self.cache = LoopInfoCache(module)
+        self.records: Dict[LoopRef, LoopTimeRecord] = {}
+        self.tracker = LoopTracker(
+            self.cache,
+            on_enter=self._on_enter,
+            on_iterate=self._on_iterate,
+            on_exit=self._on_exit,
+        )
+
+    def _record(self, active: ActiveLoop) -> LoopTimeRecord:
+        rec = self.records.get(active.ref)
+        if rec is None:
+            rec = LoopTimeRecord(active.ref, depth=active.loop.depth)
+            self.records[active.ref] = rec
+        return rec
+
+    def _on_enter(self, active: ActiveLoop) -> None:
+        # Iterations are counted at back edges, so loops that exit through
+        # the header report their exact trip count.
+        self._record(active).invocations += 1
+
+    def _on_iterate(self, active: ActiveLoop) -> None:
+        self._record(active).iterations += 1
+
+    def _on_exit(self, active: ActiveLoop, cycles_now: int) -> None:
+        self._record(active).cycles += cycles_now - active.entry_cycles
+
+    def on_branch(self, interp, inst, target) -> None:
+        self.tracker.handle_branch(interp, inst, target)
+
+    def on_return(self, interp, fn) -> None:
+        self.tracker.handle_return(interp, fn)
+
+
+def profile_execution_time(
+    module: Module, entry: str = "main", args: Sequence[object] = ()
+) -> HotLoopReport:
+    """Run the program once, attributing inclusive cycles to every loop."""
+    interp = Interpreter(module)
+    hook = _TimeHook(module)
+    interp.hooks.append(hook)
+    interp.run(entry, args)
+    # Close any loops still open at program end (exit() inside a loop).
+    while hook.tracker.stack:
+        hook.tracker._pop(interp)
+    return HotLoopReport(interp.cycles, list(hook.records.values()))

@@ -1,0 +1,21 @@
+"""Privateer runtime support system: logical heaps, speculative
+validation, checkpoints, and recovery (§5)."""
+
+from .iodefer import DeferredOutput
+from .shadow import (
+    LIVE_IN,
+    MAX_TIMESTAMP,
+    OLD_WRITE,
+    READ_LIVE_IN,
+    TS_BASE,
+    ShadowHeap,
+    timestamp_for,
+)
+from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
+from .system import RuntimeSystem, WorkerState
+
+__all__ = [
+    "CheckpointRecord", "DeferredOutput", "LIVE_IN", "MAX_TIMESTAMP",
+    "MisspecEvent", "OLD_WRITE", "READ_LIVE_IN", "RuntimeStats",
+    "RuntimeSystem", "ShadowHeap", "TS_BASE", "WorkerState", "timestamp_for",
+]

@@ -1,0 +1,38 @@
+"""I/O deferral (§6.1): stream output issued inside the speculative
+region is buffered per iteration and committed — in iteration order —
+only when the covering checkpoint is marked non-speculative."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class DeferredOutput:
+    """Per-invocation buffer of (iteration, sequence, text) records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, List[str]] = {}
+        self.deferred_count = 0
+
+    def emit(self, iteration: int, text: str) -> None:
+        self._records.setdefault(iteration, []).append(text)
+        self.deferred_count += 1
+
+    def squash_from(self, iteration: int) -> None:
+        """Discard speculative output at or beyond ``iteration``."""
+        for key in [i for i in self._records if i >= iteration]:
+            del self._records[key]
+
+    def commit_range(self, start: int, end: int,
+                     sink: Callable[[str], None]) -> int:
+        """Flush output for iterations in [start, end) in order; returns
+        the number of records committed."""
+        committed = 0
+        for i in range(start, end):
+            for text in self._records.pop(i, ()):  # type: ignore[arg-type]
+                sink(text)
+                committed += 1
+        return committed
+
+    def pending(self) -> int:
+        return sum(len(v) for v in self._records.values())

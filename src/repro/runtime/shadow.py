@@ -1,0 +1,145 @@
+"""Per-worker shadow heap: LRPD-style metadata generalized to arbitrary
+objects (§5.1, Table 2).
+
+One metadata byte per private-heap byte.  Codes:
+
+* ``0`` live-in — untouched since the last checkpoint;
+* ``1`` old-write — defined by an earlier iteration (before the last
+  checkpoint);
+* ``2`` read-live-in — read while apparently live-in; needs the phase-two
+  (checkpoint-time) cross-worker check;
+* ``3 + (i - i0)`` — written at iteration ``i`` (``i0`` = first iteration
+  after the last checkpoint).
+
+The transition rules implemented here are exactly the paper's Table 2,
+including the documented conservative false positive: overwriting a
+read-live-in byte before the checkpoint resolves it misspeculates, because
+a precise answer would need a second timestamp per byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from ..interp.errors import Misspeculation
+
+LIVE_IN = 0
+OLD_WRITE = 1
+READ_LIVE_IN = 2
+TS_BASE = 3
+MAX_TIMESTAMP = 255
+
+
+class ShadowHeap:
+    """Metadata for one worker's view of the private heap."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.meta = bytearray(size)
+        #: Byte offsets touched since the last checkpoint, for interval-
+        #: based checkpointing (avoids scanning the whole heap).
+        self.written: Set[Tuple[int, int]] = set()
+        self.read_live_in: Set[Tuple[int, int]] = set()
+
+    def _grow(self, needed: int) -> None:
+        if needed > self.size:
+            self.meta.extend(b"\x00" * (needed - self.size))
+            self.size = needed
+
+    # -- fast-phase checks (§5.1) -------------------------------------------
+
+    def on_read(self, offset: int, size: int, ts: int, iteration: int) -> None:
+        """Validate and update metadata for a private read."""
+        end = offset + size
+        if end > self.size:
+            self._grow(end)
+        meta = self.meta
+        chunk = meta[offset:end]
+        # Fast path: the whole range was written this iteration.
+        if chunk.count(ts) == size:
+            return
+        # Record the interval before validating so a misspeculation part
+        # way through leaves no untracked read-live-in bytes (the offsets
+        # accessor filters by actual metadata value).
+        self.read_live_in.add((offset, size))
+        for b in range(offset, end):
+            code = meta[b]
+            if code == ts:
+                continue
+            if code == LIVE_IN:
+                meta[b] = READ_LIVE_IN
+            elif code == READ_LIVE_IN:
+                pass
+            elif code == OLD_WRITE:
+                raise Misspeculation(
+                    "privacy", f"read of value defined before the last "
+                    f"checkpoint at private+{b}", iteration)
+            else:  # a timestamp from an earlier iteration in this epoch
+                raise Misspeculation(
+                    "privacy", f"loop-carried flow dependence at private+{b} "
+                    f"(written ts={code}, read ts={ts})", iteration)
+
+    def on_write(self, offset: int, size: int, ts: int, iteration: int) -> None:
+        """Validate and update metadata for a private write."""
+        end = offset + size
+        if end > self.size:
+            self._grow(end)
+        meta = self.meta
+        chunk = meta[offset:end]
+        if READ_LIVE_IN in chunk:
+            b = offset + chunk.index(READ_LIVE_IN)
+            raise Misspeculation(
+                "privacy", f"overwrite of read-live-in byte at "
+                f"private+{b} (conservative)", iteration)
+        meta[offset:end] = bytes((ts,)) * size
+        self.written.add((offset, size))
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def written_offsets(self) -> Set[int]:
+        out: Set[int] = set()
+        for offset, size in self.written:
+            out.update(range(offset, offset + size))
+        return out
+
+    def read_live_in_offsets(self) -> Set[int]:
+        out: Set[int] = set()
+        for offset, size in self.read_live_in:
+            for b in range(offset, offset + size):
+                if self.meta[b] == READ_LIVE_IN:
+                    out.add(b)
+        return out
+
+    def write_iterations(self, epoch_start: int) -> Iterator[Tuple[int, int]]:
+        """Yield (offset, absolute iteration) for every byte written since
+        the last checkpoint."""
+        for b in self.written_offsets():
+            code = self.meta[b]
+            if code >= TS_BASE:
+                yield b, epoch_start + (code - TS_BASE)
+
+    def reset_after_checkpoint(self) -> None:
+        """Table 2 footnote: writes before the checkpoint become old-write;
+        validated read-live-in bytes return to live-in."""
+        meta = self.meta
+        for offset, size in self.written:
+            for b in range(offset, offset + size):
+                if meta[b] >= TS_BASE:
+                    meta[b] = OLD_WRITE
+        for offset, size in self.read_live_in:
+            for b in range(offset, offset + size):
+                if meta[b] == READ_LIVE_IN:
+                    meta[b] = LIVE_IN
+        self.written.clear()
+        self.read_live_in.clear()
+
+
+def timestamp_for(iteration: int, epoch_start: int) -> int:
+    """Encode an iteration as a metadata timestamp; the checkpoint period
+    bounds ``iteration - epoch_start`` so this always fits one byte."""
+    ts = TS_BASE + (iteration - epoch_start)
+    if not TS_BASE <= ts <= MAX_TIMESTAMP:
+        raise ValueError(
+            f"timestamp overflow: iteration {iteration} with epoch start "
+            f"{epoch_start} (checkpoint period too large)")
+    return ts

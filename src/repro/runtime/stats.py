@@ -1,0 +1,78 @@
+"""Runtime statistics: everything Table 3 and Figure 8 report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MisspecEvent:
+    kind: str
+    iteration: int
+    detail: str = ""
+    injected: bool = False
+
+
+@dataclass
+class CheckpointRecord:
+    """One retired checkpoint (§5.2)."""
+
+    invocation: int
+    start_iteration: int
+    end_iteration: int
+    private_bytes_copied: int = 0
+    dirty_pages: int = 0
+    redux_bytes_merged: int = 0
+    io_records_committed: int = 0
+    speculative: bool = True  # flipped off once validated
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by the runtime validation system."""
+
+    invocations: int = 0
+    checkpoints: int = 0
+    misspeculations: List[MisspecEvent] = field(default_factory=list)
+    recoveries: int = 0
+
+    # Privacy validation (Table 3's Priv R / Priv W are byte totals).
+    private_read_calls: int = 0
+    private_read_bytes: int = 0
+    private_write_calls: int = 0
+    private_write_bytes: int = 0
+
+    separation_checks: int = 0
+    redux_updates: int = 0
+    predictions_checked: int = 0
+    lifetime_checks: int = 0
+    io_deferred: int = 0
+
+    # Cycle attribution for the Figure 8 overhead breakdown.
+    private_read_cycles: int = 0
+    private_write_cycles: int = 0
+    separation_cycles: int = 0
+    checkpoint_cycles: int = 0
+    redux_cycles: int = 0
+    misc_validation_cycles: int = 0
+
+    checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
+
+    def misspec_count(self, include_injected: bool = True) -> int:
+        return sum(
+            1 for m in self.misspeculations if include_injected or not m.injected
+        )
+
+    def validation_cycles(self) -> int:
+        return (self.private_read_cycles + self.private_write_cycles
+                + self.separation_cycles + self.redux_cycles
+                + self.misc_validation_cycles)
+
+    def table3_row(self) -> Dict[str, object]:
+        return {
+            "invocations": self.invocations,
+            "checkpoints": self.checkpoints,
+            "private_bytes_read": self.private_read_bytes,
+            "private_bytes_written": self.private_write_bytes,
+        }

@@ -1,0 +1,527 @@
+"""The Privateer runtime support system (§5).
+
+Manages the logical heaps, validates speculative separation and privacy,
+coordinates checkpoints, and supports recovery.  It plugs into the
+interpreter by overriding the runtime intrinsics (``h_alloc``,
+``check_heap``, ``private_read`` …) and is driven through its invocation
+lifecycle by the DOALL executor (:mod:`repro.parallel.executor`).
+
+Substitutions vs. the paper (see DESIGN.md):
+
+* worker processes + fork/COW  ->  per-worker ``AddressSpace`` overlays;
+* mmap page-table tricks for replacement transparency  ->  overlays keep
+  every virtual address identical, so transparency holds by construction;
+* wall-clock time  ->  deterministic cycle accounting.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.reduction import apply_operator
+from ..classify.heaps import HeapKind, tag_matches
+from ..interp.errors import Misspeculation
+from ..interp.interpreter import Interpreter
+from ..interp.memory import AddressSpace, MemoryObject, PAGE_SIZE, heap_tag_of
+from ..ir.instructions import BinOpKind
+from ..transform.plan import ParallelPlan, ReduxObjectPlan
+from .iodefer import DeferredOutput
+from .shadow import ShadowHeap, timestamp_for
+from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
+
+#: Cycle cost of updating one byte of shadow metadata (on top of the
+#: fixed call cost charged by the interpreter's intrinsic dispatch).
+PRIVATE_BYTE_COST = 1
+REDUX_BYTE_COST = 1
+SEPARATION_CHECK_COST = 2
+#: Checkpoint costing: copying one dirty private page, and the fixed
+#: per-worker overhead of acquiring/joining a checkpoint object.
+CHECKPOINT_PAGE_COST = 600
+CHECKPOINT_FIXED_COST = 1200
+CHECKPOINT_BYTE_COST = 1
+
+
+class WorkerState:
+    """One simulated worker process."""
+
+    def __init__(self, wid: int, parent_space: AddressSpace, shadow_size: int):
+        self.wid = wid
+        self.space = AddressSpace(parent=parent_space)
+        self.shadow = ShadowHeap(shadow_size)
+        self.frame = None  # interpreter Frame, installed by the executor
+        self.clock = 0     # simulated cycles, relative to region start
+        self.iterations = 0
+        self.shortlived_live = 0
+        self.redux_written: Set[Tuple[int, int]] = set()  # (addr, size)
+        self.redux_copies: Dict[int, Tuple[MemoryObject, ReduxObjectPlan]] = {}
+        self.epoch_written_offsets: Set[int] = set()
+
+    def reset_epoch_tracking(self) -> None:
+        self.redux_written.clear()
+        self.epoch_written_offsets.clear()
+        self.space.dirty_pages.clear()
+
+
+class RuntimeSystem:
+    def __init__(self, module, plan: ParallelPlan, interp: Interpreter):
+        self.module = module
+        self.plan = plan
+        self.interp = interp
+        self.main_space = interp.space
+        self.stats = RuntimeStats()
+        self.deferred = DeferredOutput()
+
+        self.speculating = False
+        self.workers: List[WorkerState] = []
+        self.current_worker: Optional[WorkerState] = None
+        self.current_iteration = 0
+        self.epoch_start = 0
+        self.invocation_index = -1
+
+        self.private_base = HeapKind.PRIVATE.base
+        self.redux_base = HeapKind.REDUX.base
+        self.committed_meta = bytearray()
+        self._protected: List[MemoryObject] = []
+        self._default_printf = None
+        self._default_puts = None
+        self.install()
+
+    # -- intrinsic installation --------------------------------------------
+
+    def install(self) -> None:
+        intr = self.interp.intrinsics
+        self._default_printf = intr["printf"]
+        self._default_puts = intr["puts"]
+        intr["h_alloc"] = self._i_h_alloc
+        intr["h_dealloc"] = self._i_h_dealloc
+        intr["check_heap"] = self._i_check_heap
+        intr["private_read"] = self._i_private_read
+        intr["private_write"] = self._i_private_write
+        intr["redux_update"] = self._i_redux_update
+        intr["predict_value"] = self._i_predict_value
+        intr["misspec"] = self._i_misspec
+        intr["printf"] = self._i_printf
+        intr["puts"] = self._i_puts
+
+    # -- heap allocation -----------------------------------------------------
+
+    def _i_h_alloc(self, interp, inst, args):
+        size = int(args[0])
+        kind = HeapKind(int(args[1]))
+        site = inst.meta.get("replaced_site", inst.site_id())
+        obj = interp.space.allocate(
+            max(size, 1), f"{site}#h", "logical", kind.base, site=site
+        )
+        interp.notify_alloc(obj, inst)
+        if self.speculating and self.current_worker is not None:
+            if kind is HeapKind.SHORTLIVED:
+                self.current_worker.shortlived_live += 1
+        return obj.base
+
+    def _i_h_dealloc(self, interp, inst, args):
+        addr = int(args[0])
+        if addr == 0:
+            return None
+        kind = HeapKind(int(args[1])) if len(args) > 1 else None
+        if self.speculating and kind is not None and not tag_matches(addr, kind):
+            raise Misspeculation(
+                "separation", f"h_dealloc expected {kind}, pointer tag is "
+                f"{heap_tag_of(addr)}", self.current_iteration)
+        obj = interp.space.free(addr)
+        interp.notify_free(obj, inst)
+        if self.speculating and self.current_worker is not None:
+            if kind is HeapKind.SHORTLIVED:
+                self.current_worker.shortlived_live -= 1
+        return None
+
+    # -- validation intrinsics (§5.1) -------------------------------------------
+
+    def _i_check_heap(self, interp, inst, args):
+        if not self.speculating:
+            return None
+        self.stats.separation_checks += 1
+        self.stats.separation_cycles += SEPARATION_CHECK_COST + 4
+        addr = int(args[0])
+        kind = HeapKind(int(args[1]))
+        if not tag_matches(addr, kind):
+            raise Misspeculation(
+                "separation",
+                f"pointer 0x{addr:x} (tag {heap_tag_of(addr)}) is not in "
+                f"heap {kind}", self.current_iteration)
+        return None
+
+    def _ts(self) -> int:
+        return timestamp_for(self.current_iteration, self.epoch_start)
+
+    def _i_private_read(self, interp, inst, args):
+        if not self.speculating or self.current_worker is None:
+            return None
+        addr, size = int(args[0]), int(args[1])
+        offset = addr - self.private_base
+        if offset < 0:
+            raise Misspeculation(
+                "separation", f"private_read outside private heap 0x{addr:x}",
+                self.current_iteration)
+        cost = 8 + PRIVATE_BYTE_COST * size
+        interp.cycles += PRIVATE_BYTE_COST * size
+        self.stats.private_read_calls += 1
+        self.stats.private_read_bytes += size
+        self.stats.private_read_cycles += cost
+        self.current_worker.shadow.on_read(offset, size, self._ts(),
+                                           self.current_iteration)
+        return None
+
+    def _i_private_write(self, interp, inst, args):
+        if not self.speculating or self.current_worker is None:
+            return None
+        addr, size = int(args[0]), int(args[1])
+        offset = addr - self.private_base
+        if offset < 0:
+            raise Misspeculation(
+                "separation", f"private_write outside private heap 0x{addr:x}",
+                self.current_iteration)
+        cost = 8 + PRIVATE_BYTE_COST * size
+        interp.cycles += PRIVATE_BYTE_COST * size
+        self.stats.private_write_calls += 1
+        self.stats.private_write_bytes += size
+        self.stats.private_write_cycles += cost
+        worker = self.current_worker
+        worker.shadow.on_write(offset, size, self._ts(), self.current_iteration)
+        worker.epoch_written_offsets.update(range(offset, offset + size))
+        return None
+
+    def _i_redux_update(self, interp, inst, args):
+        if not self.speculating or self.current_worker is None:
+            return None
+        addr, size = int(args[0]), int(args[1])
+        self.stats.redux_updates += 1
+        self.stats.redux_cycles += 4 + REDUX_BYTE_COST * size
+        interp.cycles += REDUX_BYTE_COST * size
+        self.current_worker.redux_written.add((addr, size))
+        return None
+
+    def _i_predict_value(self, interp, inst, args):
+        if not self.speculating:
+            return None
+        addr, size, expected = int(args[0]), int(args[1]), int(args[2])
+        self.stats.predictions_checked += 1
+        self.stats.misc_validation_cycles += 4
+        actual = interp.space.read_int(addr, size, signed=False)
+        mask = (1 << (size * 8)) - 1
+        if actual != (expected & mask):
+            raise Misspeculation(
+                "value", f"predicted {expected & mask:#x} at 0x{addr:x}, "
+                f"found {actual:#x}", self.current_iteration)
+        return None
+
+    def _i_misspec(self, interp, inst, args):
+        if not self.speculating:
+            return None
+        raise Misspeculation(
+            "control", "execution left the profiled region",
+            self.current_iteration)
+
+    # -- deferred I/O ---------------------------------------------------------------
+
+    def _i_printf(self, interp, inst, args):
+        if not self.speculating:
+            return self._default_printf(interp, inst, args)
+        from ..interp.intrinsics import format_printf
+
+        fmt = interp.space.read_cstring(int(args[0]))
+        text = format_printf(interp, fmt, args[1:])
+        self.deferred.emit(self.current_iteration, text)
+        self.stats.io_deferred += 1
+        return len(text)
+
+    def _i_puts(self, interp, inst, args):
+        if not self.speculating:
+            return self._default_puts(interp, inst, args)
+        text = interp.space.read_cstring(int(args[0]))
+        self.deferred.emit(self.current_iteration, text + "\n")
+        self.stats.io_deferred += 1
+        return 0
+
+    # -- invocation lifecycle -----------------------------------------------------------
+
+    def private_extent(self) -> int:
+        return self.main_space.region_cursor(self.private_base) - self.private_base
+
+    def begin_invocation(self, worker_count: int) -> None:
+        self.invocation_index += 1
+        self.stats.invocations += 1
+        extent = self.private_extent()
+        if len(self.committed_meta) < extent:
+            self.committed_meta.extend(b"\x00" * (extent - len(self.committed_meta)))
+        self._protect_readonly()
+        self.workers = [
+            WorkerState(w, self.main_space, extent) for w in range(worker_count)
+        ]
+        for worker in self.workers:
+            self._init_worker_redux(worker)
+        self.deferred = DeferredOutput()
+        self.epoch_start = 0
+        self.speculating = True
+
+    def refork_workers(self) -> None:
+        """After recovery: discard all speculative worker state and fork
+        fresh workers from the (now updated) main memory."""
+        count = len(self.workers)
+        extent = self.private_extent()
+        self.workers = [
+            WorkerState(w, self.main_space, extent) for w in range(count)
+        ]
+        for worker in self.workers:
+            self._init_worker_redux(worker)
+
+    def end_invocation(self) -> None:
+        self.speculating = False
+        self.current_worker = None
+        self._unprotect_readonly()
+        self.workers = []
+        # Between invocations the heaps behave as normal memory; the
+        # committed metadata is per-invocation state.
+        self.committed_meta = bytearray()
+
+    def _protect_readonly(self) -> None:
+        self._protected = [
+            obj for obj in self.main_space.live_objects()
+            if obj.tag == int(HeapKind.READONLY) and obj.writable
+        ]
+        for obj in self._protected:
+            obj.writable = False
+
+    def _unprotect_readonly(self) -> None:
+        for obj in self._protected:
+            obj.writable = True
+        self._protected = []
+
+    # -- reduction heap management ---------------------------------------------------------
+
+    def _redux_objects(self) -> List[Tuple[MemoryObject, ReduxObjectPlan]]:
+        out = []
+        for obj in self.main_space.live_objects():
+            if obj.tag != int(HeapKind.REDUX):
+                continue
+            rplan = self.plan.redux_objects.get(obj.site)
+            if rplan is not None:
+                out.append((obj, rplan))
+        return out
+
+    @staticmethod
+    def _identity_bytes(rplan: ReduxObjectPlan, size: int) -> bytes:
+        es = rplan.element_size
+        if rplan.operator == "MUL":
+            elem = (1).to_bytes(es, "little")
+        elif rplan.operator == "FMUL":
+            elem = _struct.pack("<d", 1.0) if es == 8 else _struct.pack("<f", 1.0)
+        elif rplan.operator == "AND":
+            elem = b"\xff" * es
+        else:  # ADD, FADD, OR, XOR: identity is all-zero bytes
+            elem = b"\x00" * es
+        reps, rem = divmod(size, es)
+        return elem * reps + b"\x00" * rem
+
+    def _init_worker_redux(self, worker: WorkerState) -> None:
+        """Give the worker an identity-initialized copy of every reduction
+        object (the paper initializes the replaced reduction pages with the
+        operator's identity, §3.2)."""
+        for obj, rplan in self._redux_objects():
+            copy = MemoryObject(obj.base, obj.size, obj.name, obj.kind,
+                                obj.site, writable=True)
+            copy.data[:] = self._identity_bytes(rplan, obj.size)
+            worker.space._cow_copies[obj.base] = copy
+            worker.space._register(copy)
+            worker.redux_copies[obj.base] = (copy, rplan)
+
+    def _reset_worker_redux(self, worker: WorkerState) -> None:
+        for base, (copy, rplan) in worker.redux_copies.items():
+            copy.data[:] = self._identity_bytes(rplan, copy.size)
+
+    # -- per-iteration hooks (driven by the executor) -----------------------------------------
+
+    def begin_iteration(self, worker: WorkerState, iteration: int) -> None:
+        self.current_worker = worker
+        self.current_iteration = iteration
+        self.restore_predictions(worker, iteration)
+
+    def restore_predictions(self, worker: WorkerState, iteration: int) -> None:
+        """Write the predicted values at iteration start so predicted
+        loads see them; routed through the privacy machinery like any
+        other private write."""
+        for vp in self.plan.predictions:
+            gv = self.module.global_named(vp.obj_site[len("global:"):])
+            addr = self.interp.global_addrs[gv] + vp.offset
+            offset = addr - self.private_base
+            if offset >= 0:
+                worker.shadow.on_write(offset, vp.size, self._ts(), iteration)
+                worker.epoch_written_offsets.update(
+                    range(offset, offset + vp.size))
+            worker.space.write_int(addr, vp.value, vp.size)
+            self.stats.misc_validation_cycles += 4
+
+    def end_iteration(self, worker: WorkerState, iteration: int) -> None:
+        """Validate object-lifetime speculation: no short-lived object may
+        outlive its iteration (§5.1)."""
+        self.stats.lifetime_checks += 1
+        self.stats.misc_validation_cycles += 2
+        if worker.shortlived_live != 0:
+            live = worker.shortlived_live
+            worker.shortlived_live = 0
+            raise Misspeculation(
+                "lifetime",
+                f"{live} short-lived object(s) live at iteration end",
+                iteration)
+        worker.iterations += 1
+
+    # -- checkpoints (§5.2) ----------------------------------------------------------------------
+
+    def checkpoint(self, epoch_start: int, epoch_end: int) -> CheckpointRecord:
+        """Collect all workers' speculative state, run phase-two privacy
+        validation, merge, and commit into main memory."""
+        record = CheckpointRecord(self.invocation_index, epoch_start, epoch_end)
+
+        # Phase 2 privacy: a byte that some worker read as live-in must not
+        # have been defined since the invocation began (committed old-write)
+        # nor written by any other worker during this epoch.  Without a
+        # read-iteration timestamp this is conservative, as in the paper.
+        written_by: Dict[int, Set[int]] = {
+            w.wid: w.epoch_written_offsets for w in self.workers
+        }
+        for worker in self.workers:
+            for b in worker.shadow.read_live_in_offsets():
+                if b < len(self.committed_meta) and self.committed_meta[b] == 1:
+                    raise Misspeculation(
+                        "privacy",
+                        f"live-in read of byte private+{b} defined in an "
+                        f"earlier checkpoint epoch", epoch_start)
+                for other in self.workers:
+                    if other is not worker and b in written_by[other.wid]:
+                        raise Misspeculation(
+                            "privacy",
+                            f"cross-worker flow: worker {other.wid} wrote "
+                            f"private+{b}, worker {worker.wid} read it "
+                            f"live-in", epoch_start)
+
+        # Merge private state: per byte, latest iteration wins.
+        best: Dict[int, Tuple[int, WorkerState]] = {}
+        for worker in self.workers:
+            for b, iteration in worker.shadow.write_iterations(epoch_start):
+                cur = best.get(b)
+                if cur is None or iteration > cur[0]:
+                    best[b] = (iteration, worker)
+        merged = 0
+        for b, (_iteration, worker) in best.items():
+            addr = self.private_base + b
+            found = worker.space.try_find(addr)
+            if found is None:
+                continue
+            obj, off = found
+            target = self.main_space.try_find(addr)
+            if target is None:
+                continue  # worker-local private allocation; nothing to commit
+            tobj, toff = target
+            tobj.data[toff] = obj.data[off]
+            if b < len(self.committed_meta):
+                self.committed_meta[b] = 1
+            merged += 1
+        record.private_bytes_copied = merged
+
+        # Merge reduction partial results.
+        redux_bytes = 0
+        for worker in self.workers:
+            elements: Set[Tuple[int, int]] = set()
+            for addr, size in worker.redux_written:
+                base_entry = worker.redux_copies.get(self._redux_object_base(addr))
+                es = base_entry[1].element_size if base_entry else size
+                for e in range(addr, addr + size, es):
+                    elements.add((e, es))
+            for addr, es in elements:
+                self._merge_redux_element(worker, addr, es)
+                redux_bytes += es
+            self._reset_worker_redux(worker)
+        record.redux_bytes_merged = redux_bytes
+
+        # Commit deferred output in iteration order.
+        record.io_records_committed = self.deferred.commit_range(
+            epoch_start, epoch_end, self.interp.emit_output)
+
+        # Reset per-epoch state and cost the copies.
+        dirty_total = 0
+        for worker in self.workers:
+            dirty = {
+                p for p in worker.space.dirty_pages
+                if (p << 12) >= self.private_base
+                and (p << 12) < self.private_base + (1 << 44)
+            }
+            dirty_total += len(dirty)
+            record.dirty_pages += len(dirty)
+            worker.shadow.reset_after_checkpoint()
+            worker.reset_epoch_tracking()
+
+        cost = (CHECKPOINT_FIXED_COST * len(self.workers)
+                + CHECKPOINT_PAGE_COST * dirty_total
+                + CHECKPOINT_BYTE_COST * (merged + redux_bytes))
+        self.stats.checkpoint_cycles += cost
+        record.speculative = False
+        self.stats.checkpoints += 1
+        self.stats.checkpoint_records.append(record)
+        self.epoch_start = epoch_end
+        return record
+
+    def _redux_object_base(self, addr: int) -> int:
+        found = self.main_space.try_find(addr)
+        return found[0].base if found else addr
+
+    def _merge_redux_element(self, worker: WorkerState, addr: int, size: int) -> None:
+        entry = worker.redux_copies.get(self._redux_object_base(addr))
+        if entry is None:
+            return
+        _copy, rplan = entry
+        op = BinOpKind[rplan.operator]
+        if rplan.is_float:
+            delta = worker.space.read_float(addr, size)
+            current = self.main_space.read_float(addr, size)
+            self.main_space.write_float(addr, apply_operator(op, current, delta), size)
+        else:
+            signed = rplan.operator in ("ADD", "MUL")
+            delta = worker.space.read_int(addr, size, signed)
+            current = self.main_space.read_int(addr, size, signed)
+            merged = apply_operator(op, current, delta)
+            self.main_space.write_int(addr, merged, size)
+
+    # -- misspeculation & recovery (§5.3) ------------------------------------------------------------
+
+    def record_misspeculation(self, exc: Misspeculation,
+                              injected: bool = False) -> None:
+        self.stats.misspeculations.append(
+            MisspecEvent(exc.kind, exc.iteration, exc.detail, injected))
+
+    def squash_to_recovery(self, misspec_iteration: int) -> None:
+        """Discard all speculative state newer than the last checkpoint."""
+        self.stats.recoveries += 1
+        self.deferred.squash_from(self.epoch_start)
+        self.speculating = False
+        self.current_worker = None
+        # Recovery may legally write read-only-classified objects.
+        self._unprotect_readonly()
+
+    def resume_after_recovery(self, next_iteration: int) -> None:
+        self._protect_readonly()
+        self.refork_workers()
+        self.epoch_start = next_iteration
+        self.speculating = True
+
+    def note_recovery_write(self, addr: int, size: int) -> None:
+        """Called for stores executed during sequential recovery: they are
+        committed definitions, so later live-in reads of them must fail
+        phase-2 validation."""
+        if heap_tag_of(addr) != int(HeapKind.PRIVATE):
+            return
+        offset = addr - self.private_base
+        end = offset + size
+        if end > len(self.committed_meta):
+            self.committed_meta.extend(b"\x00" * (end - len(self.committed_meta)))
+        for b in range(offset, end):
+            self.committed_meta[b] = 1

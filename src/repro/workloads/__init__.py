@@ -1,0 +1,23 @@
+"""The five evaluated programs (paper §6, Table 3), expressed in MiniC
+with deterministic synthetic inputs."""
+
+from typing import Dict, List
+
+from .alvinn import WORKLOAD as ALVINN
+from .base import PaperExpectations, Workload
+from .blackscholes import WORKLOAD as BLACKSCHOLES
+from .dijkstra import WORKLOAD as DIJKSTRA
+from .enc_md5 import WORKLOAD as ENC_MD5, reference_digests
+from .swaptions import WORKLOAD as SWAPTIONS
+
+ALL_WORKLOADS: List[Workload] = [
+    ALVINN, DIJKSTRA, BLACKSCHOLES, SWAPTIONS, ENC_MD5,
+]
+
+BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+__all__ = [
+    "ALL_WORKLOADS", "ALVINN", "BLACKSCHOLES", "BY_NAME", "DIJKSTRA",
+    "ENC_MD5", "PaperExpectations", "SWAPTIONS", "Workload",
+    "reference_digests",
+]

@@ -1,0 +1,131 @@
+"""052.alvinn (SPEC) — neural-network training (backpropagation).
+
+The hot loop iterates over training patterns inside an epoch loop, so the
+parallel region is invoked once per epoch (the paper reports 200
+invocations).  Per-pattern activation/error arrays are stack-allocated in
+``main`` and indexed through pointer arithmetic in callees — the four
+stack arrays the paper privatizes.  Weight-delta matrices and the total
+error are genuine associative reductions (the paper: two global arrays
+and a scalar).  The weight matrices themselves are only read inside the
+region.
+
+``main(patterns, epochs, seed)``.
+"""
+
+from __future__ import annotations
+
+from .base import PaperExpectations, Workload
+
+SOURCE = """
+double w_ih[24][8];
+double w_ho[8][4];
+double d_ih[24][8];
+double d_ho[8][4];
+double inputs[64][24];
+double targets[64][4];
+double total_err;
+
+double squash(double x) {
+    /* fast sigmoid-like squashing */
+    if (x < 0.0) { return -x / (1.0 - x) + 1.0; }
+    return x / (1.0 + x);
+}
+
+void forward(double* in, double* hid, double* out) {
+    for (int h = 0; h < 8; h++) {
+        double sum = 0.0;
+        for (int i = 0; i < 24; i++) { sum = sum + in[i] * w_ih[i][h]; }
+        hid[h] = squash(sum);
+    }
+    for (int o = 0; o < 4; o++) {
+        double sum = 0.0;
+        for (int h = 0; h < 8; h++) { sum = sum + hid[h] * w_ho[h][o]; }
+        out[o] = squash(sum);
+    }
+}
+
+void backward(double* in, double* hid, double* out,
+              double* target, double* herr, double* oerr) {
+    for (int o = 0; o < 4; o++) {
+        double err = target[o] - out[o];
+        oerr[o] = err * out[o] * (1.0 - out[o]);
+        total_err += err * err;
+    }
+    for (int h = 0; h < 8; h++) {
+        double sum = 0.0;
+        for (int o = 0; o < 4; o++) { sum = sum + oerr[o] * w_ho[h][o]; }
+        herr[h] = sum * hid[h] * (1.0 - hid[h]);
+    }
+    for (int h = 0; h < 8; h++) {
+        for (int o = 0; o < 4; o++) { d_ho[h][o] += oerr[o] * hid[h]; }
+    }
+    for (int i = 0; i < 24; i++) {
+        for (int h = 0; h < 8; h++) { d_ih[i][h] += herr[h] * in[i]; }
+    }
+}
+
+int main(int patterns, int epochs, long seed) {
+    double hidden[8];
+    double output[4];
+    double herr[8];
+    double oerr[4];
+    rand_seed(seed);
+    for (int i = 0; i < 24; i++) {
+        for (int h = 0; h < 8; h++) {
+            w_ih[i][h] = 0.001 * (rand_int() % 200) - 0.1;
+        }
+    }
+    for (int h = 0; h < 8; h++) {
+        for (int o = 0; o < 4; o++) {
+            w_ho[h][o] = 0.001 * (rand_int() % 200) - 0.1;
+        }
+    }
+    for (int p = 0; p < patterns; p++) {
+        for (int i = 0; i < 24; i++) {
+            inputs[p][i] = 0.01 * (rand_int() % 100);
+        }
+        for (int o = 0; o < 4; o++) {
+            targets[p][o] = 0.1 + 0.2 * (rand_int() % 4);
+        }
+    }
+    for (int e = 0; e < epochs; e++) {
+        for (int p = 0; p < patterns; p++) {
+            forward(inputs[p], hidden, output);
+            backward(inputs[p], hidden, output, targets[p], herr, oerr);
+        }
+        /* Apply and clear the accumulated deltas (outside the region). */
+        for (int i = 0; i < 24; i++) {
+            for (int h = 0; h < 8; h++) {
+                w_ih[i][h] += 0.01 * d_ih[i][h];
+                d_ih[i][h] = 0.0;
+            }
+        }
+        for (int h = 0; h < 8; h++) {
+            for (int o = 0; o < 4; o++) {
+                w_ho[h][o] += 0.01 * d_ho[h][o];
+                d_ho[h][o] = 0.0;
+            }
+        }
+    }
+    printf("total error %.6f\\n", total_err);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="alvinn",
+    suite="SPEC (052.alvinn)",
+    description="Batch backpropagation; per-pattern stack arrays are "
+                "privatized and weight deltas are reductions",
+    source=SOURCE,
+    train=(16, 6, 9),
+    ref=(48, 10, 17),
+    alt=(24, 8, 31),
+    expectations=PaperExpectations(
+        heaps={"private": True, "short_lived": False, "read_only": True,
+               "redux": True, "unrestricted": False},
+        extras=(),
+        invocations_many=True,
+        reads_dominate_writes=True,
+    ),
+)

@@ -1,0 +1,55 @@
+"""Workload descriptors for the five evaluated programs (Table 3).
+
+Each workload carries its MiniC source and three input sets: *train*
+(used by the profilers), *ref* (used for all performance measurements),
+and *alt* (used only to check that the analysis is stable with respect to
+profile input, §6).  Inputs are parameters of ``main`` plus a PRNG seed;
+all data is generated deterministically inside the guest.
+
+Input sizes are scaled down from the paper's native runs (which execute
+minutes of real silicon) to interpreter scale; DESIGN.md documents the
+substitution.  What is preserved: the *reuse patterns* that create the
+false dependences Privateer targets, the heap-assignment shape, and the
+iteration counts needed for 24-worker scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class PaperExpectations:
+    """What Table 3 / §6.1 report for this program — used by tests and the
+    Table 3 bench to compare shapes."""
+
+    heaps: Dict[str, bool] = field(default_factory=dict)  # heap -> populated?
+    extras: Tuple[str, ...] = ()
+    invocations_many: bool = False  # >1 parallel-region invocation?
+    reads_dominate_writes: Optional[bool] = None
+
+
+@dataclass
+class Workload:
+    name: str
+    suite: str
+    description: str
+    source: str
+    train: Tuple[object, ...]
+    ref: Tuple[object, ...]
+    alt: Tuple[object, ...]
+    expectations: PaperExpectations = field(default_factory=PaperExpectations)
+
+    def prepare(self, use_ref: bool = True, **kwargs):
+        """Profile on train, evaluate on ref (or train when
+        ``use_ref=False`` for quick tests)."""
+        from ..bench.pipeline import prepare
+
+        ref_args = self.ref if use_ref else self.train
+        return prepare(self.source, self.name, args=self.train,
+                       ref_args=ref_args, **kwargs)
+
+    def prepare_small(self, **kwargs):
+        """Train-sized everything: fast path for unit tests."""
+        return self.prepare(use_ref=False, **kwargs)

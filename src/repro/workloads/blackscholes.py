@@ -1,0 +1,106 @@
+"""blackscholes (PARSEC) — option pricing.
+
+The inner loop over options is embarrassingly parallel, and that is all
+the non-speculative baseline can prove (Figure 7).  The *outer* loop
+(repeated pricing runs) carries output dependences on the ``prices``
+array, which is allocated in a different function and reached through a
+pointer — beyond array-based privatization schemes.  Privateer classifies
+it private, enabling the hotter outer loop and a single spawn/join.
+
+``main(n, runs, seed)``: ``runs`` pricing sweeps over ``n`` options.
+"""
+
+from __future__ import annotations
+
+from .base import PaperExpectations, Workload
+
+SOURCE = """
+double sptprice[128];
+double strike[128];
+double rate[128];
+double volatility[128];
+double otime[128];
+int otype[128];
+double* prices;
+int numOptions;
+
+double CNDF(double x) {
+    int sign = 0;
+    if (x < 0.0) { x = -x; sign = 1; }
+    double expv = exp(-0.5 * x * x);
+    double nprime = 0.39894228040143270286 * expv;
+    double k = 1.0 / (1.0 + 0.2316419 * x);
+    double k2 = k * k;
+    double k4 = k2 * k2;
+    double poly = 0.319381530 * k - 0.356563782 * k2
+                + 1.781477937 * k2 * k - 1.821255978 * k4
+                + 1.330274429 * k4 * k;
+    double cnd = 1.0 - nprime * poly;
+    if (sign) { cnd = 1.0 - cnd; }
+    return cnd;
+}
+
+double BlkSchlsEqEuroNoDiv(double spt, double str, double r,
+                           double vol, double t, int call) {
+    double sqrtt = sqrt(t);
+    double d1 = (log(spt / str) + (r + 0.5 * vol * vol) * t) / (vol * sqrtt);
+    double d2 = d1 - vol * sqrtt;
+    double nd1 = CNDF(d1);
+    double nd2 = CNDF(d2);
+    double fut = str * exp(-r * t);
+    double price;
+    if (call) {
+        price = spt * nd1 - fut * nd2;
+    } else {
+        price = fut * (1.0 - nd2) - spt * (1.0 - nd1);
+    }
+    return price;
+}
+
+void initOptions(int n, long seed) {
+    rand_seed(seed);
+    numOptions = n;
+    prices = (double*)malloc(n * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        sptprice[i] = 20.0 + (rand_int() % 8000) * 0.01;
+        strike[i] = 20.0 + (rand_int() % 8000) * 0.01;
+        rate[i] = 0.01 + (rand_int() % 9) * 0.005;
+        volatility[i] = 0.05 + (rand_int() % 60) * 0.01;
+        otime[i] = 0.1 + (rand_int() % 40) * 0.1;
+        otype[i] = rand_int() % 2;
+    }
+}
+
+int main(int n, int runs, long seed) {
+    initOptions(n, seed);
+    int count = numOptions;
+    for (int run = 0; run < runs; run++) {
+        for (int i = 0; i < count; i++) {
+            prices[i] = BlkSchlsEqEuroNoDiv(sptprice[i], strike[i], rate[i],
+                                            volatility[i], otime[i], otype[i]);
+        }
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < count; i++) { checksum = checksum + prices[i]; }
+    printf("checksum %.6f\\n", checksum);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="blackscholes",
+    suite="PARSEC",
+    description="Black-Scholes option pricing; the pricing array is "
+                "allocated in another function and reused each run",
+    source=SOURCE,
+    train=(24, 20, 11),
+    ref=(96, 48, 5),
+    alt=(32, 30, 77),
+    expectations=PaperExpectations(
+        heaps={"private": True, "short_lived": False, "read_only": True,
+               "redux": False, "unrestricted": False},
+        extras=(),
+        invocations_many=False,
+        reads_dominate_writes=False,  # paper: 0 B private reads, 4 GB writes
+    ),
+)

@@ -1,0 +1,102 @@
+"""dijkstra (MiBench) — the paper's motivating example (Figure 2).
+
+The hot loop runs Dijkstra's algorithm from successive source vertices.
+Two data structures are reused across iterations and serialize the loop
+with false dependences: the linked-list work queue ``Q`` (whose nodes are
+heap-allocated per iteration — short-lived) and the ``pathcost`` table
+(private).  The adjacency matrix is read-only.  Value prediction asserts
+the queue is empty at iteration boundaries; the never-taken queue-
+underflow path is removed by control speculation; per-iteration results
+are printed, so output is deferred through the checkpoint system —
+matching the paper's "Value, Control, I/O" extras for this program.
+
+``main(n, m, seed)``: ``n`` source iterations over an ``m``-vertex graph.
+"""
+
+from __future__ import annotations
+
+from .base import PaperExpectations, Workload
+
+SOURCE = """
+struct node { int vx; struct node* next; };
+struct queue { struct node* head; struct node* tail; };
+
+struct queue Q;
+int pathcost[32];
+int results[128];
+int adj[32][32];
+
+void enqueueQ(int v) {
+    struct node* n = (struct node*)malloc(sizeof(struct node));
+    n->vx = v;
+    n->next = Q.head;
+    Q.head = n;
+    if (Q.tail == 0) { Q.tail = n; }
+}
+
+int emptyQ() { return Q.head == 0; }
+
+int dequeueQ() {
+    struct node* kill = Q.head;
+    if (kill == 0) {
+        /* Queue underflow: never taken, removed by control speculation. */
+        printf("queue underflow!\\n");
+        return -1;
+    }
+    int v = kill->vx;
+    Q.head = kill->next;
+    if (Q.head == 0) { Q.tail = 0; }
+    free(kill);
+    return v;
+}
+
+int main(int n, int m, long seed) {
+    rand_seed(seed);
+    for (int i = 0; i < m; i++) {
+        for (int j = 0; j < m; j++) {
+            adj[i][j] = 1 + rand_int() % 16;
+        }
+    }
+    for (int src = 0; src < n; src++) {
+        int s = src % m;
+        for (int i = 0; i < m; i++) { pathcost[i] = 1000000; }
+        pathcost[s] = 0;
+        enqueueQ(s);
+        while (!emptyQ()) {
+            int v = dequeueQ();
+            int d = pathcost[v];
+            for (int i = 0; i < m; i++) {
+                int ncost = adj[v][i] + d;
+                if (pathcost[i] > ncost) {
+                    pathcost[i] = ncost;
+                    enqueueQ(i);
+                }
+            }
+        }
+        results[src] = pathcost[m - 1 - s];
+        printf("path %d->%d cost %d\\n", s, m - 1 - s, results[src]);
+    }
+    long totalcost = 0;
+    for (int src = 0; src < n; src++) { totalcost = totalcost + results[src]; }
+    printf("total %ld\\n", totalcost);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    suite="MiBench",
+    description="All-sources shortest paths over a reused linked-list "
+                "work queue and path-cost table",
+    source=SOURCE,
+    train=(24, 16, 7),
+    ref=(96, 24, 13),
+    alt=(40, 20, 99),
+    expectations=PaperExpectations(
+        heaps={"private": True, "short_lived": True, "read_only": True,
+               "redux": False, "unrestricted": False},
+        extras=("Value", "Control", "I/O"),
+        invocations_many=False,
+        reads_dominate_writes=True,
+    ),
+)

@@ -1,0 +1,182 @@
+"""enc-md5 (Trimaran) — MD5 message digests of many data sets.
+
+A full, bit-exact MD5 implementation in MiniC (the K table is derived
+from ``sin`` exactly as in RFC 1321; tests check digests against Python's
+``hashlib``).  Parallelization of the outer loop is limited by false
+dependences on the reused MD5 state object and digest buffer (private),
+plus the per-iteration message buffer (short-lived) and the calls to
+``printf`` (deferred through the checkpoint system) — the paper's
+"Control, I/O" extras.
+
+``main(nmsgs, msglen, seed)``.
+"""
+
+from __future__ import annotations
+
+from .base import PaperExpectations, Workload
+
+SOURCE = """
+struct md5state { unsigned a; unsigned b; unsigned c; unsigned d; };
+
+struct md5state ST;
+unsigned char digest[16];
+unsigned K[64];
+int S[64];
+
+unsigned rotl(unsigned x, int s) {
+    return (x << s) | (x >> (32 - s));
+}
+
+void md5_tables() {
+    for (int i = 0; i < 64; i++) {
+        double v = sin(i + 1.0);
+        K[i] = (unsigned)(fabs(v) * 4294967296.0);
+    }
+    for (int i = 0; i < 16; i++) {
+        int r = i % 4;
+        if (r == 0) { S[i] = 7; }
+        if (r == 1) { S[i] = 12; }
+        if (r == 2) { S[i] = 17; }
+        if (r == 3) { S[i] = 22; }
+    }
+    for (int i = 16; i < 32; i++) {
+        int r = i % 4;
+        if (r == 0) { S[i] = 5; }
+        if (r == 1) { S[i] = 9; }
+        if (r == 2) { S[i] = 14; }
+        if (r == 3) { S[i] = 20; }
+    }
+    for (int i = 32; i < 48; i++) {
+        int r = i % 4;
+        if (r == 0) { S[i] = 4; }
+        if (r == 1) { S[i] = 11; }
+        if (r == 2) { S[i] = 16; }
+        if (r == 3) { S[i] = 23; }
+    }
+    for (int i = 48; i < 64; i++) {
+        int r = i % 4;
+        if (r == 0) { S[i] = 6; }
+        if (r == 1) { S[i] = 10; }
+        if (r == 2) { S[i] = 15; }
+        if (r == 3) { S[i] = 21; }
+    }
+}
+
+void md5_init() {
+    ST.a = 0x67452301;
+    ST.b = 0xefcdab89;
+    ST.c = 0x98badcfe;
+    ST.d = 0x10325476;
+}
+
+void md5_block(unsigned char* p) {
+    unsigned M[16];
+    for (int j = 0; j < 16; j++) {
+        M[j] = (unsigned)p[4 * j]
+             | ((unsigned)p[4 * j + 1] << 8)
+             | ((unsigned)p[4 * j + 2] << 16)
+             | ((unsigned)p[4 * j + 3] << 24);
+    }
+    unsigned a = ST.a;
+    unsigned b = ST.b;
+    unsigned c = ST.c;
+    unsigned d = ST.d;
+    for (int i = 0; i < 64; i++) {
+        unsigned f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        unsigned tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + K[i] + M[g], S[i]);
+        a = tmp;
+    }
+    ST.a = ST.a + a;
+    ST.b = ST.b + b;
+    ST.c = ST.c + c;
+    ST.d = ST.d + d;
+}
+
+void md5_digest(unsigned char* msg, int len) {
+    md5_init();
+    int padded = ((len + 8) / 64 + 1) * 64;
+    msg[len] = 0x80;
+    for (int j = len + 1; j < padded - 8; j++) { msg[j] = 0; }
+    long bits = (long)len * 8;
+    for (int j = 0; j < 8; j++) {
+        msg[padded - 8 + j] = (unsigned char)((bits >> (8 * j)) & 255);
+    }
+    for (int off = 0; off < padded; off += 64) {
+        md5_block(msg + off);
+    }
+    for (int j = 0; j < 4; j++) {
+        digest[j] = (unsigned char)((ST.a >> (8 * j)) & 255);
+        digest[4 + j] = (unsigned char)((ST.b >> (8 * j)) & 255);
+        digest[8 + j] = (unsigned char)((ST.c >> (8 * j)) & 255);
+        digest[12 + j] = (unsigned char)((ST.d >> (8 * j)) & 255);
+    }
+}
+
+int main(int nmsgs, int msglen, long seed) {
+    md5_tables();
+    for (int m = 0; m < nmsgs; m++) {
+        unsigned char* msg = (unsigned char*)malloc(msglen + 72);
+        unsigned x = (unsigned)seed + 2654435761 * (m + 1);
+        for (int j = 0; j < msglen; j++) {
+            x = x * 1664525 + 1013904223;
+            msg[j] = (unsigned char)(x >> 24);
+        }
+        md5_digest(msg, msglen);
+        for (int j = 0; j < 16; j++) { printf("%02x", digest[j]); }
+        printf("\\n");
+        free(msg);
+    }
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="enc_md5",
+    suite="Trimaran (enc-md5)",
+    description="MD5 digests of many deterministic messages through a "
+                "reused state object and digest buffer",
+    source=SOURCE,
+    train=(16, 96, 2),
+    ref=(96, 120, 6),
+    alt=(24, 64, 44),
+    expectations=PaperExpectations(
+        heaps={"private": True, "short_lived": True, "read_only": True,
+               "redux": False, "unrestricted": False},
+        extras=("I/O",),
+        invocations_many=False,
+        reads_dominate_writes=False,
+    ),
+)
+
+
+def reference_digests(nmsgs: int, msglen: int, seed: int):
+    """hashlib-computed digests for the exact guest messages — used by
+    tests to prove the MiniC MD5 is bit-exact."""
+    import hashlib
+
+    out = []
+    for m in range(nmsgs):
+        x = (seed + 2654435761 * (m + 1)) & 0xFFFFFFFF
+        data = bytearray()
+        for _ in range(msglen):
+            x = (x * 1664525 + 1013904223) & 0xFFFFFFFF
+            data.append(x >> 24)
+        out.append(hashlib.md5(bytes(data)).hexdigest())
+    return out

@@ -1,0 +1,110 @@
+"""swaptions (PARSEC, simplified HJM kernel) — swaption pricing.
+
+Each outer-loop iteration prices one swaption by simulating forward-rate
+paths.  The simulation allocates linked matrix structures (an array of
+row pointers) and several vectors per iteration — the paper reports 15
+short-lived objects — and reuses persistent scratch buffers across
+iterations (private).  LRPD-family techniques are inapplicable because of
+the linked matrix data structures; static analysis cannot prove the loop
+parallel (Figure 7: DOALL-only does nothing here).
+
+``main(n, steps, seed)``: price ``n`` swaptions with ``steps``-row paths.
+"""
+
+from __future__ import annotations
+
+from .base import PaperExpectations, Workload
+
+SOURCE = """
+double maturity[128];
+double tenor[128];
+double strikes[128];
+double results[128];
+double* scratch_rates;
+double* scratch_disc;
+int NFACTORS;
+
+void initSwaptions(int n, long seed) {
+    rand_seed(seed);
+    NFACTORS = 8;
+    scratch_rates = (double*)malloc(NFACTORS * sizeof(double));
+    scratch_disc = (double*)malloc(NFACTORS * sizeof(double));
+    for (int i = 0; i < n; i++) {
+        maturity[i] = 1.0 + (rand_int() % 9);
+        tenor[i] = 0.5 + 0.5 * (rand_int() % 6);
+        strikes[i] = 0.02 + 0.001 * (rand_int() % 40);
+    }
+}
+
+double simOneSwaption(int idx, int steps) {
+    int nf = NFACTORS;
+    /* Linked matrix: an array of row pointers, one row per time step.
+       All of this storage lives for exactly one outer iteration. */
+    double** paths = (double**)malloc(steps * sizeof(double*));
+    double* drift = (double*)malloc(nf * sizeof(double));
+    double* vols = (double*)malloc(nf * sizeof(double));
+    double* payoff = (double*)malloc(steps * sizeof(double));
+
+    double x = 0.01 * (idx + 1);
+    for (int f = 0; f < nf; f++) {
+        drift[f] = 0.001 * (f + 1) + 0.0001 * idx;
+        vols[f] = 0.01 + 0.002 * f;
+        scratch_rates[f] = strikes[idx];
+        scratch_disc[f] = 1.0;
+    }
+    for (int t = 0; t < steps; t++) {
+        paths[t] = (double*)malloc(nf * sizeof(double));
+        double shock = sin(x * (t + 1)) * 0.001;
+        for (int f = 0; f < nf; f++) {
+            scratch_rates[f] = scratch_rates[f] + drift[f] * 0.1 + vols[f] * shock;
+            scratch_disc[f] = scratch_disc[f] / (1.0 + scratch_rates[f] * 0.1);
+            paths[t][f] = scratch_rates[f];
+        }
+        double swaprate = 0.0;
+        for (int f = 0; f < nf; f++) { swaprate = swaprate + paths[t][f]; }
+        swaprate = swaprate / nf;
+        double gain = swaprate - strikes[idx] * (1.0 + 0.01 * tenor[idx]);
+        if (gain < 0.0) { gain = 0.0; }
+        payoff[t] = gain * scratch_disc[0] * maturity[idx];
+    }
+    double price = 0.0;
+    for (int t = 0; t < steps; t++) { price = price + payoff[t]; }
+    price = price / steps;
+
+    for (int t = 0; t < steps; t++) { free(paths[t]); }
+    free(paths);
+    free(drift);
+    free(vols);
+    free(payoff);
+    return price;
+}
+
+int main(int n, int steps, long seed) {
+    initSwaptions(n, seed);
+    for (int i = 0; i < n; i++) {
+        results[i] = simOneSwaption(i, steps);
+    }
+    double sum = 0.0;
+    for (int i = 0; i < n; i++) { sum = sum + results[i]; }
+    printf("swaption sum %.8f\\n", sum);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="swaptions",
+    suite="PARSEC",
+    description="HJM-style swaption pricing with per-iteration linked "
+                "matrices and reused scratch vectors",
+    source=SOURCE,
+    train=(16, 12, 3),
+    ref=(96, 24, 21),
+    alt=(24, 16, 55),
+    expectations=PaperExpectations(
+        heaps={"private": True, "short_lived": True, "read_only": True,
+               "redux": False, "unrestricted": False},
+        extras=(),
+        invocations_many=False,
+        reads_dominate_writes=True,
+    ),
+)

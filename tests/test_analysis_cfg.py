@@ -1,0 +1,186 @@
+"""CFG, dominators, dominance frontiers, loop forest, induction vars."""
+
+import pytest
+
+from repro.analysis import CFG, DominatorTree, LoopInfo
+from repro.frontend import compile_minic
+
+
+def _main(src):
+    mod = compile_minic(src)
+    return mod, mod.function_named("main")
+
+
+DIAMOND = """
+int main(int x) {
+    int r;
+    if (x > 0) { r = 1; } else { r = 2; }
+    return r;
+}
+"""
+
+NESTED_LOOPS = """
+int main(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < i; j++) { acc += j; }
+    }
+    return acc;
+}
+"""
+
+
+class TestCFG:
+    def test_preds_and_succs_consistent(self):
+        _, fn = _main(DIAMOND)
+        cfg = CFG(fn)
+        for bb in fn.blocks:
+            for s in cfg.succs[bb]:
+                assert bb in cfg.preds[s]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        _, fn = _main(DIAMOND)
+        rpo = CFG(fn).reverse_postorder()
+        assert rpo[0] is fn.entry
+
+    def test_rpo_places_preds_first_in_acyclic(self):
+        _, fn = _main(DIAMOND)
+        cfg = CFG(fn)
+        rpo = cfg.reverse_postorder()
+        pos = {bb: i for i, bb in enumerate(rpo)}
+        # merge block comes after both branch arms
+        merge = fn.block_named("if.end")
+        for p in cfg.preds[merge]:
+            assert pos[p] < pos[merge]
+
+    def test_remove_unreachable(self):
+        mod, fn = _main("int main() { return 1; return 2; }")
+        cfg = CFG(fn)
+        removed = cfg.remove_unreachable()
+        assert removed >= 1
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        _, fn = _main(NESTED_LOOPS)
+        dt = DominatorTree(fn)
+        for bb in CFG(fn).reachable():
+            assert dt.dominates(fn.entry, bb)
+
+    def test_branch_arms_not_dominating_merge(self):
+        _, fn = _main(DIAMOND)
+        dt = DominatorTree(fn)
+        then = fn.block_named("if.then")
+        merge = fn.block_named("if.end")
+        assert not dt.dominates(then, merge)
+
+    def test_header_dominates_body(self):
+        _, fn = _main(NESTED_LOOPS)
+        dt = DominatorTree(fn)
+        header = fn.block_named("for.cond")
+        body = fn.block_named("for.body")
+        assert dt.strictly_dominates(header, body)
+
+    def test_dominance_frontier_of_arms_is_merge(self):
+        _, fn = _main(DIAMOND)
+        dt = DominatorTree(fn)
+        df = dt.dominance_frontiers()
+        then = fn.block_named("if.then")
+        merge = fn.block_named("if.end")
+        assert merge in df[then]
+
+    def test_loop_header_in_own_frontier(self):
+        _, fn = _main(NESTED_LOOPS)
+        dt = DominatorTree(fn)
+        df = dt.dominance_frontiers()
+        header = fn.block_named("for.cond")
+        assert header in df[header]  # via the back edge
+
+
+class TestLoopForest:
+    def test_two_nested_loops_found(self):
+        _, fn = _main(NESTED_LOOPS)
+        li = LoopInfo(fn)
+        assert len(li.loops) == 2
+        depths = sorted(l.depth for l in li.loops)
+        assert depths == [1, 2]
+
+    def test_nesting_parents(self):
+        _, fn = _main(NESTED_LOOPS)
+        li = LoopInfo(fn)
+        inner = next(l for l in li.loops if l.depth == 2)
+        outer = next(l for l in li.loops if l.depth == 1)
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.contains_loop(inner)
+
+    def test_innermost_map(self):
+        _, fn = _main(NESTED_LOOPS)
+        li = LoopInfo(fn)
+        inner_body = fn.block_named("for.body.1")
+        assert li.innermost_loop_of(inner_body).depth == 2
+
+    def test_preheader_and_latch(self):
+        _, fn = _main(NESTED_LOOPS)
+        li = LoopInfo(fn)
+        outer = next(l for l in li.loops if l.depth == 1)
+        cfg = CFG(fn)
+        assert outer.preheader(cfg) is not None
+        assert len(outer.latches) == 1
+
+    def test_exit_blocks(self):
+        _, fn = _main(NESTED_LOOPS)
+        li = LoopInfo(fn)
+        outer = next(l for l in li.loops if l.depth == 1)
+        exits = outer.exit_blocks()
+        assert len(exits) == 1 and exits[0].name.startswith("for.end")
+
+    def test_while_loop_detected(self):
+        _, fn = _main("int main() { int i = 0; while (i < 5) { i++; } return i; }")
+        li = LoopInfo(fn)
+        assert len(li.loops) == 1
+
+
+class TestInductionVariables:
+    def _iv(self, src, header_name="for.cond"):
+        _, fn = _main(src)
+        li = LoopInfo(fn)
+        loop = li.loop_with_header(header_name)
+        return li.find_induction_variable(loop)
+
+    def test_canonical_upcount(self):
+        iv = self._iv("int main(int n) { int a=0; for (int i = 0; i < n; i++)"
+                      " { a+=i; } return a; }")
+        assert iv is not None and iv.step == 1
+        assert not iv.exit_on_true
+
+    def test_downcount(self):
+        iv = self._iv("int main(int n) { int a=0; for (int i = n; i > 0; i--)"
+                      " { a+=i; } return a; }")
+        assert iv is not None and iv.step == -1
+
+    def test_strided(self):
+        iv = self._iv("int main(int n) { int a=0; for (int i = 0; i < n; i += 3)"
+                      " { a+=i; } return a; }")
+        assert iv is not None and iv.step == 3
+
+    def test_non_constant_step_rejected(self):
+        iv = self._iv("int main(int n) { int a=0; for (int i = 1; i < n; i += i)"
+                      " { a+=1; } return a; }")
+        assert iv is None
+
+    def test_variant_bound_rejected(self):
+        src = """
+        int main(int n) {
+            int a = 0;
+            int bound = n;
+            for (int i = 0; i < bound; i++) { a += i; bound--; }
+            return a;
+        }
+        """
+        assert self._iv(src) is None
+
+    def test_invariant_runtime_bound_accepted(self):
+        iv = self._iv("int main(int n) { int a=0; int m = n * 2;"
+                      " for (int i = 0; i < m; i++) { a+=i; } return a; }")
+        assert iv is not None

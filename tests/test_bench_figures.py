@@ -1,0 +1,111 @@
+"""The figure/table regeneration helpers, exercised on a tiny workload
+so the benchmark harness itself is unit-tested."""
+
+import pytest
+
+from repro.bench.figures import (
+    ProgramCache,
+    figure6_data,
+    figure7_data,
+    figure8_data,
+    figure9_data,
+    geomean,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_table3,
+    table3_data,
+)
+from repro.workloads.base import PaperExpectations, Workload
+
+TINY_SRC = """
+int scratch[16];
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 16; j++) { scratch[j] = i * j + 1; }
+        int acc = 0;
+        for (int r = 0; r < 4; r++) {
+            for (int j = 0; j < 16; j++) { acc += scratch[j] % 13; }
+        }
+        out[i] = acc;
+    }
+    printf("%d %d\\n", out[0], out[7]);
+    return 0;
+}
+"""
+
+TINY = Workload(
+    name="tiny",
+    suite="test",
+    description="tiny privatizable loop",
+    source=TINY_SRC,
+    train=(24,),
+    ref=(24,),
+    alt=(12,),
+    expectations=PaperExpectations(),
+)
+
+WORKERS = (2, 4)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ProgramCache(use_ref=True)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestFigureData:
+    def test_figure6(self, cache):
+        data = figure6_data(cache, [TINY], worker_counts=WORKERS)
+        assert set(data) == {"tiny", "geomean"}
+        assert set(data["tiny"]) == set(WORKERS)
+        assert data["geomean"][2] == pytest.approx(data["tiny"][2])
+        text = render_figure6(data)
+        assert "tiny" in text and "geomean" in text
+
+    def test_figure7(self, cache):
+        data = figure7_data(cache, [TINY], workers=4)
+        assert data["tiny"]["privateer"] > 0
+        assert "doall_only" in data["tiny"]
+        assert "geomean" in data
+        assert "tiny" in render_figure7(data)
+
+    def test_figure8(self, cache):
+        data = figure8_data(cache, [TINY], worker_counts=WORKERS)
+        for workers, bd in data["tiny"].items():
+            assert sum(bd.values()) == pytest.approx(1.0, abs=0.02)
+        assert "useful" in render_figure8(data)
+
+    def test_figure9(self, cache):
+        data = figure9_data(cache, [TINY], rates=(0.0, 0.1), workers=4)
+        assert data["tiny"][0.1] < data["tiny"][0.0]
+        assert "%" in render_figure9(data)
+
+    def test_table3(self, cache):
+        rows = table3_data(cache, [TINY], workers=4)
+        row = rows[0]
+        assert row["program"] == "tiny"
+        assert row["invocations"] == 1
+        assert row["checkpoints"] >= 1
+        assert row["private_sites"] == 2  # scratch + out
+        assert row["extras"] == "-"  # the printf is outside the region
+        assert "tiny" in render_table3(rows)
+
+
+class TestProgramCache:
+    def test_prepare_called_once(self, cache):
+        a = cache.get(TINY)
+        b = cache.get(TINY)
+        assert a is b

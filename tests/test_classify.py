@@ -1,0 +1,142 @@
+"""Classification (Algorithm 1): heap assignment from profiles."""
+
+import pytest
+
+from repro.classify import HeapKind, classify
+from repro.frontend import compile_minic
+from repro.profiling import (
+    FlowDep,
+    LoopProfile,
+    LoopRef,
+    ValuePrediction,
+    profile_execution_time,
+    profile_loop,
+)
+
+
+def _profile(**kwargs) -> LoopProfile:
+    p = LoopProfile(LoopRef("f", "loop"))
+    for key, value in kwargs.items():
+        setattr(p, key, value)
+    return p
+
+
+class TestAlgorithm1:
+    def test_written_object_is_private(self):
+        a = classify(_profile(write_sites={"o"}))
+        assert a.site_heaps["o"] is HeapKind.PRIVATE
+
+    def test_read_only_object(self):
+        a = classify(_profile(read_sites={"r"}, write_sites={"w"}))
+        assert a.site_heaps["r"] is HeapKind.READONLY
+        assert a.site_heaps["w"] is HeapKind.PRIVATE
+
+    def test_read_and_written_is_private(self):
+        a = classify(_profile(read_sites={"o"}, write_sites={"o"}))
+        assert a.site_heaps["o"] is HeapKind.PRIVATE
+
+    def test_short_lived_wins_over_private(self):
+        a = classify(_profile(write_sites={"o"}, read_sites={"o"},
+                              short_lived_sites={"o"}))
+        assert a.site_heaps["o"] is HeapKind.SHORTLIVED
+
+    def test_short_lived_requires_footprint(self):
+        a = classify(_profile(short_lived_sites={"o"}))
+        assert "o" not in a.site_heaps  # allocated but never accessed
+
+    def test_pure_reduction(self):
+        a = classify(_profile(redux_sites={"o"}, redux_ops={"o": "FADD"}))
+        assert a.site_heaps["o"] is HeapKind.REDUX
+        assert a.redux_ops["o"] == "FADD"
+
+    def test_reduction_also_read_is_disqualified(self):
+        a = classify(_profile(redux_sites={"o"}, read_sites={"o"},
+                              redux_ops={"o": "ADD"}))
+        assert a.site_heaps["o"] is not HeapKind.REDUX
+
+    def test_flow_dep_makes_unrestricted(self):
+        dep = FlowDep("s1", "l1", "o")
+        a = classify(_profile(write_sites={"o"}, read_sites={"o"},
+                              flow_deps={dep}))
+        assert a.site_heaps["o"] is HeapKind.UNRESTRICTED
+        assert dep in a.residual_deps
+
+    def test_short_lived_trumps_deps(self):
+        # Algorithm 1: Unrestricted = F \ ShortLived \ Redux.
+        dep = FlowDep("s1", "l1", "o")
+        a = classify(_profile(write_sites={"o"}, read_sites={"o"},
+                              short_lived_sites={"o"}, flow_deps={dep}))
+        assert a.site_heaps["o"] is HeapKind.SHORTLIVED
+
+    def test_value_prediction_removes_deps(self):
+        dep = FlowDep("s1", "l1", "global:o")
+        vp = ValuePrediction("global:o", 0, 8, 0)
+        a = classify(_profile(
+            write_sites={"global:o"}, read_sites={"global:o"},
+            flow_deps={dep}, value_predictions={vp: {dep}}))
+        assert a.site_heaps["global:o"] is HeapKind.PRIVATE
+        assert vp in a.predictions
+        assert dep in a.removed_deps
+
+    def test_partial_prediction_insufficient(self):
+        d1 = FlowDep("s1", "l1", "global:o")
+        d2 = FlowDep("s2", "l2", "global:o")
+        vp = ValuePrediction("global:o", 0, 8, 0)
+        a = classify(_profile(
+            write_sites={"global:o"}, read_sites={"global:o"},
+            flow_deps={d1, d2}, value_predictions={vp: {d1}}))
+        assert a.site_heaps["global:o"] is HeapKind.UNRESTRICTED
+        assert not a.predictions
+
+    def test_extras_flags(self):
+        a = classify(_profile(io_sites={"c1"},
+                              unexecuted_blocks={("f", "bb")}))
+        assert a.uses_io_deferral and a.uses_control_speculation
+        assert set(a.extras()) == {"Control", "I/O"}
+
+    def test_counts(self):
+        a = classify(_profile(
+            write_sites={"p1", "p2"}, read_sites={"r1"},
+            redux_sites={"x"}, redux_ops={"x": "ADD"}))
+        counts = a.counts()
+        assert counts["private"] == 2
+        assert counts["read_only"] == 1
+        assert counts["redux"] == 1
+        assert counts["unrestricted"] == 0
+
+
+class TestEndToEndClassification:
+    def _classify(self, src, args):
+        mod = compile_minic(src)
+        report = profile_execution_time(mod, args=args)
+        ref = report.hottest(top_level_only=False)[0].ref
+        return classify(profile_loop(mod, ref, args=args))
+
+    def test_figure4_shape(self):
+        """The dijkstra heap assignment of Figure 4: queue + pathcost
+        private, nodes short-lived, adjacency read-only."""
+        from repro.workloads import DIJKSTRA
+
+        a = self._classify(DIJKSTRA.source, DIJKSTRA.train)
+        assert "global:Q" in a.private_sites
+        assert "global:pathcost" in a.private_sites
+        assert "global:adj" in a.readonly_sites
+        assert len(a.shortlived_sites) == 1
+        assert not a.unrestricted_sites
+
+    def test_static_footprint_helper(self):
+        from repro.classify import get_footprint
+
+        mod = compile_minic("""
+        int g[8];
+        long total;
+        void bump(int i) { g[i % 8] = i; }
+        int main(int n) {
+            for (int i = 0; i < n; i++) { bump(i); total += i; }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        reads, writes, redux = get_footprint(mod, fn, fn.blocks)
+        assert any("g" in w for w in writes)
+        assert any("total" in x for x in redux)

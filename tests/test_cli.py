@@ -1,0 +1,106 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = """
+int scratch[8];
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 8; j++) { scratch[j] = i + j; }
+        int acc = 0;
+        for (int r = 0; r < 5; r++) {
+            for (int j = 0; j < 8; j++) { acc += scratch[j]; }
+        }
+        out[i] = acc;
+    }
+    printf("%d\\n", out[2]);
+    return 0;
+}
+"""
+
+BAD_SRC = """
+int state;
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        out[i] = state;
+        state = state + i;
+        for (int j = 0; j < 20; j++) { out[i] = out[i] * 3 + j; }
+    }
+    printf("%d\\n", out[0]);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_shows_heap_assignment(self, prog_file, capsys):
+        rc = main(["analyze", prog_file, "--args", "24"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Heap assignment" in out
+        assert "PRIVATE" in out
+        assert "ParallelPlan" in out
+
+    def test_unparallelizable_reports_reasons(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(BAD_SRC)
+        rc = main(["analyze", str(path), "--args", "24"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no parallelizable loop" in out
+
+
+class TestRun:
+    def test_runs_and_reports(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup:" in out
+        assert "output matches sequential: True" in out
+        assert "misspeculations:  0" in out
+
+    def test_timeline_flag(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--timeline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "worker 0" in out and "legend" in out
+
+    def test_misspec_injection(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--misspec-period", "9"])
+        out = capsys.readouterr().out
+        assert rc == 0  # still correct
+        assert "recoveries: 2" in out
+
+
+class TestBaselines:
+    def test_reports_all_baselines(self, prog_file, capsys):
+        rc = main(["baselines", prog_file, "--args", "24",
+                   "--workers", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DOALL-only" in out
+        assert "LRPD" in out
+        assert "dependence speculation" in out
+
+
+class TestWorkloads:
+    def test_lists_five(self, capsys):
+        rc = main(["workloads"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("alvinn", "dijkstra", "blackscholes", "swaptions",
+                     "enc_md5"):
+            assert name in out

@@ -1,0 +1,267 @@
+"""Affine analysis (SCEV-lite) and static loop dependence tests, including
+the DOALL-only legality verdicts that drive Figure 7."""
+
+import pytest
+
+from repro.analysis import LoopInfo, doall_legal_static
+from repro.analysis.scev import as_affine, decompose_pointer
+from repro.frontend import compile_minic
+from repro.ir.instructions import Store
+
+
+def _verdict(src, header="for.cond", fn_name="main"):
+    mod = compile_minic(src)
+    fn = mod.function_named(fn_name)
+    li = LoopInfo(fn)
+    loop = li.loop_with_header(header)
+    return doall_legal_static(mod, loop, li)
+
+
+class TestAffine:
+    def test_store_offset_affine_in_iv(self):
+        mod = compile_minic("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[i] = i; }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        store = next(i for i in fn.instructions() if isinstance(i, Store))
+        base, offset = decompose_pointer(store.pointer)
+        assert offset is not None
+        li = LoopInfo(fn)
+        iv = li.find_induction_variable(li.loops[0])
+        assert offset.coeff_of(iv.phi) == 4  # int stride
+        assert offset.const == 0
+
+    def test_shifted_offset(self):
+        mod = compile_minic("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[2 * i + 3] = i; }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        store = next(i for i in fn.instructions() if isinstance(i, Store))
+        _, offset = decompose_pointer(store.pointer)
+        li = LoopInfo(fn)
+        iv = li.find_induction_variable(li.loops[0])
+        assert offset.coeff_of(iv.phi) == 8
+        assert offset.const == 12
+
+    def test_nonaffine_is_none(self):
+        mod = compile_minic("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[i * i % 64] = i; }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        store = next(i for i in fn.instructions() if isinstance(i, Store))
+        _, offset = decompose_pointer(store.pointer)
+        assert offset is None
+
+    def test_affine_algebra(self):
+        from repro.analysis.scev import Affine
+
+        a = Affine(3, {})
+        b = Affine(4, {})
+        assert a.add(b).const == 7
+        assert a.negate().const == -3
+        assert a.scale(5).const == 15
+
+
+class TestDOALLLegality:
+    def test_independent_array_loop_legal(self):
+        v = _verdict("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 2 + 1; }
+            return 0;
+        }
+        """)
+        assert v.legal, v.reasons
+
+    def test_reused_scratch_illegal(self):
+        v = _verdict("""
+        int scratch[8];
+        int out[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                scratch[0] = i;
+                out[i] = scratch[0];
+            }
+            return 0;
+        }
+        """)
+        assert not v.legal
+        assert any("same location" in r or "memory dep" in r for r in v.reasons)
+
+    def test_loop_carried_flow_illegal(self):
+        v = _verdict("""
+        int a[64];
+        int main(int n) {
+            for (int i = 1; i < n; i++) { a[i] = a[i - 1] + 1; }
+            return 0;
+        }
+        """)
+        assert not v.legal
+
+    def test_scalar_accumulator_illegal(self):
+        v = _verdict("""
+        int main(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) { acc += i; }
+            return acc;
+        }
+        """)
+        assert not v.legal
+        assert any("scalar" in r for r in v.reasons)
+
+    def test_io_illegal(self):
+        v = _verdict("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[i] = i; printf("%d", i); }
+            return 0;
+        }
+        """)
+        assert not v.legal
+        assert any("I/O" in r for r in v.reasons)
+
+    def test_unanalyzable_pointer_illegal(self):
+        v = _verdict("""
+        struct n { int v; struct n* next; };
+        struct n* head;
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                struct n* c = (struct n*)malloc(sizeof(struct n));
+                c->v = i;
+                c->next = head;
+                head = c;
+            }
+            return 0;
+        }
+        """)
+        assert not v.legal
+
+    def test_inner_loop_with_outer_invariant_subscript_legal(self):
+        # d[h][o] += x[o]: analyzing the o-loop, the h term is a common
+        # invariant symbol, so distinct o's touch distinct elements.
+        mod = compile_minic("""
+        double d[8][4];
+        double x[4];
+        int main(int n) {
+            for (int h = 0; h < 8; h++) {
+                for (int o = 0; o < 4; o++) { d[h][o] += x[o]; }
+            }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        inner = next(l for l in li.loops if l.depth == 2)
+        v = doall_legal_static(mod, inner, li)
+        assert v.legal, v.reasons
+
+    def test_outer_loop_of_same_nest_illegal(self):
+        mod = compile_minic("""
+        double d[8][4];
+        double x[4];
+        int main(int n) {
+            for (int h = 0; h < 8; h++) {
+                for (int o = 0; o < 4; o++) { d[h][o] += x[o]; }
+            }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        outer = next(l for l in li.loops if l.depth == 1)
+        v = doall_legal_static(mod, outer, li)
+        assert not v.legal  # inner IV varies within the outer loop
+
+    def test_rand_in_loop_illegal(self):
+        v = _verdict("""
+        int a[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { a[i] = (int)rand_int(); }
+            return 0;
+        }
+        """)
+        assert not v.legal
+
+
+class TestReductionRecognition:
+    def test_compound_add_recognized(self):
+        from repro.analysis import find_reduction_updates
+
+        mod = compile_minic("""
+        long total;
+        int main(int n) {
+            for (int i = 0; i < n; i++) { total += i; }
+            return 0;
+        }
+        """)
+        ups = find_reduction_updates(mod.function_named("main"))
+        assert len(ups) == 1
+        assert ups[0].operator.name == "ADD"
+
+    def test_explicit_form_recognized(self):
+        from repro.analysis import find_reduction_updates
+
+        mod = compile_minic("""
+        long total;
+        int main(int n) {
+            for (int i = 0; i < n; i++) { total = total * 2; }
+            return 0;
+        }
+        """)
+        ups = find_reduction_updates(mod.function_named("main"))
+        assert len(ups) == 1 and ups[0].operator.name == "MUL"
+
+    def test_subtraction_not_a_reduction(self):
+        from repro.analysis import find_reduction_updates
+
+        mod = compile_minic("""
+        long total;
+        int main(int n) {
+            for (int i = 0; i < n; i++) { total = total - i; }
+            return 0;
+        }
+        """)
+        assert find_reduction_updates(mod.function_named("main")) == []
+
+    def test_array_element_reduction(self):
+        from repro.analysis import find_reduction_updates
+
+        mod = compile_minic("""
+        double hist[16];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { hist[i % 16] += 1.0; }
+            return 0;
+        }
+        """)
+        ups = find_reduction_updates(mod.function_named("main"))
+        assert len(ups) == 1 and ups[0].operator.name == "FADD"
+
+    def test_apply_operator(self):
+        from repro.analysis import apply_operator
+        from repro.ir.instructions import BinOpKind
+
+        assert apply_operator(BinOpKind.ADD, 2, 3) == 5
+        assert apply_operator(BinOpKind.FMUL, 2.0, 4.0) == 8.0
+        assert apply_operator(BinOpKind.XOR, 0b110, 0b011) == 0b101
+        with pytest.raises(ValueError):
+            apply_operator(BinOpKind.SUB, 1, 2)
+
+    def test_identity_table(self):
+        from repro.analysis import REDUCTION_IDENTITY
+        from repro.ir.instructions import BinOpKind
+
+        assert REDUCTION_IDENTITY[BinOpKind.ADD] == 0
+        assert REDUCTION_IDENTITY[BinOpKind.MUL] == 1
+        assert REDUCTION_IDENTITY[BinOpKind.FMUL] == 1.0

@@ -1,0 +1,77 @@
+"""DOT export of CFGs and dependence graphs."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.frontend import compile_minic
+from repro.ir.dot import cfg_to_dot, deps_to_dot
+
+SRC = """
+int state;
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        out[i] = state;
+        state = i;
+    }
+    return 0;
+}
+"""
+
+
+class TestCfgDot:
+    def test_valid_structure(self):
+        mod = compile_minic(SRC)
+        dot = cfg_to_dot(mod.function_named("main"))
+        assert dot.startswith('digraph "main"')
+        assert dot.rstrip().endswith("}")
+        assert '"for.cond"' in dot
+        assert "->" in dot
+
+    def test_back_edge_annotated(self):
+        mod = compile_minic(SRC)
+        dot = cfg_to_dot(mod.function_named("main"))
+        assert 'label="back"' in dot
+
+    def test_check_blocks_highlighted_after_transform(self):
+        from repro.workloads import DIJKSTRA
+
+        prog = DIJKSTRA.prepare_small()
+        dot = cfg_to_dot(prog.module.function_named("dequeueQ"))
+        assert "fillcolor" in dot  # privacy/separation checks tinted
+
+    def test_without_instructions(self):
+        mod = compile_minic(SRC)
+        dot = cfg_to_dot(mod.function_named("main"),
+                         include_instructions=False)
+        assert "store" not in dot
+
+    def test_quotes_escaped(self):
+        from repro.ir.dot import _escape
+
+        assert _escape('say "hi"') == 'say \\"hi\\"'
+        assert _escape("back\\slash") == "back\\\\slash"
+
+
+class TestDepsDot:
+    def test_flow_edge_rendered(self):
+        mod = compile_minic(SRC)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        loop = li.loop_with_header("for.cond")
+        dot = deps_to_dot(mod, loop, li)
+        assert 'label="flow"' in dot
+        assert "color=red" in dot
+
+    def test_clean_loop_has_no_edges(self):
+        mod = compile_minic("""
+        int out[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) { out[i] = i; }
+            return 0;
+        }
+        """)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        dot = deps_to_dot(mod, li.loop_with_header("for.cond"), li)
+        assert "->" not in dot

@@ -1,0 +1,374 @@
+"""MiniC end-to-end semantics: compile + interpret tiny programs and
+check results against C semantics."""
+
+import pytest
+
+from repro.frontend.lexer import CompileError
+
+from .helpers import run_double_expr, run_expr, run_source
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,expect", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 3", 3),
+        ("-10 / 3", -3),        # C truncates toward zero
+        ("10 % 3", 1),
+        ("-10 % 3", -1),        # sign follows dividend
+        ("1 << 10", 1024),
+        ("256 >> 4", 16),
+        ("-8 >> 1", -4),        # arithmetic shift for signed
+        ("0xF0 & 0x3C", 0x30),
+        ("0xF0 | 0x0F", 0xFF),
+        ("0xFF ^ 0x0F", 0xF0),
+        ("~0", -1),
+        ("-(5)", -5),
+        ("!0", 1),
+        ("!7", 0),
+        ("1 < 2", 1),
+        ("2 <= 1", 0),
+        ("3 == 3", 1),
+        ("3 != 3", 0),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 0", 0),
+        ("0 || 9", 1),
+        ("1 ? 10 : 20", 10),
+        ("0 ? 10 : 20", 20),
+    ])
+    def test_int_expr(self, expr, expect):
+        assert run_expr(expr) == expect
+
+    def test_division_by_zero_faults(self):
+        from repro.interp import GuestFault
+
+        with pytest.raises(GuestFault, match="zero"):
+            run_expr("1 / 0")
+
+    def test_int_overflow_wraps(self):
+        src = """
+        int main() { int x = 2147483647; x = x + 1; return x < 0; }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 1
+
+    def test_unsigned_wraps_and_compares(self):
+        src = """
+        int main() {
+            unsigned x = 0;
+            x = x - 1;              /* wraps to 0xFFFFFFFF */
+            unsigned y = 1;
+            if (x > y) { return 1; }  /* unsigned comparison */
+            return 0;
+        }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 1
+
+    def test_unsigned_shift_is_logical(self):
+        src = """
+        int main() {
+            unsigned x = 0x80000000;
+            return (int)(x >> 31);
+        }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 1
+
+    @pytest.mark.parametrize("expr,expect", [
+        ("1.5 + 2.25", 3.75),
+        ("3.0 / 2.0", 1.5),
+        ("2.0 * 0.5 - 1.0", 0.0),
+    ])
+    def test_double_expr(self, expr, expect):
+        assert run_double_expr(expr) == pytest.approx(expect)
+
+    def test_int_to_double_promotion(self):
+        assert run_double_expr("1 / 2.0") == pytest.approx(0.5)
+
+    def test_double_to_int_truncates(self):
+        assert run_expr("(long)2.9") == 2
+        assert run_expr("(long)(0.0 - 2.9)") == -2
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        src = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        int main() { int r = 0 && bump(); return calls * 10 + r; }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 0
+
+    def test_or_skips_rhs(self):
+        src = """
+        int calls;
+        int bump() { calls = calls + 1; return 0; }
+        int main() { int r = 1 || bump(); return calls * 10 + r; }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 1
+
+    def test_rhs_evaluated_when_needed(self):
+        src = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        int main() { int r = 1 && bump(); return calls * 10 + r; }
+        """
+        rv, _, _ = run_source(src)
+        assert rv == 11
+
+
+class TestControlFlow:
+    def test_sum_loop(self):
+        rv, _, _ = run_source(
+            "int main(int n) { int a = 0; for (int i = 0; i < n; i++)"
+            " { a += i; } return a; }", args=(10,))
+        assert rv == 45
+
+    def test_while_with_break(self):
+        src = """
+        int main() {
+            int i = 0;
+            while (1) { i++; if (i == 7) { break; } }
+            return i;
+        }
+        """
+        assert run_source(src)[0] == 7
+
+    def test_continue(self):
+        src = """
+        int main() {
+            int evens = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2) { continue; }
+                evens++;
+            }
+            return evens;
+        }
+        """
+        assert run_source(src)[0] == 5
+
+    def test_nested_break_targets_inner(self):
+        src = """
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 100; j++) {
+                    if (j == 2) { break; }
+                    count++;
+                }
+            }
+            return count;
+        }
+        """
+        assert run_source(src)[0] == 6
+
+    def test_recursion(self):
+        src = """
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() { return fib(12); }
+        """
+        assert run_source(src)[0] == 144
+
+    def test_early_return(self):
+        src = """
+        int f(int x) { if (x > 0) { return 1; } return -1; }
+        int main() { return f(5) + f(-5); }
+        """
+        assert run_source(src)[0] == 0
+
+
+class TestPointersAndArrays:
+    def test_address_of_and_deref(self):
+        src = """
+        int main() { int x = 3; int* p = &x; *p = 9; return x; }
+        """
+        assert run_source(src)[0] == 9
+
+    def test_pointer_arithmetic(self):
+        src = """
+        int main() {
+            int a[4];
+            for (int i = 0; i < 4; i++) { a[i] = i * i; }
+            int* p = a;
+            p = p + 2;
+            return *p + p[1];
+        }
+        """
+        assert run_source(src)[0] == 4 + 9
+
+    def test_pointer_difference(self):
+        src = """
+        int main() { int a[10]; int* p = &a[7]; int* q = &a[2]; return (int)(p - q); }
+        """
+        assert run_source(src)[0] == 5
+
+    def test_multidim_array(self):
+        src = """
+        int g[3][4];
+        int main() {
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    g[i][j] = i * 10 + j;
+            return g[2][3];
+        }
+        """
+        assert run_source(src)[0] == 23
+
+    def test_array_decay_to_param(self):
+        src = """
+        int sum(int* p, int n) {
+            int a = 0;
+            for (int i = 0; i < n; i++) { a += p[i]; }
+            return a;
+        }
+        int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; return sum(a, 3); }
+        """
+        assert run_source(src)[0] == 6
+
+    def test_struct_members(self):
+        src = """
+        struct point { int x; int y; };
+        int main() {
+            struct point p;
+            p.x = 3; p.y = 4;
+            struct point* q = &p;
+            q->y = 5;
+            return p.x * 10 + p.y;
+        }
+        """
+        assert run_source(src)[0] == 35
+
+    def test_linked_list(self):
+        src = """
+        struct n { int v; struct n* next; };
+        int main() {
+            struct n* head = 0;
+            for (int i = 1; i <= 4; i++) {
+                struct n* c = (struct n*)malloc(sizeof(struct n));
+                c->v = i; c->next = head; head = c;
+            }
+            int sum = 0;
+            while (head != 0) {
+                sum = sum * 10 + head->v;
+                struct n* dead = head;
+                head = head->next;
+                free(dead);
+            }
+            return sum;
+        }
+        """
+        assert run_source(src)[0] == 4321
+
+    def test_char_array_and_string(self):
+        src = """
+        int main() {
+            char* s = "abc";
+            return s[0] + s[2];
+        }
+        """
+        assert run_source(src)[0] == ord("a") + ord("c")
+
+    def test_increment_pointer(self):
+        src = """
+        int main() {
+            int a[3]; a[0] = 5; a[1] = 7; a[2] = 9;
+            int* p = a;
+            p++;
+            return *p;
+        }
+        """
+        assert run_source(src)[0] == 7
+
+
+class TestGlobals:
+    def test_zero_initialized(self):
+        assert run_source("int g; int main() { return g; }")[0] == 0
+
+    def test_scalar_initializer(self):
+        assert run_source("int g = 41; int main() { return g + 1; }")[0] == 42
+
+    def test_const_expr_initializer(self):
+        assert run_source(
+            "int g = 6 * 7; int main() { return g; }")[0] == 42
+
+    def test_sizeof_initializer(self):
+        src = "long g = sizeof(double); int main() { return (int)g; }"
+        assert run_source(src)[0] == 8
+
+    def test_double_global(self):
+        src = "double g = 2.5; int main() { return (int)(g * 4.0); }"
+        assert run_source(src)[0] == 10
+
+
+class TestOutput:
+    def test_printf_formats(self):
+        src = r"""
+        int main() {
+            printf("%d %ld %u %x %c %s %.2f|", -3, 10, 7, 255, 65, "ok", 1.5);
+            return 0;
+        }
+        """
+        _, out, _ = run_source(src)
+        assert out == "-3 10 7 ff A ok 1.50|"
+
+    def test_printf_width(self):
+        _, out, _ = run_source(
+            'int main() { printf("%04d %02x", 7, 11); return 0; }')
+        assert out == "0007 0b"
+
+    def test_puts(self):
+        _, out, _ = run_source('int main() { puts("hi"); return 0; }')
+        assert out == "hi\n"
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("src,match", [
+        ("int main() { return x; }", "undeclared"),
+        ("int main() { int x; int x; return 0; }", "redeclaration"),
+        ("int main() { f(); return 0; }", "undeclared function"),
+        ("int main() { int x; x.y = 1; return 0; }", "non-struct"),
+        ("void main() { return 3; }", "convert"),
+        ("int main() { break; }", "break outside"),
+        ("struct s { int a; }; int main() { struct s v; v.b = 1; return 0; }",
+         "no field"),
+    ])
+    def test_rejected(self, src, match):
+        with pytest.raises(CompileError, match=match):
+            run_source(src)
+
+    def test_arity_mismatch(self):
+        src = "int f(int a) { return a; } int main() { return f(1, 2); }"
+        with pytest.raises(CompileError, match="expects"):
+            run_source(src)
+
+
+class TestDeterminism:
+    def test_prng_reproducible(self):
+        src = """
+        int main() {
+            rand_seed(123);
+            long a = rand_int();
+            rand_seed(123);
+            long b = rand_int();
+            return a == b;
+        }
+        """
+        assert run_source(src)[0] == 1
+
+    def test_same_program_same_output(self):
+        src = """
+        int main() {
+            rand_seed(5);
+            long acc = 0;
+            for (int i = 0; i < 10; i++) { acc = acc * 31 + rand_int() % 97; }
+            printf("%ld", acc);
+            return 0;
+        }
+        """
+        out1 = run_source(src)[1]
+        out2 = run_source(src)[1]
+        assert out1 == out2

@@ -1,0 +1,225 @@
+"""Simulated memory: interval object map, heap tags, COW overlays."""
+
+import pytest
+
+from repro.classify.heaps import SHADOW_BIT, HeapKind, shadow_address, tag_matches
+from repro.interp.errors import GuestFault
+from repro.interp.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    PAGE_SIZE,
+    STACK_BASE,
+    TAG_SHIFT,
+    AddressSpace,
+    heap_base_for_tag,
+    heap_tag_of,
+)
+
+
+class TestAllocation:
+    def test_alignment(self):
+        space = AddressSpace()
+        a = space.allocate(10, "a", "heap")
+        b = space.allocate(1, "b", "heap")
+        assert a.base % 16 == 0 and b.base % 16 == 0
+        assert b.base >= a.end
+
+    def test_addresses_never_reused(self):
+        space = AddressSpace()
+        a = space.allocate(64, "a", "heap")
+        space.free(a.base)
+        b = space.allocate(64, "b", "heap")
+        assert b.base != a.base
+
+    def test_zero_initialized(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "z", "heap")
+        assert space.read_int(obj.base, 8, signed=False) == 0
+
+    def test_regions_are_disjoint(self):
+        space = AddressSpace()
+        g = space.allocate(8, "g", "global", GLOBAL_BASE)
+        s = space.allocate(8, "s", "stack", STACK_BASE)
+        h = space.allocate(8, "h", "heap", HEAP_BASE)
+        assert g.base < STACK_BASE <= s.base < HEAP_BASE <= h.base
+
+
+class TestLookup:
+    def test_interior_pointer_resolves(self):
+        space = AddressSpace()
+        obj = space.allocate(100, "o", "heap")
+        found, off = space.find(obj.base + 37)
+        assert found is obj and off == 37
+
+    def test_null_faults(self):
+        with pytest.raises(GuestFault, match="null"):
+            AddressSpace().find(0)
+
+    def test_wild_pointer_faults(self):
+        with pytest.raises(GuestFault, match="wild"):
+            AddressSpace().find(0xDEAD0000)
+
+    def test_out_of_bounds_access_faults(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        with pytest.raises(GuestFault):
+            space.read_bytes(obj.base + 4, 8)  # crosses the end
+
+    def test_use_after_free_faults(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        space.free(obj.base)
+        with pytest.raises(GuestFault):
+            space.read_bytes(obj.base, 1)
+
+    def test_double_free_faults(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        space.free(obj.base)
+        # The slot is unregistered, so the second free faults as a wild
+        # pointer (addresses are never reused).
+        with pytest.raises(GuestFault):
+            space.free(obj.base)
+
+    def test_interior_free_faults(self):
+        space = AddressSpace()
+        obj = space.allocate(32, "o", "heap")
+        with pytest.raises(GuestFault, match="interior"):
+            space.free(obj.base + 8)
+
+
+class TestTypedAccess:
+    def test_little_endian(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        space.write_int(obj.base, 0x0102030405060708, 8)
+        assert space.read_bytes(obj.base, 2) == b"\x08\x07"
+
+    def test_signed_roundtrip(self):
+        space = AddressSpace()
+        obj = space.allocate(4, "o", "heap")
+        space.write_int(obj.base, -5, 4)
+        assert space.read_int(obj.base, 4, signed=True) == -5
+        assert space.read_int(obj.base, 4, signed=False) == 2**32 - 5
+
+    def test_float_roundtrip(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        space.write_float(obj.base, 3.14159)
+        assert space.read_float(obj.base) == pytest.approx(3.14159)
+
+    def test_cstring(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "o", "heap")
+        obj.data[:4] = b"hi\x00x"
+        assert space.read_cstring(obj.base) == "hi"
+
+    def test_fill_and_copy(self):
+        space = AddressSpace()
+        a = space.allocate(16, "a", "heap")
+        b = space.allocate(16, "b", "heap")
+        space.fill(a.base, 0xAB, 16)
+        space.copy(b.base, a.base, 16)
+        assert space.read_bytes(b.base, 16) == b"\xab" * 16
+
+    def test_readonly_object_rejects_writes(self):
+        space = AddressSpace()
+        obj = space.allocate(8, "ro", "heap", writable=False)
+        with pytest.raises(GuestFault, match="read-only"):
+            space.write_int(obj.base, 1, 4)
+
+
+class TestHeapTags:
+    def test_tag_encoding(self):
+        for tag in range(1, 8):
+            base = heap_base_for_tag(tag)
+            assert heap_tag_of(base) == tag
+            assert heap_tag_of(base + 12345) == tag
+
+    def test_normal_memory_has_tag_zero(self):
+        assert heap_tag_of(GLOBAL_BASE) == 0
+        assert heap_tag_of(HEAP_BASE + 100) == 0
+
+    def test_private_shadow_differ_by_one_bit(self):
+        diff = HeapKind.PRIVATE.base ^ HeapKind.SHADOW.base
+        assert diff == SHADOW_BIT
+        assert bin(diff).count("1") == 1
+
+    def test_shadow_address_is_single_or(self):
+        addr = HeapKind.PRIVATE.base + 0x1234
+        assert shadow_address(addr) == addr | SHADOW_BIT
+        assert heap_tag_of(shadow_address(addr)) == int(HeapKind.SHADOW)
+
+    def test_tag_matches(self):
+        addr = HeapKind.REDUX.base + 8
+        assert tag_matches(addr, HeapKind.REDUX)
+        assert not tag_matches(addr, HeapKind.PRIVATE)
+
+    def test_allocation_in_tagged_region(self):
+        space = AddressSpace()
+        obj = space.allocate(64, "p", "logical", HeapKind.PRIVATE.base)
+        assert obj.tag == int(HeapKind.PRIVATE)
+
+    def test_sixteen_terabytes_per_heap(self):
+        # The paper: "allows 16 terabytes of allocation within any heap".
+        assert heap_base_for_tag(2) - heap_base_for_tag(1) == 16 * 2**40
+
+
+class TestCopyOnWrite:
+    def test_child_reads_parent(self):
+        parent = AddressSpace()
+        obj = parent.allocate(8, "o", "heap")
+        parent.write_int(obj.base, 77, 8)
+        child = AddressSpace(parent=parent)
+        assert child.read_int(obj.base, 8, signed=True) == 77
+
+    def test_child_write_does_not_leak_to_parent(self):
+        parent = AddressSpace()
+        obj = parent.allocate(8, "o", "heap")
+        parent.write_int(obj.base, 1, 8)
+        child = AddressSpace(parent=parent)
+        child.write_int(obj.base, 2, 8)
+        assert parent.read_int(obj.base, 8, True) == 1
+        assert child.read_int(obj.base, 8, True) == 2
+
+    def test_cow_preserves_untouched_bytes(self):
+        parent = AddressSpace()
+        obj = parent.allocate(16, "o", "heap")
+        parent.write_int(obj.base + 8, 42, 8)
+        child = AddressSpace(parent=parent)
+        child.write_int(obj.base, 1, 8)  # copy triggered here
+        assert child.read_int(obj.base + 8, 8, True) == 42
+
+    def test_two_children_isolated(self):
+        parent = AddressSpace()
+        obj = parent.allocate(8, "o", "heap")
+        a = AddressSpace(parent=parent)
+        b = AddressSpace(parent=parent)
+        a.write_int(obj.base, 10, 8)
+        b.write_int(obj.base, 20, 8)
+        assert a.read_int(obj.base, 8, True) == 10
+        assert b.read_int(obj.base, 8, True) == 20
+
+    def test_child_sees_parent_updates_before_cow(self):
+        parent = AddressSpace()
+        obj = parent.allocate(8, "o", "heap")
+        child = AddressSpace(parent=parent)
+        parent.write_int(obj.base, 5, 8)
+        assert child.read_int(obj.base, 8, True) == 5
+
+    def test_dirty_pages_tracked_on_child_only(self):
+        parent = AddressSpace()
+        obj = parent.allocate(PAGE_SIZE * 2, "o", "heap")
+        parent.write_int(obj.base, 1, 8)
+        assert not parent.dirty_pages
+        child = AddressSpace(parent=parent)
+        child.write_int(obj.base, 1, 8)
+        child.write_int(obj.base + PAGE_SIZE, 1, 8)
+        assert len(child.dirty_pages) == 2
+
+    def test_child_allocations_local(self):
+        parent = AddressSpace()
+        child = AddressSpace(parent=parent)
+        obj = child.allocate(8, "c", "heap")
+        assert child.try_find(obj.base) is not None
+        assert parent.try_find(obj.base) is None

@@ -1,0 +1,185 @@
+"""Interpreter core: dispatch, frames, breakpoints, intrinsics."""
+
+import pytest
+
+from repro.frontend import compile_minic
+from repro.interp import (
+    BlockBreakpoint,
+    GuestExit,
+    GuestFault,
+    GuestTimeout,
+    Interpreter,
+)
+
+from .helpers import run_source
+
+
+class TestExecution:
+    def test_return_value(self):
+        rv, _, _ = run_source("int main() { return 7; }")
+        assert rv == 7
+
+    def test_arguments(self):
+        rv, _, _ = run_source("int main(int a, long b) { return a + (int)b; }",
+                              args=(3, 4))
+        assert rv == 7
+
+    def test_exit_intrinsic(self):
+        rv, _, interp = run_source("int main() { exit(3); return 0; }")
+        assert rv == 3 and interp.exit_code == 3
+
+    def test_instruction_budget(self):
+        mod = compile_minic("int main() { while (1) { } return 0; }")
+        interp = Interpreter(mod, max_steps=1000)
+        with pytest.raises(GuestTimeout):
+            interp.run()
+
+    def test_cycles_accumulate(self):
+        _, _, interp = run_source("int main() { return 1 + 2; }")
+        assert interp.cycles > 0
+
+    def test_deep_recursion_no_host_overflow(self):
+        src = """
+        int down(int n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
+        int main() { return down(5000); }
+        """
+        assert run_source(src)[0] == 5000
+
+    def test_stack_slots_freed_on_return(self):
+        src = """
+        int probe() { int local[64]; local[0] = 1; return local[0]; }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 100; i++) { acc += probe(); }
+            return acc;
+        }
+        """
+        rv, _, interp = run_source(src)
+        assert rv == 100
+        stack_objs = [o for o in interp.space.live_objects() if o.kind == "stack"]
+        assert len(stack_objs) == 0  # all frames popped
+
+
+class TestIntrinsics:
+    def test_malloc_free_cycle(self):
+        src = """
+        int main() {
+            for (int i = 0; i < 50; i++) {
+                long* p = (long*)malloc(8);
+                *p = i;
+                free(p);
+            }
+            return 0;
+        }
+        """
+        rv, _, interp = run_source(src)
+        heap_objs = [o for o in interp.space.live_objects() if o.kind == "heap"]
+        assert rv == 0 and len(heap_objs) == 0
+
+    def test_free_null_is_noop(self):
+        assert run_source("int main() { free((int*)0); return 1; }")[0] == 1
+
+    def test_calloc_zeroes(self):
+        src = "int main() { int* p = (int*)calloc(4, 4); return p[3]; }"
+        assert run_source(src)[0] == 0
+
+    def test_memset_memcpy(self):
+        src = """
+        int main() {
+            char* a = (char*)malloc(8);
+            char* b = (char*)malloc(8);
+            memset(a, 65, 8);
+            memcpy(b, a, 8);
+            return b[7];
+        }
+        """
+        assert run_source(src)[0] == 65
+
+    @pytest.mark.parametrize("call,expect", [
+        ("sqrt(16.0)", 4.0),
+        ("fabs(0.0 - 3.5)", 3.5),
+        ("floor(2.9)", 2.0),
+        ("pow(2.0, 10.0)", 1024.0),
+    ])
+    def test_math(self, call, expect):
+        src = f"int main() {{ return (int)({call} * 2.0); }}"
+        assert run_source(src)[0] == int(expect * 2)
+
+    def test_log_of_negative_is_nan_not_crash(self):
+        src = """
+        int main() { double x = log(0.0 - 1.0); return x != x; }
+        """
+        assert run_source(src)[0] == 1
+
+    def test_abs(self):
+        assert run_source("int main() { return (int)abs(-9); }")[0] == 9
+
+
+class TestBreakpoints:
+    def test_breakpoint_fires_on_block_entry(self):
+        mod = compile_minic("""
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 3; i++) { acc += i; }
+            return acc;
+        }
+        """)
+        interp = Interpreter(mod)
+        fn = mod.function_named("main")
+        header = fn.block_named("for.cond")
+        interp.block_breakpoints.add(header)
+        interp.push_function(fn, ())
+        hits = 0
+        result = None
+        while interp.frames:
+            try:
+                result = interp.step()
+            except BlockBreakpoint as bp:
+                hits += 1
+                assert bp.target is header
+                interp.resume_at(bp.frame, bp.target, bp.prev)
+        assert result == 3
+        assert hits == 4  # preheader entry + 3 back edges
+
+    def test_swap_stack_isolates(self):
+        mod = compile_minic("int main() { return 5; }")
+        interp = Interpreter(mod)
+        interp.push_function(mod.function_named("main"), ())
+        saved = interp.swap_stack([])
+        assert interp.frames == []
+        interp.swap_stack(saved)
+        result = None
+        while interp.frames:
+            result = interp.step()
+        assert result == 5
+
+
+class TestFrameCopy:
+    def test_copy_shares_nothing_mutable(self):
+        mod = compile_minic("""
+        int main() {
+            int acc = 1;
+            for (int i = 0; i < 4; i++) { acc = acc * 2; }
+            return acc;
+        }
+        """)
+        interp = Interpreter(mod)
+        frame = interp.push_function(mod.function_named("main"), ())
+        for _ in range(3):
+            interp.step()
+        dup = frame.copy()
+        assert dup.regs == frame.regs and dup.regs is not frame.regs
+        assert dup.block is frame.block
+
+
+class TestGlobalRegions:
+    def test_global_placed_in_requested_region(self):
+        from repro.classify.heaps import HeapKind
+        from repro.interp.memory import heap_tag_of
+
+        mod = compile_minic("int g; int main() { g = 3; return g; }")
+        interp = Interpreter(
+            mod, global_regions={"g": HeapKind.PRIVATE.base})
+        gv = mod.global_named("g")
+        assert heap_tag_of(interp.global_addrs[gv]) == int(HeapKind.PRIVATE)
+        assert interp.run() == 3

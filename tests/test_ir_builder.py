@@ -1,0 +1,216 @@
+"""IRBuilder: construction, coercion, constant folding, verification."""
+
+import pytest
+
+from repro.ir import (
+    BinOpKind,
+    CastKind,
+    CmpPred,
+    ConstFloat,
+    ConstInt,
+    Function,
+    FunctionType,
+    IRBuilder,
+    IRTypeError,
+    Module,
+    VerificationError,
+    format_function,
+    verify_module,
+)
+from repro.ir.instructions import BinOp, Cast, Phi
+from repro.ir.types import BOOL, F64, I32, I64, VOID, PointerType
+
+
+@pytest.fixture
+def env():
+    mod = Module("t")
+    fn = Function("f", FunctionType(I64, ()))
+    mod.add_function(fn)
+    bb = fn.add_block("entry")
+    return mod, fn, IRBuilder(mod, bb)
+
+
+class TestCoercion:
+    def test_int_literal_becomes_const(self, env):
+        _, _, b = env
+        inst = b.add(1, 2)
+        assert isinstance(inst, ConstInt)  # folded
+
+    def test_mixed_value_and_literal(self, env):
+        _, _, b = env
+        a = b.alloca(I64)
+        loaded = b.load(a, I64)
+        inst = b.add(loaded, 5)
+        assert isinstance(inst, BinOp)
+        assert isinstance(inst.rhs, ConstInt)
+        assert inst.rhs.type == I64  # matched to lhs type
+
+    def test_float_literal(self, env):
+        _, _, b = env
+        a = b.alloca(F64)
+        loaded = b.load(a, F64)
+        inst = b.fadd(loaded, 1.5)
+        assert isinstance(inst.rhs, ConstFloat)
+
+    def test_bad_operand_rejected(self, env):
+        _, _, b = env
+        with pytest.raises(IRTypeError):
+            b.add("nope", 1)
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize("kind,a,b_,expect", [
+        (BinOpKind.ADD, 2, 3, 5),
+        (BinOpKind.SUB, 2, 3, -1),
+        (BinOpKind.MUL, 4, 8, 32),
+        (BinOpKind.AND, 0b1100, 0b1010, 0b1000),
+        (BinOpKind.OR, 0b1100, 0b1010, 0b1110),
+        (BinOpKind.XOR, 0b1100, 0b1010, 0b0110),
+        (BinOpKind.SHL, 1, 4, 16),
+    ])
+    def test_folds(self, env, kind, a, b_, expect):
+        _, _, b = env
+        result = b.binop(kind, a, b_)
+        assert isinstance(result, ConstInt)
+        assert result.value == expect
+
+    def test_fold_wraps(self, env):
+        _, _, b = env
+        result = b.binop(BinOpKind.ADD, ConstInt(I32, 2**31 - 1), ConstInt(I32, 1))
+        assert result.value == -(2**31)
+
+    def test_div_not_folded(self, env):
+        _, _, b = env
+        result = b.div(6, 3)
+        assert isinstance(result, BinOp)  # division kept (trap semantics)
+
+    def test_cast_folds_sext(self, env):
+        _, _, b = env
+        out = b.cast(CastKind.SEXT, ConstInt(I32, -5), I64)
+        assert isinstance(out, ConstInt)
+        assert out.value == -5 and out.type == I64
+
+    def test_cast_folds_zext_unsigned_view(self, env):
+        _, _, b = env
+        out = b.cast(CastKind.ZEXT, ConstInt(I32, -1), I64)
+        assert out.value == 2**32 - 1
+
+    def test_cast_folds_trunc(self, env):
+        _, _, b = env
+        out = b.cast(CastKind.TRUNC, ConstInt(I64, 0x1_0000_0005), I32)
+        assert out.value == 5
+
+    def test_folding_emits_nothing(self, env):
+        _, fn, b = env
+        before = len(fn.entry.instructions)
+        b.add(1, 2)
+        assert len(fn.entry.instructions) == before
+
+
+class TestStructure:
+    def test_terminated_block_rejects_append(self, env):
+        _, fn, b = env
+        b.ret(0)
+        with pytest.raises(IRTypeError):
+            b.ret(1)
+
+    def test_block_names_unique(self, env):
+        _, fn, _ = env
+        a = fn.add_block("x")
+        c = fn.add_block("x")
+        assert a.name != c.name
+
+    def test_successors(self, env):
+        _, fn, b = env
+        t = fn.add_block("t")
+        f = fn.add_block("f")
+        cond = b.icmp(CmpPred.LT, 1, 2)
+        b.condbr(cond, t, f)
+        assert fn.entry.successors() == [t, f]
+
+    def test_call_intrinsic_declares(self, env):
+        mod, _, b = env
+        b.call_intrinsic("malloc", [16])
+        assert "malloc" in mod.functions
+        assert mod.functions["malloc"].is_intrinsic
+
+    def test_unknown_intrinsic_rejected(self, env):
+        _, _, b = env
+        with pytest.raises(IRTypeError):
+            b.call_intrinsic("not_a_thing", [])
+
+
+class TestVerifier:
+    def test_clean_module_passes(self, env):
+        mod, _, b = env
+        b.ret(0)
+        verify_module(mod)
+
+    def test_missing_terminator(self, env):
+        mod, _, b = env
+        b.load(b.alloca(I64), I64)  # no terminator
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(mod)
+
+    def test_ret_type_mismatch(self):
+        mod = Module("t")
+        fn = Function("v", FunctionType(VOID, ()))
+        mod.add_function(fn)
+        b = IRBuilder(mod, fn.add_block("entry"))
+        b.ret(1)
+        with pytest.raises(VerificationError, match="void"):
+            verify_module(mod)
+
+    def test_foreign_branch_target(self, env):
+        mod, fn, b = env
+        other = Function("g", FunctionType(I64, ()))
+        mod.add_function(other)
+        foreign = other.add_block("fb")
+        b.br(foreign)
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_module(mod)
+
+    def test_use_of_undefined_value(self, env):
+        mod, fn, b = env
+        ghost_fn = Function("ghost", FunctionType(I64, ()))
+        mod.add_function(ghost_fn)
+        gbb = ghost_fn.add_block("e")
+        gb = IRBuilder(mod, gbb)
+        ghost = gb.alloca(I64)
+        gbb.instructions.clear()  # value never actually defined
+        b.load(ghost, I64)
+        b.ret(0)
+        with pytest.raises(VerificationError, match="undefined"):
+            verify_module(mod)
+
+
+class TestPhi:
+    def test_incoming_bookkeeping(self, env):
+        _, fn, b = env
+        phi = Phi(I64, "p")
+        e = fn.entry
+        phi.add_incoming(e, ConstInt(I64, 1))
+        assert phi.incoming_for(e).value == 1
+        with pytest.raises(IRTypeError):
+            phi.incoming_for(fn.add_block("x"))
+
+    def test_replace_operand_updates_incoming(self, env):
+        _, fn, _ = env
+        phi = Phi(I64)
+        old = ConstInt(I64, 1)
+        new = ConstInt(I64, 2)
+        phi.add_incoming(fn.entry, old)
+        phi.replace_operand(old, new)
+        assert phi.incoming_for(fn.entry) is new
+
+
+class TestPrinter:
+    def test_function_renders(self, env):
+        mod, fn, b = env
+        a = b.alloca(I64, name="slot")
+        b.store(7, a)
+        v = b.load(a, I64)
+        b.ret(v)
+        text = format_function(fn)
+        assert "alloca" in text and "store" in text and "ret" in text
+        assert "@f" in text

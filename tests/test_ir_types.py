@@ -1,0 +1,179 @@
+"""Type system: sizes, alignment, struct layout, integer wrapping."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U32,
+    U64,
+    VOID,
+    ArrayType,
+    FunctionType,
+    IntType,
+    IRTypeError,
+    PointerType,
+    StructField,
+    StructType,
+    TypeContext,
+    ptr,
+    types_compatible,
+)
+
+
+class TestScalarSizes:
+    @pytest.mark.parametrize("ty,size", [
+        (I8, 1), (I16, 2), (I32, 4), (I64, 8),
+        (U8, 1), (U32, 4), (U64, 8), (F32, 4), (F64, 8),
+    ])
+    def test_size(self, ty, size):
+        assert ty.size == size
+
+    @pytest.mark.parametrize("ty", [I8, I16, I32, I64, F32, F64])
+    def test_alignment_is_size(self, ty):
+        assert ty.align == ty.size
+
+    def test_bool_is_one_byte(self):
+        assert BOOL.size == 1
+
+    def test_pointer_is_eight_bytes(self):
+        assert ptr(I32).size == 8
+        assert ptr().align == 8
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRTypeError):
+            _ = VOID.size
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRTypeError):
+            IntType(24)
+
+
+class TestWrapping:
+    def test_signed_overflow_wraps(self):
+        assert I32.wrap(2**31) == -(2**31)
+        assert I32.wrap(2**32 + 5) == 5
+
+    def test_signed_negative(self):
+        assert I8.wrap(-1) == -1
+        assert I8.wrap(255) == -1
+        assert I8.wrap(128) == -128
+
+    def test_unsigned_wraps_to_positive(self):
+        assert U32.wrap(-1) == 2**32 - 1
+        assert U32.wrap(2**32) == 0
+
+    def test_ranges(self):
+        assert I32.min_value == -(2**31)
+        assert I32.max_value == 2**31 - 1
+        assert U32.min_value == 0
+        assert U32.max_value == 2**32 - 1
+
+    def test_identity_within_range(self):
+        for v in (-128, -1, 0, 1, 127):
+            assert I8.wrap(v) == v
+
+
+class TestArrays:
+    def test_size(self):
+        assert ArrayType(I32, 10).size == 40
+
+    def test_nested(self):
+        grid = ArrayType(ArrayType(I32, 4), 3)
+        assert grid.size == 48
+        assert grid.align == 4
+
+    def test_zero_length(self):
+        assert ArrayType(I64, 0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(IRTypeError):
+            ArrayType(I8, -1)
+
+
+class TestStructLayout:
+    def test_c_style_padding(self):
+        st = StructType("s", [StructField("a", I8), StructField("b", I32)])
+        assert st.field_offset(0) == 0
+        assert st.field_offset(1) == 4  # padded to int alignment
+        assert st.size == 8
+
+    def test_tail_padding(self):
+        st = StructType("s", [StructField("a", I32), StructField("b", I8)])
+        assert st.size == 8  # rounded up to align 4
+
+    def test_pointer_field_alignment(self):
+        st = StructType("node", [StructField("v", I32),
+                                 StructField("next", ptr())])
+        assert st.field_offset(1) == 8
+        assert st.size == 16
+        assert st.align == 8
+
+    def test_field_lookup(self):
+        st = StructType("s", [StructField("x", I32), StructField("y", F64)])
+        assert st.field_index("y") == 1
+        assert st.field_type(1) == F64
+        with pytest.raises(IRTypeError):
+            st.field_index("z")
+
+    def test_recursive_struct_via_context(self):
+        ctx = TypeContext()
+        node = ctx.declare_struct("node")
+        ctx.define_struct("node", [StructField("v", I32),
+                                   StructField("next", PointerType(node))])
+        assert node.size == 16
+
+    def test_identity_by_name(self):
+        a = StructType("same", [StructField("x", I32)])
+        b = StructType("same", [])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_struct(self):
+        assert StructType("empty", []).size == 0
+
+
+class TestCompatibility:
+    def test_same_type(self):
+        assert types_compatible(I32, I32)
+
+    def test_any_two_pointers(self):
+        assert types_compatible(ptr(I8), ptr(F64))
+
+    def test_different_ints(self):
+        assert not types_compatible(I32, I64)
+        assert not types_compatible(I32, U32)
+
+    def test_int_vs_float(self):
+        assert not types_compatible(I64, F64)
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = FunctionType(I32, (I64, F64))
+        assert "i32" in str(ft)
+
+    def test_variadic_str(self):
+        ft = FunctionType(VOID, (ptr(I8),), variadic=True)
+        assert "..." in str(ft)
+
+    def test_no_size(self):
+        with pytest.raises(IRTypeError):
+            _ = FunctionType(VOID, ()).size
+
+
+class TestTypeContext:
+    def test_unknown_struct_raises(self):
+        with pytest.raises(IRTypeError):
+            TypeContext().get_struct("missing")
+
+    def test_declare_is_idempotent(self):
+        ctx = TypeContext()
+        a = ctx.declare_struct("s")
+        assert ctx.declare_struct("s") is a

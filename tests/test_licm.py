@@ -1,0 +1,190 @@
+"""Loop-invariant code motion."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.analysis.licm import hoist_module
+from repro.frontend import compile_minic
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.ir.instructions import BinOp, Load
+
+
+def _compile(src):
+    return compile_minic(src, licm=False)
+
+
+def _in_loop(fn, header, kind):
+    li = LoopInfo(fn)
+    loop = li.loop_with_header(header)
+    return [i for bb in loop.blocks for i in bb.instructions
+            if isinstance(i, kind)]
+
+
+class TestPureHoisting:
+    SRC = """
+    int out[64];
+    int main(int n, int a, int b) {
+        for (int i = 0; i < n; i++) {
+            int k = a * b + 3;      /* invariant */
+            out[i] = k + i;
+        }
+        return out[0];
+    }
+    """
+
+    def test_invariant_mul_leaves_loop(self):
+        mod = _compile(self.SRC)
+        fn = mod.function_named("main")
+        before = len(_in_loop(fn, "for.cond", BinOp))
+        moved = hoist_module(mod)
+        after = len(_in_loop(fn, "for.cond", BinOp))
+        assert moved >= 2  # the mul and the add
+        assert after < before
+        verify_module(mod)
+
+    def test_semantics_preserved(self):
+        plain = _compile(self.SRC)
+        hoisted = _compile(self.SRC)
+        hoist_module(hoisted)
+        args = (10, 6, 7)
+        assert Interpreter(plain).run(args=args) == \
+            Interpreter(hoisted).run(args=args)
+
+    def test_division_never_speculated(self):
+        src = """
+        int main(int n, int d) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                if (d != 0) { acc += 100 / d; }
+                acc += i;
+            }
+            return acc;
+        }
+        """
+        mod = _compile(src)
+        hoist_module(mod)
+        # must still run fine with d == 0 and a non-zero trip count
+        assert Interpreter(mod).run(args=(5, 0)) == 0 + 1 + 2 + 3 + 4
+
+
+class TestGlobalLoadHoisting:
+    SRC = """
+    int bound;
+    int out[64];
+    void setup(int n) { bound = n; }
+    int main(int n) {
+        setup(n);
+        int acc = 0;
+        for (int i = 0; i < bound; i++) {
+            out[i] = i;
+            acc += out[i];
+        }
+        return acc;
+    }
+    """
+
+    def test_unmodified_global_load_hoisted(self):
+        mod = _compile(self.SRC)
+        fn = mod.function_named("main")
+        moved = hoist_module(mod)
+        assert moved >= 1
+        loads = _in_loop(fn, "for.cond", Load)
+        assert all(not isinstance(l.pointer, type(mod.global_named("bound")))
+                   or l.pointer is not mod.global_named("bound")
+                   for l in loads)
+        assert Interpreter(mod).run(args=(10,)) == 45
+
+    def test_makes_bound_a_canonical_iv(self):
+        mod = _compile(self.SRC)
+        hoist_module(mod)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        loop = li.loop_with_header("for.cond")
+        assert li.find_induction_variable(loop) is not None
+
+    def test_global_written_in_loop_not_hoisted(self):
+        src = """
+        int bound;
+        int out[64];
+        int main(int n) {
+            bound = n;
+            int acc = 0;
+            for (int i = 0; i < bound; i++) {
+                out[i] = i;
+                if (i == 2) { bound = bound - 1; }
+                acc += 1;
+            }
+            return acc;
+        }
+        """
+        mod = _compile(src)
+        hoist_module(mod)
+        fn = mod.function_named("main")
+        loads = _in_loop(fn, "for.cond", Load)
+        gv = mod.global_named("bound")
+        assert any(l.pointer is gv for l in loads)  # load stays put
+        # semantics: shrinking the bound mid-loop must still terminate
+        assert Interpreter(mod).run(args=(6,)) == 5
+
+    def test_global_written_by_callee_not_hoisted(self):
+        src = """
+        int bound;
+        void shrink() { bound = bound - 1; }
+        int main(int n) {
+            bound = n;
+            int acc = 0;
+            for (int i = 0; i < bound; i++) { shrink(); acc += 1; }
+            return acc;
+        }
+        """
+        mod = _compile(src)
+        hoist_module(mod)
+        fn = mod.function_named("main")
+        gv = mod.global_named("bound")
+        assert any(l.pointer is gv
+                   for l in _in_loop(fn, "for.cond", Load))
+
+    def test_zero_trip_loop_safe(self):
+        mod = _compile(self.SRC)
+        hoist_module(mod)
+        assert Interpreter(mod).run(args=(0,)) == 0
+
+
+class TestPipelineIntegration:
+    def test_compile_minic_applies_licm_by_default(self):
+        src = TestGlobalLoadHoisting.SRC
+        mod = compile_minic(src)
+        fn = mod.function_named("main")
+        li = LoopInfo(fn)
+        assert li.find_induction_variable(
+            li.loop_with_header("for.cond")) is not None
+
+    def test_global_bound_loop_now_parallelizable(self):
+        """With LICM, a loop bounded by an unmodified global can be
+        selected — previously the bound load hid the induction variable."""
+        from repro.bench.pipeline import prepare
+
+        src = """
+        int bound;
+        int scratch[8];
+        int out[64];
+        void setup(int n) { bound = n; }
+        int main(int n) {
+            setup(n);
+            for (int i = 0; i < bound; i++) {
+                for (int j = 0; j < 8; j++) { scratch[j] = i + j; }
+                int acc = 0;
+                for (int r = 0; r < 5; r++) {
+                    for (int j = 0; j < 8; j++) { acc += scratch[j]; }
+                }
+                out[i] = acc;
+            }
+            printf("%d\\n", out[0]);
+            return 0;
+        }
+        """
+        prog = prepare(src, "licm_bound", args=(32,))
+        assert prog.plan.ref.function == "main"
+        result = prog.execute(workers=4)
+        assert result.output == prog.sequential.output

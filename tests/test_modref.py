@@ -1,0 +1,84 @@
+"""Mod/Ref summaries and call-graph analysis."""
+
+import pytest
+
+from repro.analysis import CallGraph, ModRefAnalysis
+from repro.frontend import compile_minic
+
+SRC = """
+int g[8];
+int h[8];
+long total;
+
+void writer(int i) { g[i % 8] = i; }
+int reader(int i) { return h[i % 8]; }
+void outer(int i) { writer(i); total += reader(i); }
+void noisy(int i) { printf("%d", i); }
+int pure(int i) { return i * 2 + 1; }
+int recurse(int n) { if (n <= 0) { return 0; } return recurse(n - 1) + 1; }
+
+int main() { outer(1); noisy(2); return pure(3) + recurse(4); }
+"""
+
+
+@pytest.fixture(scope="module")
+def env():
+    mod = compile_minic(SRC)
+    return mod, ModRefAnalysis(mod), CallGraph(mod)
+
+
+class TestModRef:
+    def test_writer_mods_g_only(self, env):
+        mod, mr, _ = env
+        s = mr.summary(mod.function_named("writer"))
+        assert {o.name for o in s.mod.objects} == {"g"}
+        assert not s.ref.objects and not s.ref.is_top
+
+    def test_reader_refs_h(self, env):
+        mod, mr, _ = env
+        s = mr.summary(mod.function_named("reader"))
+        assert {o.name for o in s.ref.objects} == {"h"}
+        assert not s.mod.objects
+
+    def test_transitive_effects(self, env):
+        mod, mr, _ = env
+        s = mr.summary(mod.function_named("outer"))
+        assert {"g", "total"} <= {o.name for o in s.mod.objects}
+        assert {"h", "total"} <= {o.name for o in s.ref.objects}
+
+    def test_io_propagates(self, env):
+        mod, mr, _ = env
+        assert mr.summary(mod.function_named("noisy")).does_io
+        assert mr.summary(mod.function_named("main")).does_io
+        assert not mr.summary(mod.function_named("outer")).does_io
+
+    def test_pure_function_is_clean(self, env):
+        mod, mr, _ = env
+        s = mr.summary(mod.function_named("pure"))
+        assert not s.mod.objects and not s.ref.objects and not s.does_io
+
+    def test_prng_is_stateful(self):
+        mod = compile_minic(
+            "int main() { rand_seed(1); return (int)rand_int(); }")
+        mr = ModRefAnalysis(mod)
+        s = mr.summary(mod.function_named("rand_int"))
+        assert s.mod.objects  # touches the hidden PRNG state
+
+
+class TestCallGraph:
+    def test_direct_callees(self, env):
+        mod, _, cg = env
+        outer = mod.function_named("outer")
+        names = {f.name for f in cg.callees[outer]}
+        assert {"writer", "reader"} <= names
+
+    def test_transitive(self, env):
+        mod, _, cg = env
+        main = mod.function_named("main")
+        names = {f.name for f in cg.transitive_callees(main)}
+        assert {"outer", "writer", "reader", "pure", "recurse"} <= names
+
+    def test_recursion_detected(self, env):
+        mod, _, cg = env
+        assert cg.is_recursive(mod.function_named("recurse"))
+        assert not cg.is_recursive(mod.function_named("pure"))

@@ -1,0 +1,120 @@
+"""The end-to-end pipeline API and the loop tracker."""
+
+import pytest
+
+from repro.bench.pipeline import prepare, run_sequential
+from repro.transform import SelectionError
+
+SRC = """
+int scratch[16];
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 16; j++) { scratch[j] = i ^ j; }
+        int acc = 0;
+        for (int j = 0; j < 16; j++) { acc += scratch[j]; }
+        out[i] = acc;
+    }
+    printf("%d %d\\n", out[0], out[5]);
+    return 0;
+}
+"""
+
+
+class TestPrepare:
+    def test_train_ref_split(self):
+        prog = prepare(SRC, "p", args=(8,), ref_args=(32,))
+        assert prog.train_args == (8,)
+        assert prog.ref_args == (32,)
+        # Sequential baseline measured on ref input.
+        seq_small = run_sequential(SRC, "p", args=(8,))
+        assert prog.sequential.cycles > seq_small.cycles
+
+    def test_execute_defaults_to_ref(self):
+        prog = prepare(SRC, "p", args=(8,), ref_args=(32,))
+        result = prog.execute(workers=4)
+        assert result.output == prog.sequential.output
+
+    def test_execute_override_args(self):
+        prog = prepare(SRC, "p", args=(8,), ref_args=(32,))
+        result = prog.execute(workers=4, args=(8,))
+        small = run_sequential(SRC, "p", args=(8,))
+        assert result.output == small.output
+
+    def test_rejected_candidates_surface_reasons(self):
+        bad = """
+        int state;
+        int out[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = state;
+                state = state + i;
+                for (int j = 0; j < 20; j++) { out[i] = out[i] * 3 + j; }
+            }
+            printf("%d\\n", out[0]);
+            return 0;
+        }
+        """
+        with pytest.raises(SelectionError) as info:
+            prepare(bad, "bad", args=(24,))
+        assert info.value.reasons
+
+    def test_speedup_helper(self):
+        prog = prepare(SRC, "p", args=(48,))
+        result = prog.execute(workers=8)
+        assert prog.speedup(result) == pytest.approx(
+            prog.sequential.cycles / result.total_wall_cycles)
+
+
+class TestSequentialRunner:
+    def test_deterministic(self):
+        a = run_sequential(SRC, "p", args=(16,))
+        b = run_sequential(SRC, "p", args=(16,))
+        assert a.cycles == b.cycles
+        assert a.output == b.output
+
+
+class TestLoopTrackerEdgeCases:
+    def test_loop_exited_by_return(self):
+        """A return from inside a loop must unwind the tracker stack."""
+        from repro.profiling import profile_execution_time
+        from repro.frontend import compile_minic
+
+        src = """
+        int find(int needle) {
+            for (int i = 0; i < 100; i++) {
+                if (i == needle) { return i; }
+            }
+            return -1;
+        }
+        int main() {
+            int acc = 0;
+            for (int k = 0; k < 10; k++) { acc += find(k * 3); }
+            return acc;
+        }
+        """
+        mod = compile_minic(src)
+        report = profile_execution_time(mod)
+        recs = {r.ref.header: r for r in report.records}
+        # find's loop entered 10 times despite always exiting via return.
+        assert recs["for.cond"].invocations == 10
+
+    def test_nested_invocation_counts(self):
+        from repro.profiling import profile_execution_time
+        from repro.frontend import compile_minic
+
+        src = """
+        int a[4];
+        int main() {
+            for (int i = 0; i < 6; i++) {
+                for (int j = 0; j < 4; j++) { a[j] += i; }
+            }
+            return a[0];
+        }
+        """
+        mod = compile_minic(src)
+        report = profile_execution_time(mod)
+        recs = {r.ref.header: r for r in report.records}
+        assert recs["for.cond.1"].invocations == 6
+        assert recs["for.cond.1"].iterations == 24
+        assert recs["for.cond.1"].avg_trip_count == pytest.approx(4.0)

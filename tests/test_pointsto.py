@@ -1,0 +1,136 @@
+"""Points-to analysis: precision where expected, conservatism elsewhere."""
+
+import pytest
+
+from repro.analysis import PointsToAnalysis
+from repro.frontend import compile_minic
+from repro.ir.instructions import Call, Load, Store
+
+
+def _analysis(src):
+    mod = compile_minic(src)
+    return mod, PointsToAnalysis(mod)
+
+
+def _first(mod, fn_name, kind, index=0):
+    found = [i for i in mod.function_named(fn_name).instructions()
+             if isinstance(i, kind)]
+    return found[index]
+
+
+class TestPrecision:
+    def test_global_array_access_is_singleton(self):
+        mod, pta = _analysis("""
+        int g[8];
+        int main() { g[3] = 1; return g[3]; }
+        """)
+        store = _first(mod, "main", Store)
+        s = pta.points_to(store.pointer)
+        assert s.is_singleton()
+        assert next(iter(s.objects)).name == "g"
+
+    def test_malloc_result_is_site(self):
+        mod, pta = _analysis("""
+        int main() { int* p = (int*)malloc(8); *p = 1; return *p; }
+        """)
+        store = _first(mod, "main", Store)
+        s = pta.points_to(store.pointer)
+        assert s.is_singleton()
+        assert next(iter(s.objects)).kind == "heap"
+
+    def test_two_allocas_disjoint(self):
+        mod, pta = _analysis("""
+        int main() {
+            int a[4];
+            int b[4];
+            a[0] = 1; b[0] = 2;
+            return a[0] + b[0];
+        }
+        """)
+        s1 = _first(mod, "main", Store, 0)
+        s2 = _first(mod, "main", Store, 1)
+        assert not pta.may_alias(s1.pointer, s2.pointer)
+
+    def test_argument_gets_caller_objects(self):
+        mod, pta = _analysis("""
+        int g[4];
+        void set(int* p) { p[0] = 1; }
+        int main() { set(g); return g[0]; }
+        """)
+        store = _first(mod, "set", Store)
+        s = pta.points_to(store.pointer)
+        assert not s.is_top
+        assert {o.name for o in s.objects} == {"g"}
+
+    def test_phi_merges_sources(self):
+        mod, pta = _analysis("""
+        int a[4];
+        int b[4];
+        int main(int c) {
+            int* p;
+            if (c) { p = a; } else { p = b; }
+            p[0] = 1;
+            return 0;
+        }
+        """)
+        store = _first(mod, "main", Store)
+        s = pta.points_to(store.pointer)
+        assert {o.name for o in s.objects} == {"a", "b"}
+
+
+class TestConservatism:
+    def test_pointer_loaded_from_struct_is_top(self):
+        mod, pta = _analysis("""
+        struct n { struct n* next; };
+        struct n* head;
+        int main() {
+            struct n* c = (struct n*)malloc(sizeof(struct n));
+            c->next = 0;
+            head = c;
+            struct n* p = head->next;
+            return p == 0;
+        }
+        """)
+        # head->next is a pointer loaded from heap memory: TOP.
+        loads = [i for i in mod.function_named("main").instructions()
+                 if isinstance(i, Load) and i.type.is_pointer()]
+        assert any(pta.points_to(l).is_top for l in loads)
+
+    def test_inttoptr_is_top(self):
+        mod, pta = _analysis("""
+        int main(long x) { int* p = (int*)x; return p == 0; }
+        """)
+        fn = mod.function_named("main")
+        casts = [i for i in fn.instructions() if i.type.is_pointer()]
+        assert any(pta.points_to(c).is_top for c in casts)
+
+
+class TestSingleStoreGlobals:
+    SRC = """
+    double* prices;
+    void init() { prices = (double*)malloc(64); }
+    int main() {
+        init();
+        double* p = prices;
+        p[0] = 1.0;
+        return 0;
+    }
+    """
+
+    def test_load_of_single_store_global_is_precise(self):
+        mod, pta = _analysis(self.SRC)
+        store = [i for i in mod.function_named("main").instructions()
+                 if isinstance(i, Store)][0]
+        s = pta.points_to(store.pointer)
+        assert not s.is_top
+        assert all(o.kind == "heap" for o in s.objects)
+
+    def test_second_store_defeats_the_rule(self):
+        src = self.SRC.replace(
+            "int main() {",
+            "int main() { prices = (double*)malloc(8);")
+        mod, pta = _analysis(src)
+        store = [i for i in mod.function_named("main").instructions()
+                 if isinstance(i, Store) and not i.value.type.is_pointer()]
+        s = pta.points_to(store[0].pointer)
+        assert s.is_top

@@ -1,0 +1,110 @@
+"""Profile persistence: save/load round trips and fingerprint safety."""
+
+import pytest
+
+from repro.classify import classify
+from repro.frontend import compile_minic
+from repro.profiling import profile_execution_time, profile_loop
+from repro.profiling.serialize import (
+    load_profile,
+    module_fingerprint,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+SRC = """
+struct n { int v; struct n* next; };
+struct n* head;
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        struct n* c = (struct n*)malloc(sizeof(struct n));
+        c->v = i; c->next = head; head = c;
+        int acc = 0;
+        while (head != 0) {
+            acc += head->v;
+            struct n* d = head;
+            head = head->next;
+            free(d);
+        }
+        out[i] = acc;
+        printf("%d\\n", acc);
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    mod = compile_minic(SRC, "ser")
+    report = profile_execution_time(mod, args=(24,))
+    ref = report.hottest(top_level_only=False)[0].ref
+    return mod, profile_loop(mod, ref, args=(24,))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, profiled):
+        mod, prof = profiled
+        restored = profile_from_dict(profile_to_dict(prof, mod), mod)
+        assert restored.ref == prof.ref
+        assert restored.read_sites == prof.read_sites
+        assert restored.write_sites == prof.write_sites
+        assert restored.redux_sites == prof.redux_sites
+        assert restored.flow_deps == prof.flow_deps
+        assert restored.short_lived_sites == prof.short_lived_sites
+        assert restored.pointer_objects == prof.pointer_objects
+        assert restored.value_predictions == prof.value_predictions
+        assert restored.io_sites == prof.io_sites
+        assert restored.unexecuted_blocks == prof.unexecuted_blocks
+        assert (restored.loads, restored.stores) == (prof.loads, prof.stores)
+
+    def test_file_round_trip(self, profiled, tmp_path):
+        mod, prof = profiled
+        path = tmp_path / "prof.json"
+        save_profile(prof, path, mod)
+        restored = load_profile(path, mod)
+        assert restored.flow_deps == prof.flow_deps
+
+    def test_serialization_is_deterministic(self, profiled, tmp_path):
+        mod, prof = profiled
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_profile(prof, a, mod)
+        save_profile(prof, b, mod)
+        assert a.read_text() == b.read_text()
+
+    def test_classification_identical_after_reload(self, profiled, tmp_path):
+        mod, prof = profiled
+        path = tmp_path / "prof.json"
+        save_profile(prof, path, mod)
+        restored = load_profile(path, mod)
+        assert classify(restored).site_heaps == classify(prof).site_heaps
+
+
+class TestFingerprint:
+    def test_same_module_matches(self, profiled):
+        mod, _ = profiled
+        assert module_fingerprint(mod) == module_fingerprint(mod)
+
+    def test_recompiled_module_rejected(self, profiled, tmp_path):
+        mod, prof = profiled
+        path = tmp_path / "prof.json"
+        save_profile(prof, path, mod)
+        other = compile_minic(SRC, "ser")  # fresh uids -> new fingerprint
+        with pytest.raises(ValueError, match="different module"):
+            load_profile(path, other)
+
+    def test_load_without_module_skips_check(self, profiled, tmp_path):
+        mod, prof = profiled
+        path = tmp_path / "prof.json"
+        save_profile(prof, path, mod)
+        restored = load_profile(path)
+        assert restored.ref == prof.ref
+
+    def test_version_check(self, profiled):
+        mod, prof = profiled
+        data = profile_to_dict(prof, mod)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            profile_from_dict(data)

@@ -1,0 +1,288 @@
+"""Profilers: hot loops, footprints, flow deps, lifetimes, predictions."""
+
+import pytest
+
+from repro.frontend import compile_minic
+from repro.profiling import LoopRef, profile_execution_time, profile_loop
+
+
+def _hot_profile(src, args=()):
+    mod = compile_minic(src)
+    report = profile_execution_time(mod, args=args)
+    ref = report.hottest(top_level_only=False)[0].ref
+    return mod, report, profile_loop(mod, ref, args=args)
+
+
+class TestExecutionTimeProfiler:
+    SRC = """
+    int a[64];
+    int main(int n) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < 32; j++) { a[j % 64] += i; }
+        }
+        for (int i = 0; i < 3; i++) { a[i] = 0; }
+        return 0;
+    }
+    """
+
+    def test_hot_loop_is_hottest(self):
+        mod = compile_minic(self.SRC)
+        report = profile_execution_time(mod, args=(20,))
+        ranked = report.hottest()
+        assert ranked[0].cycles > ranked[1].cycles
+        assert report.coverage(ranked[0].ref) > 0.5
+
+    def test_trip_counts(self):
+        mod = compile_minic(self.SRC)
+        report = profile_execution_time(mod, args=(20,))
+        by_ref = {r.ref.header: r for r in report.records}
+        outer = by_ref["for.cond"]
+        assert outer.invocations == 1
+        assert outer.iterations == 20
+        inner = by_ref["for.cond.1"]
+        assert inner.invocations == 20
+        assert inner.iterations == 20 * 32
+
+    def test_inclusive_cycles(self):
+        mod = compile_minic(self.SRC)
+        report = profile_execution_time(mod, args=(20,))
+        by_ref = {r.ref.header: r for r in report.records}
+        assert by_ref["for.cond"].cycles >= by_ref["for.cond.1"].cycles
+
+    def test_loop_depths(self):
+        mod = compile_minic(self.SRC)
+        report = profile_execution_time(mod, args=(5,))
+        by_ref = {r.ref.header: r for r in report.records}
+        assert by_ref["for.cond"].depth == 1
+        assert by_ref["for.cond.1"].depth == 2
+
+
+class TestFootprints:
+    def test_read_write_sites(self):
+        _, _, prof = _hot_profile("""
+        int src_arr[32];
+        int dst[32];
+        int main(int n) {
+            for (int i = 0; i < 32; i++) { src_arr[i] = i; }
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 32; j++) { dst[j] = dst[j] + src_arr[j]; }
+            }
+            return 0;
+        }
+        """, args=(40,))
+        assert "global:src_arr" in prof.read_sites
+        assert "global:dst" in prof.write_sites
+        assert "global:src_arr" not in prof.write_sites
+
+    def test_callee_accesses_attributed(self):
+        _, _, prof = _hot_profile("""
+        int g[8];
+        void touch(int i) { g[i % 8] = i; }
+        int main(int n) {
+            for (int i = 0; i < n; i++) { touch(i); touch(i + 1); }
+            return 0;
+        }
+        """, args=(50,))
+        assert "global:g" in prof.write_sites
+
+    def test_reduction_footprint_separate(self):
+        _, _, prof = _hot_profile("""
+        long total;
+        int data[64];
+        int main(int n) {
+            for (int i = 0; i < 64; i++) { data[i] = i; }
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 64; j++) { total += data[j]; }
+            }
+            return 0;
+        }
+        """, args=(30,))
+        assert "global:total" in prof.redux_sites
+        assert "global:total" not in prof.read_sites
+        assert "global:total" not in prof.write_sites
+        assert prof.redux_ops["global:total"] == "ADD"
+
+
+class TestFlowDeps:
+    def test_cross_iteration_flow_detected(self):
+        _, _, prof = _hot_profile("""
+        int state;
+        int out[128];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = state;      /* reads last iteration's write */
+                state = i;
+            }
+            return 0;
+        }
+        """, args=(60,))
+        deps = prof.deps_on("global:state")
+        assert deps
+
+    def test_intra_iteration_write_then_read_is_not_dep(self):
+        _, _, prof = _hot_profile("""
+        int scratch;
+        int out[128];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                scratch = i * 2;
+                out[i] = scratch;
+            }
+            return 0;
+        }
+        """, args=(60,))
+        assert not prof.deps_on("global:scratch")
+
+    def test_writes_outside_loop_reset_history(self):
+        _, _, prof = _hot_profile("""
+        int g;
+        int out[8];
+        int main(int n) {
+            g = 5;
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 200; j++) { out[j % 8] += g; }
+            }
+            return 0;
+        }
+        """, args=(8,))
+        # g written only before the loop: reads are live-in, not deps.
+        assert not prof.deps_on("global:g")
+
+
+class TestLifetimes:
+    MALLOC_LOOP = """
+    struct n { int v; struct n* next; };
+    int out[128];
+    int main(int n) {
+        for (int i = 0; i < n; i++) {
+            struct n* c = (struct n*)malloc(sizeof(struct n));
+            c->v = i;
+            out[i] = c->v;
+            %s
+        }
+        return 0;
+    }
+    """
+
+    def test_freed_same_iteration_is_short_lived(self):
+        _, _, prof = _hot_profile(self.MALLOC_LOOP % "free(c);", args=(40,))
+        assert len(prof.short_lived_sites) == 1
+
+    def test_leaked_object_not_short_lived(self):
+        _, _, prof = _hot_profile(self.MALLOC_LOOP % "", args=(40,))
+        assert not prof.short_lived_sites
+
+    def test_callee_stack_arrays_short_lived(self):
+        _, _, prof = _hot_profile("""
+        int out[128];
+        int work(int i) {
+            int tmp[16];
+            for (int j = 0; j < 16; j++) { tmp[j] = i + j; }
+            return tmp[15];
+        }
+        int main(int n) {
+            for (int i = 0; i < n; i++) { out[i] = work(i); }
+            return 0;
+        }
+        """, args=(40,))
+        assert len(prof.short_lived_sites) == 1
+
+    def test_object_kept_across_iterations_not_short_lived(self):
+        _, _, prof = _hot_profile("""
+        struct n { int v; struct n* next; };
+        struct n* keep;
+        int out[128];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                struct n* c = (struct n*)malloc(sizeof(struct n));
+                c->v = i;
+                if (keep != 0) { out[i] = keep->v; free(keep); }
+                keep = c;    /* survives into the next iteration */
+            }
+            return 0;
+        }
+        """, args=(40,))
+        assert not prof.short_lived_sites
+
+
+class TestValuePrediction:
+    def test_always_null_location_predicted(self):
+        _, _, prof = _hot_profile("""
+        struct n { int v; struct n* next; };
+        struct n* head;
+        int out[128];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                struct n* c = (struct n*)malloc(sizeof(struct n));
+                c->v = i; c->next = head; head = c;
+                int acc = 0;
+                while (head != 0) {
+                    acc += head->v;
+                    struct n* d = head;
+                    head = head->next;
+                    free(d);
+                }
+                out[i] = acc;
+            }
+            return 0;
+        }
+        """, args=(40,))
+        preds = list(prof.value_predictions)
+        assert any(p.obj_site == "global:head" and p.value == 0 for p in preds)
+
+    def test_varying_location_not_predicted(self):
+        _, _, prof = _hot_profile("""
+        int state;
+        int out[128];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = state;
+                state = i;        /* different value every iteration */
+            }
+            return 0;
+        }
+        """, args=(40,))
+        assert not prof.value_predictions
+
+
+class TestCoverageAndIO:
+    def test_io_sites_recorded(self):
+        _, _, prof = _hot_profile("""
+        int out[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = i;
+                printf("%d\\n", i);
+                for (int j = 0; j < 20; j++) { out[i] += j; }
+            }
+            return 0;
+        }
+        """, args=(30,))
+        assert len(prof.io_sites) == 1
+
+    def test_unexecuted_region_blocks(self):
+        _, _, prof = _hot_profile("""
+        int out[64];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                if (i < 0) { out[0] = 99; }  /* never taken */
+                out[i] = i;
+                for (int j = 0; j < 20; j++) { out[i] += j; }
+            }
+            return 0;
+        }
+        """, args=(30,))
+        assert prof.unexecuted_blocks
+
+    def test_pointer_objects_map(self):
+        mod, _, prof = _hot_profile("""
+        int g[32];
+        int main(int n) {
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 32; j++) { g[j] += i; }
+            }
+            return 0;
+        }
+        """, args=(20,))
+        assert any(
+            objs == {"global:g"} for objs in prof.pointer_objects.values())

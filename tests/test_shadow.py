@@ -1,0 +1,173 @@
+"""Shadow-heap metadata: the Table 2 transition rules, exhaustively."""
+
+import pytest
+
+from repro.interp.errors import Misspeculation
+from repro.runtime.shadow import (
+    LIVE_IN,
+    OLD_WRITE,
+    READ_LIVE_IN,
+    TS_BASE,
+    ShadowHeap,
+    timestamp_for,
+)
+
+
+def ts(i, epoch_start=0):
+    return timestamp_for(i, epoch_start)
+
+
+class TestTimestamps:
+    def test_encoding(self):
+        assert ts(0) == 3
+        assert ts(5) == 8
+        assert ts(252) == 255
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            timestamp_for(300, 0)
+
+    def test_epoch_relative(self):
+        assert timestamp_for(505, 500) == TS_BASE + 5
+
+
+class TestTable2Reads:
+    """Row-by-row checks of Table 2 (Read column)."""
+
+    def test_read_live_in(self):
+        sh = ShadowHeap(16)
+        sh.on_read(0, 4, ts(1), 1)
+        assert all(b == READ_LIVE_IN for b in sh.meta[0:4])
+
+    def test_read_old_write_misspeculates(self):
+        sh = ShadowHeap(16)
+        sh.meta[0] = OLD_WRITE
+        with pytest.raises(Misspeculation, match="checkpoint"):
+            sh.on_read(0, 1, ts(2), 2)
+
+    def test_read_read_live_in_stays(self):
+        sh = ShadowHeap(16)
+        sh.on_read(0, 4, ts(1), 1)
+        sh.on_read(0, 4, ts(1), 1)
+        assert all(b == READ_LIVE_IN for b in sh.meta[0:4])
+
+    def test_read_earlier_timestamp_misspeculates(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 4, ts(1), 1)
+        with pytest.raises(Misspeculation, match="flow"):
+            sh.on_read(0, 4, ts(3), 3)
+
+    def test_read_own_iteration_write_ok(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 4, ts(2), 2)
+        sh.on_read(0, 4, ts(2), 2)  # intra-iteration flow: fine
+        assert all(b == ts(2) for b in sh.meta[0:4])
+
+
+class TestTable2Writes:
+    """Row-by-row checks of Table 2 (Write column)."""
+
+    def test_overwrite_live_in(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 8, ts(0), 0)
+        assert all(b == ts(0) for b in sh.meta[0:8])
+
+    def test_overwrite_old_write(self):
+        sh = ShadowHeap(16)
+        sh.meta[0:4] = bytes([OLD_WRITE]) * 4
+        sh.on_write(0, 4, ts(1), 1)
+        assert all(b == ts(1) for b in sh.meta[0:4])
+
+    def test_overwrite_read_live_in_conservative_misspec(self):
+        # The documented false positive: a read-live-in byte overwritten
+        # before the checkpoint resolves it.
+        sh = ShadowHeap(16)
+        sh.on_read(0, 4, ts(1), 1)
+        with pytest.raises(Misspeculation, match="conservative"):
+            sh.on_write(0, 4, ts(1), 1)
+
+    def test_overwrite_recent_write(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 4, ts(1), 1)
+        sh.on_write(0, 4, ts(4), 4)
+        assert all(b == ts(4) for b in sh.meta[0:4])
+
+    def test_partial_overlap_checked_per_byte(self):
+        sh = ShadowHeap(16)
+        sh.on_read(2, 2, ts(1), 1)  # bytes 2..3 read-live-in
+        with pytest.raises(Misspeculation):
+            sh.on_write(0, 4, ts(1), 1)  # overlaps byte 2
+
+
+class TestCheckpointReset:
+    def test_timestamps_become_old_write(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 8, ts(3), 3)
+        sh.reset_after_checkpoint()
+        assert all(b == OLD_WRITE for b in sh.meta[0:8])
+
+    def test_read_live_in_resets_to_live_in(self):
+        sh = ShadowHeap(16)
+        sh.on_read(0, 4, ts(2), 2)
+        sh.reset_after_checkpoint()
+        assert all(b == LIVE_IN for b in sh.meta[0:4])
+
+    def test_tracking_sets_cleared(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 4, ts(1), 1)
+        sh.on_read(8, 4, ts(1), 1)
+        sh.reset_after_checkpoint()
+        assert not sh.written and not sh.read_live_in
+
+    def test_fresh_epoch_reads_after_reset(self):
+        sh = ShadowHeap(16)
+        sh.on_write(0, 4, ts(1), 1)
+        sh.reset_after_checkpoint()
+        # Next epoch: reading the byte hits old-write -> loop-carried flow.
+        with pytest.raises(Misspeculation):
+            sh.on_read(0, 4, ts(0), 10)
+
+
+class TestIntervals:
+    def test_written_offsets(self):
+        sh = ShadowHeap(32)
+        sh.on_write(0, 4, ts(1), 1)
+        sh.on_write(10, 2, ts(1), 1)
+        assert sh.written_offsets() == {0, 1, 2, 3, 10, 11}
+
+    def test_write_iterations_reports_latest(self):
+        sh = ShadowHeap(32)
+        sh.on_write(0, 4, ts(1), 1)
+        sh.on_write(0, 4, ts(6), 6)
+        pairs = dict(sh.write_iterations(epoch_start=0))
+        assert pairs[0] == 6
+
+    def test_epoch_start_offsets_iterations(self):
+        sh = ShadowHeap(32)
+        sh.on_write(0, 1, timestamp_for(503, 500), 503)
+        pairs = dict(sh.write_iterations(epoch_start=500))
+        assert pairs[0] == 503
+
+    def test_growth_on_demand(self):
+        sh = ShadowHeap(4)
+        sh.on_write(100, 8, ts(1), 1)
+        assert sh.size >= 108
+
+
+class TestScenario:
+    def test_privatization_pattern_validates(self):
+        """dijkstra-style per-iteration reuse: write-then-read each
+        iteration never misspeculates across many iterations."""
+        sh = ShadowHeap(64)
+        for i in range(100):
+            t = timestamp_for(i % 250, (i // 250) * 250)
+            sh.on_write(0, 32, t, i)
+            sh.on_read(0, 32, t, i)
+            if i % 250 == 249:
+                sh.reset_after_checkpoint()
+
+    def test_true_flow_dependence_always_caught(self):
+        sh = ShadowHeap(64)
+        sh.on_write(0, 8, ts(0), 0)
+        with pytest.raises(Misspeculation):
+            sh.on_read(0, 8, ts(1), 1)

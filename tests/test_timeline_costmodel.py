@@ -1,0 +1,72 @@
+"""Timeline rendering and cost-model arithmetic."""
+
+import pytest
+
+from repro.parallel.costmodel import CostModelConfig, DEFAULT_COSTS
+from repro.parallel.timeline import Timeline, TimelineEvent
+
+
+class TestCostModel:
+    def test_spawn_scales_with_workers(self):
+        c = CostModelConfig()
+        assert c.spawn_time(24) > c.spawn_time(4) > c.spawn_base
+
+    def test_join_scales_with_workers(self):
+        c = CostModelConfig()
+        assert c.join_time(24) - c.join_time(23) == c.join_per_worker
+
+    def test_defaults_are_positive(self):
+        for field in ("spawn_base", "spawn_per_worker", "join_base",
+                      "join_per_worker", "recovery_fixed"):
+            assert getattr(DEFAULT_COSTS, field) > 0
+
+    def test_custom_config_flows_into_executor(self):
+        from tests.helpers import prepared_counter_program
+
+        prog = prepared_counter_program(16)
+        cheap = CostModelConfig(spawn_base=1, spawn_per_worker=1,
+                                join_base=1, join_per_worker=1)
+        dear = CostModelConfig(spawn_base=500_000, spawn_per_worker=50_000,
+                               join_base=500_000, join_per_worker=50_000)
+        fast = prog.execute(workers=4, costs=cheap)
+        slow = prog.execute(workers=4, costs=dear)
+        assert fast.total_wall_cycles < slow.total_wall_cycles
+        assert fast.output == slow.output
+
+
+class TestTimeline:
+    def _sample(self):
+        t = Timeline()
+        t.add("spawn", None, 0, 10)
+        t.add("iteration", 0, 10, 40, "i=0")
+        t.add("iteration", 1, 10, 35, "i=1")
+        t.add("checkpoint", None, 40, 45)
+        t.add("misspec", 1, 45, 50)
+        t.add("recovery", None, 50, 70)
+        t.add("join", None, 70, 80)
+        return t
+
+    def test_render_contains_all_workers(self):
+        text = self._sample().render(width=40)
+        assert "worker 0" in text and "worker 1" in text
+
+    def test_render_symbols(self):
+        text = self._sample().render(width=40)
+        assert "=" in text          # iterations
+        assert "C" in text          # checkpoint
+        assert "X" in text          # misspec
+        assert "R" in text          # recovery
+        assert "legend" in text
+
+    def test_empty_timeline(self):
+        assert "empty" in Timeline().render()
+
+    def test_events_are_recorded_in_order(self):
+        t = self._sample()
+        kinds = [e.kind for e in t.events]
+        assert kinds == ["spawn", "iteration", "iteration", "checkpoint",
+                         "misspec", "recovery", "join"]
+
+    def test_event_fields(self):
+        e = TimelineEvent("iteration", 2, 5, 9, "i=7")
+        assert (e.worker, e.start, e.end, e.label) == (2, 5, 9, "i=7")

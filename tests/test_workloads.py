@@ -1,0 +1,150 @@
+"""The five evaluated programs: correctness, heap shapes, and parallel
+equivalence on train-sized inputs.
+
+The crown jewel: the MiniC MD5 is checked bit-exactly against hashlib.
+"""
+
+import pytest
+
+from repro.bench.pipeline import run_sequential
+from repro.classify import HeapKind
+from repro.workloads import (
+    ALL_WORKLOADS,
+    ALVINN,
+    BLACKSCHOLES,
+    BY_NAME,
+    DIJKSTRA,
+    ENC_MD5,
+    SWAPTIONS,
+    reference_digests,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """Prepare every workload once (train inputs) for this module."""
+    return {w.name: w.prepare_small() for w in ALL_WORKLOADS}
+
+
+class TestRegistry:
+    def test_five_programs(self):
+        assert len(ALL_WORKLOADS) == 5
+        assert set(BY_NAME) == {
+            "alvinn", "dijkstra", "blackscholes", "swaptions", "enc_md5"}
+
+    def test_inputs_distinct(self):
+        for w in ALL_WORKLOADS:
+            assert w.train != w.ref
+            assert w.alt not in (w.train, w.ref)
+
+
+class TestMD5Correctness:
+    def test_digests_match_hashlib(self):
+        nmsgs, msglen, seed = ENC_MD5.train
+        seq = run_sequential(ENC_MD5.source, "md5", args=ENC_MD5.train)
+        digests = "".join(seq.output).split()
+        assert digests == reference_digests(nmsgs, msglen, seed)
+
+    def test_parallel_digests_match_hashlib(self, prepared):
+        prog = prepared["enc_md5"]
+        result = prog.execute(workers=4)
+        nmsgs, msglen, seed = ENC_MD5.train
+        assert "".join(result.output).split() == \
+            reference_digests(nmsgs, msglen, seed)
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("name", [w.name for w in ALL_WORKLOADS])
+    def test_output_matches_sequential(self, prepared, name):
+        prog = prepared[name]
+        result = prog.execute(workers=6)
+        assert result.output == prog.sequential.output
+        assert result.runtime_stats.misspec_count() == 0
+
+    @pytest.mark.parametrize("name", [w.name for w in ALL_WORKLOADS])
+    def test_speculation_survives_injected_misspec(self, prepared, name):
+        prog = prepared[name]
+        result = prog.execute(workers=4, misspec_period=7)
+        assert result.output == prog.sequential.output
+        assert result.runtime_stats.recoveries > 0
+
+
+class TestHeapAssignments:
+    """Table 3 shapes: which heaps are populated per program."""
+
+    @pytest.mark.parametrize("name", [w.name for w in ALL_WORKLOADS])
+    def test_expected_heap_population(self, prepared, name):
+        prog = prepared[name]
+        counts = prog.assignment.counts()
+        for heap, populated in BY_NAME[name].expectations.heaps.items():
+            if populated:
+                assert counts[heap] > 0, f"{name}: expected {heap} objects"
+            else:
+                assert counts[heap] == 0, f"{name}: unexpected {heap} objects"
+
+    def test_alvinn_matches_paper_row_exactly(self, prepared):
+        # Paper Table 3: 052.alvinn — Private 4, Short-Lived 0,
+        # Read-Only 4, Redux 3, Unrestricted 0.
+        counts = prepared["alvinn"].assignment.counts()
+        assert counts == {"private": 4, "short_lived": 0, "read_only": 4,
+                          "redux": 3, "unrestricted": 0}
+
+    def test_enc_md5_private_state_and_digest(self, prepared):
+        a = prepared["enc_md5"].assignment
+        assert "global:ST" in a.private_sites
+        assert "global:digest" in a.private_sites
+
+    def test_dijkstra_extras(self, prepared):
+        extras = set(prepared["dijkstra"].assignment.extras())
+        assert extras == {"Value", "Control", "I/O"}
+
+    def test_dijkstra_value_predictions_on_queue(self, prepared):
+        preds = prepared["dijkstra"].assignment.predictions
+        assert {p.obj_site for p in preds} == {"global:Q"}
+        assert all(p.value == 0 for p in preds)
+
+    def test_blackscholes_no_private_reads(self, prepared):
+        # Paper Table 3: blackscholes private reads = 0 B.
+        prog = prepared["blackscholes"]
+        result = prog.execute(workers=4)
+        assert result.runtime_stats.private_read_bytes == 0
+        assert result.runtime_stats.private_write_bytes > 0
+
+    def test_swaptions_short_lived_dominate(self, prepared):
+        # Paper: 15 of 17 privatized objects are short-lived.
+        counts = prepared["swaptions"].assignment.counts()
+        assert counts["short_lived"] >= counts["private"]
+
+    def test_no_workload_needs_unrestricted(self, prepared):
+        for name, prog in prepared.items():
+            assert prog.assignment.counts()["unrestricted"] == 0, name
+
+
+class TestInvocations:
+    def test_alvinn_invoked_per_epoch(self, prepared):
+        prog = prepared["alvinn"]
+        result = prog.execute(workers=4)
+        assert result.runtime_stats.invocations == prog.train_args[1]
+
+    def test_single_invocation_programs(self, prepared):
+        for name in ("dijkstra", "blackscholes", "swaptions", "enc_md5"):
+            result = prepared[name].execute(workers=4)
+            assert result.runtime_stats.invocations == 1, name
+
+
+class TestProfileStability:
+    def test_alt_input_gives_same_classification(self):
+        """§6: profiling with a third input produces identical code."""
+        w = DIJKSTRA
+        from repro.bench.pipeline import prepare
+
+        a = prepare(w.source, w.name, args=w.train, ref_args=w.train)
+        b = prepare(w.source, w.name, args=w.alt, ref_args=w.alt)
+        heaps_a = {s: k for s, k in a.assignment.site_heaps.items()}
+        heaps_b = {s: k for s, k in b.assignment.site_heaps.items()}
+        # Same sites, same heaps (site uids differ between compiles, so
+        # compare the global: sites and the per-heap cardinalities).
+        ga = {s: k for s, k in heaps_a.items() if s.startswith("global:")}
+        gb = {s: k for s, k in heaps_b.items() if s.startswith("global:")}
+        assert ga == gb
+        assert a.assignment.counts() == b.assignment.counts()
