@@ -32,7 +32,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     source = _load_source(args.source)
     try:
         program = prepare(source, Path(args.source).stem,
-                          args=_parse_args_list(args.args))
+                          args=_parse_args_list(args.args),
+                          use_cache=not args.no_cache)
     except SelectionError as e:
         print("no parallelizable loop found:")
         for reason in e.reasons:
@@ -49,7 +50,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     source = _load_source(args.source)
     program = prepare(source, Path(args.source).stem,
-                      args=_parse_args_list(args.args))
+                      args=_parse_args_list(args.args),
+                      use_cache=not args.no_cache)
     result = program.execute(
         workers=args.workers,
         checkpoint_period=args.checkpoint_period,
@@ -124,6 +126,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import run_bench
+
+    return run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        workload_names=args.workloads or None,
+        out=args.out,
+        min_speedup=args.min_speedup,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,6 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
                                        "heap assignment and plan")
     p.add_argument("source", help="MiniC source file")
     p.add_argument("--args", nargs="*", help="integer arguments for main")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk profile cache")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("run", help="parallelize and execute on the "
@@ -147,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a misspeculation every N iterations")
     p.add_argument("--timeline", action="store_true",
                    help="render the Figure 5 execution timeline")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk profile cache")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("baselines", help="judge the program under the "
@@ -162,6 +180,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md content "
                                       "on stdout (slow)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("perf", help="benchmark the interpreter fast path "
+                                    "and pipeline cache; appends to "
+                                    "BENCH_interp.json")
+    p.add_argument("--quick", action="store_true",
+                   help="train inputs, dijkstra only, 1.5x gate (CI smoke)")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--workloads", nargs="*",
+                   help="restrict to these workloads (default: all, or "
+                        "dijkstra with --quick)")
+    p.add_argument("--out", default="BENCH_interp.json",
+                   help="trajectory file to append to ('' to skip writing)")
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="fail if the dijkstra interp speedup is below this")
+    p.set_defaults(func=cmd_perf)
     return parser
 
 

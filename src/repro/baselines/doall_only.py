@@ -150,7 +150,7 @@ class DOALLOnlyExecutor:
         try:
             while interp.frames:
                 try:
-                    result = interp.step()
+                    result = interp.run_until_event()
                 except BlockBreakpoint as bp:
                     cand = self.selected.get(bp.target)
                     if cand is None or bp.prev in cand.loop.blocks:
@@ -226,7 +226,7 @@ class DOALLOnlyExecutor:
         wframe.regs[iv.phi] = ty.wrap(value) if hasattr(ty, "wrap") else value
         while True:
             try:
-                interp.step()
+                interp.run_until_event()
             except BlockBreakpoint as bblk:
                 if bblk.target is cand.loop.header and len(interp.frames) == 1:
                     return

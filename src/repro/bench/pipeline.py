@@ -1,5 +1,12 @@
 """End-to-end Privateer pipeline: compile, profile, classify, transform,
-and execute — the driver used by examples, tests, and benchmarks."""
+and execute — the driver used by examples, tests, and benchmarks.
+
+Profiling results (the sequential baseline plus every profiler pass) are
+memoized on disk via :mod:`repro.bench.cache`; repeated invocations on
+the same module + inputs skip guest re-execution entirely.  Disable with
+``use_cache=False`` (CLI: ``--no-cache``) or point ``$REPRO_CACHE_DIR``
+at a scratch directory.
+"""
 
 from __future__ import annotations
 
@@ -15,9 +22,16 @@ from ..parallel.executor import DOALLExecutor
 from ..parallel.stats import ExecutionResult
 from ..profiling.data import HotLoopReport, LoopProfile, LoopRef
 from ..profiling.loopprof import profile_loop
+from ..profiling.serialize import (
+    hot_report_from_dict,
+    hot_report_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
 from ..profiling.timeprof import profile_execution_time
 from ..transform.plan import ParallelPlan, SelectionError
 from ..transform.privatize import PrivateerTransform
+from . import cache as profile_cache
 
 
 @dataclass
@@ -98,6 +112,7 @@ def prepare(
     checkpoint_period: Optional[int] = None,
     min_coverage: float = 0.10,
     max_candidates: int = 6,
+    use_cache: bool = True,
 ) -> PreparedProgram:
     """Run the full Privateer compiler pipeline on MiniC source.
 
@@ -106,13 +121,57 @@ def prepare(
     transformation.  The sequential baseline is measured on the ref input
     (``ref_args``, defaulting to the train input).  Raises
     :class:`SelectionError` if no loop can be parallelized.
+
+    With ``use_cache`` (the default) profiling observations are memoized
+    on disk keyed by module fingerprint + inputs; the classification and
+    transformation always run fresh (they mutate the module).
     """
     train_args = tuple(args)
     eval_args = tuple(ref_args) if ref_args is not None else train_args
-    sequential = run_sequential(source, name, entry, eval_args)
 
+    # The profiling/transform module is compiled *before* the baseline
+    # run so its instruction uids — and hence its cache fingerprint —
+    # don't depend on whether the warm path skips the baseline compile.
     module = compile_minic(source, name)
-    hot_report = profile_execution_time(module, entry, train_args)
+    # Key and fingerprint are captured now, before any transform mutates
+    # the module in place.
+    ckey = profile_cache.cache_key(module, entry, train_args, eval_args)
+    fingerprint = profile_cache.module_fingerprint(module)
+
+    cached = profile_cache.load_entry(ckey, fingerprint) if use_cache else None
+    profiles: Dict[str, LoopProfile] = {}
+    if cached is not None:
+        seq = cached["sequential"]
+        sequential = SequentialBaseline(
+            seq["cycles"], seq["return_value"], list(seq["output"]))
+        hot_report = hot_report_from_dict(cached["hot_report"])
+        for key, pdata in cached["profiles"].items():
+            try:
+                profiles[key] = profile_from_dict(pdata)
+            except ValueError:
+                pass  # stale per-candidate entry: re-profile below
+    else:
+        sequential = run_sequential(source, name, entry, eval_args)
+        hot_report = profile_execution_time(module, entry, train_args)
+
+    def _persist() -> None:
+        if not use_cache or cached is not None:
+            return
+        profile_cache.store_entry(ckey, fingerprint, {
+            "sequential": {
+                "cycles": sequential.cycles,
+                "return_value": sequential.return_value,
+                "output": sequential.output,
+            },
+            "hot_report": hot_report_to_dict(hot_report),
+            # The entry-level fingerprint covers the profiles; they are
+            # serialized without their own (the module may already be
+            # mutated by the time this runs).
+            "profiles": {
+                key: profile_to_dict(p)
+                for key, p in profiles.items()
+            },
+        })
 
     rejected: Dict[LoopRef, List[str]] = {}
     candidates = [
@@ -122,7 +181,10 @@ def prepare(
 
     last_error: Optional[SelectionError] = None
     for rec in candidates:
-        profile = profile_loop(module, rec.ref, entry, train_args)
+        profile = profiles.get(str(rec.ref))
+        if profile is None:
+            profile = profile_loop(module, rec.ref, entry, train_args)
+            profiles[str(rec.ref)] = profile
         assignment = classify(profile)
         period = checkpoint_period or _default_period(profile)
         try:
@@ -132,12 +194,14 @@ def prepare(
             rejected[rec.ref] = e.reasons
             last_error = e
             continue
+        _persist()
         return PreparedProgram(
             name=name, source=source, entry=entry, train_args=train_args,
             ref_args=eval_args, sequential=sequential, module=module,
             hot_report=hot_report, profile=profile, assignment=assignment,
             plan=plan, rejected=rejected,
         )
+    _persist()
     raise last_error or SelectionError(
         LoopRef(entry, "?"), ["no hot loop candidates found"])
 

@@ -838,6 +838,43 @@ class Lowerer:
         raise self._error(expr, f"call to undeclared function {expr.name!r}")
 
 
+def _renumber_values(module: Module) -> None:
+    """Deterministically renumber value uids in structural order.
+
+    Fresh values draw uids from a process-global counter, so compiling
+    the same source twice would otherwise yield different uids — and a
+    different module fingerprint, defeating the on-disk profile cache
+    (:mod:`repro.bench.cache`) within a process.  Renumbering to 1..N in
+    walk order makes the fingerprint a pure function of the source.
+    Values created *after* compilation (by transforms) keep drawing from
+    the global counter, which has already advanced past N, so uids stay
+    unique within the module.
+    """
+    import itertools
+
+    counter = itertools.count(1)
+    seen = set()
+
+    def visit(v: Value) -> None:
+        if id(v) not in seen:
+            seen.add(id(v))
+            v.uid = next(counter)
+
+    for gv in module.globals.values():
+        visit(gv)
+    for fn in module.functions.values():
+        visit(fn)
+        for arg in fn.args:
+            visit(arg)
+        for bb in fn.blocks:
+            for inst in bb.instructions:
+                visit(inst)
+        for bb in fn.blocks:
+            for inst in bb.instructions:
+                for op in inst.operands:
+                    visit(op)
+
+
 def compile_minic(source: str, module_name: str = "minic",
                   promote: bool = True, licm: bool = True,
                   verify: bool = True) -> Module:
@@ -863,4 +900,5 @@ def compile_minic(source: str, module_name: str = "minic",
         from ..ir.verifier import verify_module
 
         verify_module(module)
+    _renumber_values(module)
     return module

@@ -3,6 +3,21 @@
 from __future__ import annotations
 
 
+class BlockBreakpoint(Exception):
+    """Raised when execution is about to enter a registered block.
+
+    Defined here (rather than in :mod:`repro.interp.interpreter`) so the
+    compiled fast path can raise it without a circular import; the
+    interpreter module re-exports it under its historical name.
+    """
+
+    def __init__(self, frame, target, prev):
+        super().__init__(f"breakpoint at {target.name}")
+        self.frame = frame
+        self.target = target
+        self.prev = prev
+
+
 class GuestError(Exception):
     """Base class for errors attributable to the interpreted program."""
 

@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 import struct as _struct
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -57,24 +58,27 @@ from ..ir.values import (
     Undef,
     Value,
 )
+from .compile import (
+    _MISS,
+    _UNDEF,
+    RegisterFile,
+    FunctionCode,
+    function_code,
+    regmap_for,
+    run_fast,
+)
 from .costs import instruction_cost, intrinsic_cost
-from .errors import GuestExit, GuestFault, GuestTimeout
+from .errors import BlockBreakpoint, GuestExit, GuestFault, GuestTimeout
 from .intrinsics import default_intrinsics
 from .memory import GLOBAL_BASE, STACK_BASE, AddressSpace, MemoryObject
 
-
-class BlockBreakpoint(Exception):
-    """Raised when execution is about to enter a registered block."""
-
-    def __init__(self, frame: "Frame", target: BasicBlock, prev: BasicBlock):
-        super().__init__(f"breakpoint at {target.name}")
-        self.frame = frame
-        self.target = target
-        self.prev = prev
+__all__ = ["BlockBreakpoint", "Hook", "Frame", "Interpreter"]
 
 
 class Hook:
     """Base class for execution observers; override what you need."""
+
+    __slots__ = ()
 
     def on_alloc(self, interp, obj: MemoryObject, inst: Instruction) -> None: ...
     def on_free(self, interp, obj: MemoryObject, inst: Instruction) -> None: ...
@@ -86,17 +90,28 @@ class Hook:
 
 
 class Frame:
-    """One activation record."""
+    """One activation record.
 
-    __slots__ = ("function", "block", "index", "prev_block", "regs",
-                 "allocas", "call_inst")
+    Registers live in a flat ``slots`` list indexed by the function's
+    register numbering (see :mod:`repro.interp.compile`); ``regs`` is a
+    dict-protocol view over the same storage, so existing callers (the
+    reference ``step()`` path, the executor poking loop phis, tests) keep
+    working unchanged while the compiled path indexes ``slots`` directly.
+    """
 
-    def __init__(self, function: Function, call_inst: Optional[Call] = None):
+    __slots__ = ("function", "block", "index", "prev_block", "slots",
+                 "regs", "allocas", "call_inst")
+
+    def __init__(self, function: Function, call_inst: Optional[Call] = None,
+                 regmap: Optional[Dict[Value, int]] = None):
         self.function = function
         self.block: BasicBlock = function.entry
         self.index = 0
         self.prev_block: Optional[BasicBlock] = None
-        self.regs: Dict[Value, object] = {}
+        if regmap is None:
+            regmap = regmap_for(function)
+        self.slots: List[object] = [_UNDEF] * len(regmap)
+        self.regs = RegisterFile(regmap, self.slots)
         self.allocas: List[int] = []  # base addresses to free on pop
         self.call_inst = call_inst
 
@@ -106,7 +121,8 @@ class Frame:
         dup.block = self.block
         dup.index = self.index
         dup.prev_block = self.prev_block
-        dup.regs = dict(self.regs)
+        dup.slots = list(self.slots)
+        dup.regs = self.regs.copy_for(dup.slots)
         dup.allocas = []
         dup.call_inst = None
         return dup
@@ -122,7 +138,13 @@ class Interpreter:
         space: Optional[AddressSpace] = None,
         max_steps: int = 500_000_000,
         global_regions: Optional[Dict[str, int]] = None,
+        compiled: Optional[bool] = None,
     ):
+        if compiled is None:
+            compiled = os.environ.get("REPRO_INTERP", "fast") != "step"
+        self.compiled = compiled
+        self._codes: Dict[Function, FunctionCode] = {}
+        self._fast_result: object = None
         self.module = module
         self.space = space or AddressSpace()
         self.max_steps = max_steps
@@ -221,9 +243,9 @@ class Interpreter:
         cv = v.cval
         if cv is not None:
             return cv
-        regs = frame.regs
-        if v in regs:
-            return regs[v]
+        val = frame.regs.get(v, _MISS)
+        if val is not _MISS:
+            return val
         if isinstance(v, GlobalVariable):
             return self.global_addrs[v]
         raise GuestFault(
@@ -232,11 +254,27 @@ class Interpreter:
 
     # -- program entry ------------------------------------------------------------------
 
+    def code_for(self, fn: Function) -> FunctionCode:
+        """Compiled code for ``fn``, fingerprint-validated once per
+        interpreter (transforms mutate IR between interpreter lifetimes,
+        not during a run)."""
+        code = self._codes.get(fn)
+        if code is None:
+            code = function_code(fn)
+            self._codes[fn] = code
+        return code
+
+    def _block_code(self, frame: Frame):
+        return self.code_for(frame.function).blocks[frame.block]
+
     def push_function(self, fn: Function, args: Sequence[object] = (),
                       call_inst: Optional[Call] = None) -> Frame:
         if fn.is_declaration:
             raise GuestFault(f"cannot execute declaration @{fn.name}")
-        frame = Frame(fn, call_inst)
+        # On the compiled path the frame's register numbering must match
+        # the (validated) compiled code, so resolve it through code_for.
+        regmap = self.code_for(fn).regmap if self.compiled else None
+        frame = Frame(fn, call_inst, regmap=regmap)
         for formal, actual in zip(fn.args, args):
             frame.regs[formal] = actual
         self.frames.append(frame)
@@ -248,12 +286,27 @@ class Interpreter:
         self.push_function(fn, args)
         result: object = None
         try:
-            while self.frames:
-                result = self.step()
+            if self.compiled:
+                result = run_fast(self)
+            else:
+                while self.frames:
+                    result = self.step()
         except GuestExit as e:
             self.exit_code = e.code
             self.frames.clear()
             return e.code
+        return result
+
+    def run_until_event(self):
+        """Run the current frame stack until it drains (returns the final
+        return value).  ``BlockBreakpoint``, ``GuestExit`` and guest
+        errors propagate to the caller — this is the executor's workhorse
+        on both interpreter paths."""
+        if self.compiled:
+            return run_fast(self)
+        result: object = None
+        while self.frames:
+            result = self.step()
         return result
 
     def swap_stack(self, frames: List[Frame]) -> List[Frame]:

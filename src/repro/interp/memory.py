@@ -93,6 +93,9 @@ class AddressSpace:
     on.
     """
 
+    __slots__ = ("parent", "_pages", "_cursors", "_cow_copies",
+                 "dirty_pages", "bytes_allocated", "_track_dirty")
+
     def __init__(self, parent: Optional["AddressSpace"] = None):
         self.parent = parent
         self._pages: Dict[int, List[MemoryObject]] = {}

@@ -118,7 +118,7 @@ class DOALLExecutor:
         try:
             while interp.frames:
                 try:
-                    result = interp.step()
+                    result = interp.run_until_event()
                 except BlockBreakpoint as bp:
                     if bp.prev in self.plan.loop.blocks:
                         # Back edge during a sequential (fallback) pass of
@@ -305,19 +305,21 @@ class DOALLExecutor:
         frame.regs[plan.iv.phi] = self._iv_value(i, init)
         while True:
             try:
-                interp.step()
+                interp.run_until_event()
             except BlockBreakpoint as bblk:
                 if bblk.target is plan.loop.header and len(interp.frames) == 1:
                     break
                 interp.resume_at(bblk.frame, bblk.target, bblk.prev)
+                continue
             except GuestExit as e:
                 raise Misspeculation(
                     "control", f"guest exit({e.code}) inside speculative "
                     f"region", i) from e
-            if not interp.frames:
-                raise Misspeculation(
-                    "control", "loop function returned inside the parallel "
-                    "region", i)
+            # run_until_event returned: the frame stack drained without
+            # re-entering the loop header.
+            raise Misspeculation(
+                "control", "loop function returned inside the parallel "
+                "region", i)
         self.runtime.end_iteration(worker, i)
 
     def _execute_iteration_plain(self, frame: Frame, i: int, init: int) -> None:
@@ -328,11 +330,14 @@ class DOALLExecutor:
         frame.regs[plan.iv.phi] = self._iv_value(i, init)
         while True:
             try:
-                interp.step()
+                interp.run_until_event()
             except BlockBreakpoint as bblk:
                 if bblk.target is plan.loop.header and len(interp.frames) == 1:
                     return
                 interp.resume_at(bblk.frame, bblk.target, bblk.prev)
+                continue
+            raise GuestFault(
+                "loop function returned during non-speculative recovery")
 
     # -- recovery -----------------------------------------------------------------------
 

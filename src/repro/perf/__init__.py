@@ -1,0 +1,15 @@
+"""Performance micro-benchmarks (``python -m repro perf``)."""
+
+from .harness import (
+    append_trajectory,
+    measure_interp,
+    measure_pipeline,
+    run_bench,
+)
+
+__all__ = [
+    "append_trajectory",
+    "measure_interp",
+    "measure_pipeline",
+    "run_bench",
+]

@@ -1,0 +1,204 @@
+"""Micro-benchmark harness for the interpreter and pipeline.
+
+Two measurements, both repeated ``repeats`` times with
+:func:`time.perf_counter` and reported as means:
+
+* **interp** — instructions/second executing a workload to completion on
+  the reference ``step()`` path vs the compiled fast path, with a
+  built-in differential check (identical guest output, steps, and
+  simulated cycles — a disagreement is a harness failure, not a number).
+* **pipeline** — end-to-end ``prepare()`` latency cold (empty profile
+  cache) vs warm (second invocation against the same cache).
+
+Results are appended to ``BENCH_interp.json`` as a trajectory: one entry
+per run, so future PRs regress against the history rather than a single
+sample.  Run via ``python -m repro perf`` (``--quick`` for the CI smoke
+gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from ..frontend.lower import compile_minic
+from ..interp.interpreter import Interpreter
+from ..workloads import ALL_WORKLOADS, BY_NAME, Workload
+
+DEFAULT_OUT = "BENCH_interp.json"
+
+
+def _run_once(module, entry: str, args: Sequence[object],
+              compiled: bool) -> Dict[str, object]:
+    interp = Interpreter(module, compiled=compiled)
+    t0 = time.perf_counter()
+    rv = interp.run(entry, tuple(args))
+    elapsed = time.perf_counter() - t0
+    return {
+        "elapsed": elapsed,
+        "steps": interp.steps,
+        "cycles": interp.cycles,
+        "output": interp.output,
+        "return_value": rv,
+    }
+
+
+def measure_interp(workload: Workload, args: Sequence[object],
+                   repeats: int = 3) -> Dict[str, object]:
+    """Instructions/second on both interpreter paths for one workload.
+
+    Raises AssertionError if the two paths disagree on guest output,
+    step count, or simulated cycles — the numbers are only meaningful
+    for observationally identical executions.
+    """
+    module = compile_minic(workload.source, workload.name)
+    step_runs = [_run_once(module, "main", args, compiled=False)
+                 for _ in range(repeats)]
+    fast_runs = [_run_once(module, "main", args, compiled=True)
+                 for _ in range(repeats)]
+    ref, fast = step_runs[0], fast_runs[0]
+    assert ref["output"] == fast["output"], (
+        f"{workload.name}: guest output diverged between paths")
+    assert ref["steps"] == fast["steps"], (
+        f"{workload.name}: step counts diverged "
+        f"({ref['steps']} vs {fast['steps']})")
+    assert ref["cycles"] == fast["cycles"], (
+        f"{workload.name}: cycle counts diverged "
+        f"({ref['cycles']} vs {fast['cycles']})")
+    steps = ref["steps"]
+    step_ips = mean(steps / r["elapsed"] for r in step_runs)
+    fast_ips = mean(steps / r["elapsed"] for r in fast_runs)
+    return {
+        "workload": workload.name,
+        "args": list(args),
+        "instructions": steps,
+        "cycles": ref["cycles"],
+        "repeats": repeats,
+        "step_ips": round(step_ips),
+        "fast_ips": round(fast_ips),
+        "speedup": round(fast_ips / step_ips, 2),
+    }
+
+
+def measure_pipeline(workload: Workload, repeats: int = 3,
+                     use_ref: bool = True) -> Dict[str, object]:
+    """Cold vs warm ``prepare()`` latency against a scratch profile cache."""
+    from ..bench.pipeline import prepare
+
+    ref_args = workload.ref if use_ref else workload.train
+    colds: List[float] = []
+    warms: List[float] = []
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    try:
+        for _ in range(repeats):
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                os.environ["REPRO_CACHE_DIR"] = tmp
+                t0 = time.perf_counter()
+                prepare(workload.source, workload.name, args=workload.train,
+                        ref_args=ref_args)
+                colds.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                prepare(workload.source, workload.name, args=workload.train,
+                        ref_args=ref_args)
+                warms.append(time.perf_counter() - t0)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    cold, warm = mean(colds), mean(warms)
+    return {
+        "workload": workload.name,
+        "repeats": repeats,
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
+    }
+
+
+def append_trajectory(entry: Dict[str, object],
+                      path: os.PathLike = DEFAULT_OUT) -> None:
+    path = Path(path)
+    data: Dict[str, object] = {"benchmark": "interp", "runs": []}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            pass
+        if not isinstance(data.get("runs"), list):
+            data = {"benchmark": "interp", "runs": []}
+    data["runs"].append(entry)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def run_bench(quick: bool = False, repeats: int = 3,
+              workload_names: Optional[Sequence[str]] = None,
+              out: Optional[str] = DEFAULT_OUT,
+              min_speedup: Optional[float] = None) -> int:
+    """Run the benchmark; returns a process exit code.
+
+    ``quick`` uses train inputs, one pipeline workload, and a 1.5× floor
+    on the dijkstra interp speedup (the CI smoke gate).  The full run
+    uses ref inputs across all workloads.
+    """
+    if quick:
+        repeats = max(2, min(repeats, 2))
+        if min_speedup is None:
+            min_speedup = 1.5
+    if workload_names:
+        unknown = [n for n in workload_names if n not in BY_NAME]
+        if unknown:
+            print(
+                "error: unknown workload(s): %s (available: %s)"
+                % (", ".join(unknown), ", ".join(sorted(BY_NAME))),
+                file=sys.stderr,
+            )
+            return 2
+        workloads = [BY_NAME[n] for n in workload_names]
+    else:
+        workloads = [BY_NAME["dijkstra"]] if quick else list(ALL_WORKLOADS)
+
+    interp_results = []
+    for w in workloads:
+        args = w.train if quick else w.ref
+        res = measure_interp(w, args, repeats=repeats)
+        interp_results.append(res)
+        print(f"interp {w.name:14s} {res['instructions']:>12,} insts  "
+              f"step {res['step_ips']:>12,}/s  fast {res['fast_ips']:>12,}/s  "
+              f"{res['speedup']:.2f}x")
+
+    pipeline_workloads = workloads[:1] if quick else workloads
+    pipeline_results = []
+    for w in pipeline_workloads:
+        res = measure_pipeline(w, repeats=1 if quick else max(1, repeats - 1),
+                               use_ref=not quick)
+        pipeline_results.append(res)
+        print(f"pipeline {w.name:12s} cold {res['cold_s']:.3f}s  "
+              f"warm {res['warm_s']:.3f}s  {res['warm_speedup']:.1f}x")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "quick": quick,
+        "interp": interp_results,
+        "pipeline": pipeline_results,
+    }
+    if out:
+        append_trajectory(entry, out)
+        print(f"appended to {out}")
+
+    if min_speedup is not None:
+        gate = [r for r in interp_results if r["workload"] == "dijkstra"]
+        gate = gate or interp_results
+        worst = min(r["speedup"] for r in gate)
+        if worst < min_speedup:
+            print(f"FAIL: fast path {worst:.2f}x < required "
+                  f"{min_speedup:.2f}x")
+            return 1
+        print(f"gate ok: {worst:.2f}x >= {min_speedup:.2f}x")
+    return 0

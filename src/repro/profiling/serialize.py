@@ -17,21 +17,45 @@ from pathlib import Path
 from typing import Dict, Union
 
 from ..ir.module import Module
-from .data import FlowDep, LoopProfile, LoopRef, ValuePrediction
+from .data import (
+    FlowDep,
+    HotLoopReport,
+    LoopProfile,
+    LoopRef,
+    LoopTimeRecord,
+    ValuePrediction,
+)
 
 FORMAT_VERSION = 1
 
+#: Bump whenever any profiler's *observed semantics* change (new record
+#: fields, different site naming, different cost model hooks) so disk
+#: caches keyed on it (see :mod:`repro.bench.cache`) invalidate instead of
+#: replaying stale observations.
+PROFILER_VERSION = 1
+
 
 def module_fingerprint(module: Module) -> str:
-    """A stable fingerprint of the module's structure (function names,
-    block names, instruction uids in order)."""
+    """A stable fingerprint of the module's *content*.
+
+    Hashes the full printed IR — opcodes, operand spellings (so constant
+    literals count), types, branch targets — plus global-initializer
+    payloads, which the printer elides.  ``compile_minic`` renumbers value
+    uids deterministically, so the same source always prints the same and
+    two sources differing only in a literal never collide.  Disk caches
+    (:mod:`repro.bench.cache`) rely on exactly this property.
+    """
+    from ..ir.printer import format_module
+
     h = hashlib.sha256()
-    for fn in module.defined_functions():
-        h.update(fn.name.encode())
-        for bb in fn.blocks:
-            h.update(bb.name.encode())
-            for inst in bb.instructions:
-                h.update(str(inst.uid).encode())
+    h.update(format_module(module).encode())
+    for gv in module.globals.values():
+        init = getattr(gv, "initializer", None)
+        if init is not None:
+            if isinstance(init, (bytes, bytearray)):
+                h.update(bytes(init))
+            else:
+                h.update(";".join(v.short() for v in init).encode())
     return h.hexdigest()[:16]
 
 
@@ -112,6 +136,37 @@ def profile_from_dict(data: Dict, module: Module = None) -> LoopProfile:  # type
     profile.bytes_read = data["bytes_read"]
     profile.bytes_written = data["bytes_written"]
     return profile
+
+
+def hot_report_to_dict(report: HotLoopReport) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "total_cycles": report.total_cycles,
+        "records": [
+            {
+                "function": r.ref.function, "header": r.ref.header,
+                "cycles": r.cycles, "invocations": r.invocations,
+                "iterations": r.iterations, "depth": r.depth,
+            }
+            for r in report.records
+        ],
+    }
+
+
+def hot_report_from_dict(data: Dict) -> HotLoopReport:
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported report version {data.get('version')}")
+    return HotLoopReport(
+        total_cycles=data["total_cycles"],
+        records=[
+            LoopTimeRecord(
+                ref=LoopRef(r["function"], r["header"]),
+                cycles=r["cycles"], invocations=r["invocations"],
+                iterations=r["iterations"], depth=r["depth"],
+            )
+            for r in data["records"]
+        ],
+    )
 
 
 def save_profile(profile: LoopProfile, path: Union[str, Path],

@@ -33,6 +33,8 @@ MAX_TIMESTAMP = 255
 class ShadowHeap:
     """Metadata for one worker's view of the private heap."""
 
+    __slots__ = ("size", "meta", "written", "read_live_in")
+
     def __init__(self, size: int):
         self.size = size
         self.meta = bytearray(size)

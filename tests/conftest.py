@@ -1,0 +1,10 @@
+"""Make sibling test modules importable under pytest's importlib mode
+(test_fastpath_differential reuses test_genuine_misspeculation's
+programs)."""
+
+import sys
+from pathlib import Path
+
+_TESTS_DIR = str(Path(__file__).parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

@@ -87,11 +87,20 @@ class TestFingerprint:
         mod, _ = profiled
         assert module_fingerprint(mod) == module_fingerprint(mod)
 
-    def test_recompiled_module_rejected(self, profiled, tmp_path):
+    def test_recompile_same_source_matches(self, profiled):
+        # uids are renumbered deterministically at compile time, so the
+        # fingerprint is a pure function of the source — this is what
+        # lets the disk profile cache hit across pipeline invocations.
+        mod, _ = profiled
+        other = compile_minic(SRC, "ser")
+        assert module_fingerprint(mod) == module_fingerprint(other)
+
+    def test_different_module_rejected(self, profiled, tmp_path):
         mod, prof = profiled
         path = tmp_path / "prof.json"
         save_profile(prof, path, mod)
-        other = compile_minic(SRC, "ser")  # fresh uids -> new fingerprint
+        other = compile_minic(SRC.replace("acc += head->v;",
+                                          "acc += head->v + 1;"), "ser")
         with pytest.raises(ValueError, match="different module"):
             load_profile(path, other)
 
