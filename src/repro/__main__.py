@@ -4,9 +4,17 @@ Usage::
 
     python -m repro analyze prog.c --args 64
     python -m repro run prog.c --args 64 --workers 24 --timeline
+    python -m repro trace dijkstra --out-dir traces/
     python -m repro baselines prog.c --args 64
     python -m repro workloads
     python -m repro report > EXPERIMENTS.md
+
+Observability: ``trace`` runs a workload (or source file) with the full
+tracing/metrics layer on and emits a JSONL event stream plus a Chrome
+``trace_event`` JSON (open in chrome://tracing or https://ui.perfetto.dev).
+``run``/``analyze``/``perf`` accept ``--trace``/``--trace-out``/
+``--metrics`` for the same artifacts; ``REPRO_LOG=debug`` turns on
+runtime logging.
 """
 
 from __future__ import annotations
@@ -25,10 +33,57 @@ def _load_source(path: str) -> str:
     return Path(path).read_text()
 
 
+PERFETTO_HINT = ("open in chrome://tracing or https://ui.perfetto.dev")
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", False)
+                or getattr(args, "trace_out", None)
+                or getattr(args, "metrics", False))
+
+
+def _obs_enable_if_requested(args: argparse.Namespace) -> bool:
+    if _obs_requested(args):
+        from . import obs
+
+        obs.enable()
+        return True
+    return False
+
+
+def _write_trace_artifacts(prefix: Path, timeline=None) -> None:
+    from . import obs
+
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    jsonl = Path(f"{prefix}.trace.jsonl")
+    chrome = Path(f"{prefix}.chrome.json")
+    n = obs.TRACER.write_jsonl(jsonl)
+    m = obs.TRACER.write_chrome(chrome, timeline=timeline)
+    print(f"trace: {n} event(s) -> {jsonl}")
+    print(f"trace: {m} Chrome event(s) -> {chrome} ({PERFETTO_HINT})")
+
+
+def _obs_finish(args: argparse.Namespace, default_prefix: str,
+                timeline=None) -> None:
+    """Emit the artifacts requested by --trace/--trace-out/--metrics."""
+    if not _obs_requested(args):
+        return
+    from . import obs
+
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        prefix = Path(getattr(args, "trace_out", None) or default_prefix)
+        _write_trace_artifacts(prefix, timeline)
+    if getattr(args, "metrics", False):
+        print()
+        print(obs.METRICS.render_table())
+    obs.disable()
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .bench.pipeline import prepare
     from .transform.plan import SelectionError
 
+    _obs_enable_if_requested(args)
     source = _load_source(args.source)
     try:
         program = prepare(source, Path(args.source).stem,
@@ -38,16 +93,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print("no parallelizable loop found:")
         for reason in e.reasons:
             print(f"  - {reason}")
+        _obs_finish(args, Path(args.source).stem)
         return 1
     print(program.assignment.describe())
     print()
     print(program.plan.describe())
+    _obs_finish(args, Path(args.source).stem)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .bench.pipeline import prepare
 
+    tracing = _obs_enable_if_requested(args)
     source = _load_source(args.source)
     program = prepare(source, Path(args.source).stem,
                       args=_parse_args_list(args.args),
@@ -56,7 +114,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint_period=args.checkpoint_period,
         misspec_period=args.misspec_period,
-        record_timeline=args.timeline,
+        record_timeline=args.timeline or tracing,
     )
     ok = result.output == program.sequential.output
     stats = result.runtime_stats
@@ -76,6 +134,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.timeline and result.timeline is not None:
         print()
         print(result.timeline.render())
+    _obs_finish(args, Path(args.source).stem, timeline=result.timeline)
     return 0 if ok else 1
 
 
@@ -129,13 +188,89 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_perf(args: argparse.Namespace) -> int:
     from .perf import run_bench
 
-    return run_bench(
+    _obs_enable_if_requested(args)
+    rc = run_bench(
         quick=args.quick,
         repeats=args.repeats,
         workload_names=args.workloads or None,
         out=args.out,
         min_speedup=args.min_speedup,
     )
+    _obs_finish(args, "perf")
+    return rc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+    from .bench.pipeline import prepare
+    from .transform.plan import SelectionError
+    from .workloads import BY_NAME
+
+    path = Path(args.workload)
+    explicit_args = _parse_args_list(args.args) if args.args else None
+    if args.workload in BY_NAME:
+        w = BY_NAME[args.workload]
+        source, name = w.source, w.name
+        train = w.train
+        ref = explicit_args or (w.train if args.small else w.ref)
+    elif path.is_file():
+        source, name = path.read_text(), path.stem
+        train = ref = explicit_args or ()
+    else:
+        print(f"error: {args.workload!r} is neither a workload "
+              f"({', '.join(sorted(BY_NAME))}) nor a MiniC source file",
+              file=sys.stderr)
+        return 2
+
+    obs.enable()
+    out_dir = Path(args.out_dir)
+    try:
+        # The inspector observes the *full* pipeline: skip the profile
+        # cache unless the user opts back in, so the profiling phases and
+        # interpreter metrics always appear in the trace.
+        program = prepare(source, name, args=train, ref_args=ref,
+                          use_cache=args.cache)
+    except SelectionError as e:
+        print("no parallelizable loop found:")
+        for reason in e.reasons:
+            print(f"  - {reason}")
+        _write_trace_artifacts(out_dir / name)
+        return 1
+    result = program.execute(
+        workers=args.workers,
+        checkpoint_period=args.checkpoint_period,
+        misspec_period=args.misspec_period,
+        record_timeline=True,
+    )
+    ok = result.output == program.sequential.output
+    stats = result.runtime_stats
+
+    print(f"{name}: {args.workers} workers, "
+          f"{program.speedup(result):.2f}x speedup "
+          f"({program.sequential.cycles:,} -> "
+          f"{result.total_wall_cycles:,} cycles), "
+          f"{stats.checkpoints} checkpoint(s), "
+          f"{stats.misspec_count()} misspeculation(s), "
+          f"output match: {ok}")
+    print()
+    print(obs.TRACER.render_summary())
+    print()
+    print(obs.METRICS.render_table())
+    print()
+    _write_trace_artifacts(out_dir / name, timeline=result.timeline)
+    obs.disable()
+    return 0 if ok else 1
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", action="store_true",
+                   help="record structured trace events and write "
+                        "<stem>.trace.jsonl + <stem>.chrome.json")
+    p.add_argument("--trace-out", default=None, metavar="PREFIX",
+                   help="path prefix for the trace artifacts "
+                        "(implies --trace)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics table after the command")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--args", nargs="*", help="integer arguments for main")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk profile cache")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("run", help="parallelize and execute on the "
@@ -165,7 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the Figure 5 execution timeline")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk profile cache")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="run a workload with full tracing on "
+                                     "and emit JSONL + Chrome trace "
+                                     "artifacts")
+    p.add_argument("workload", help="workload name (see `repro workloads`) "
+                                    "or a MiniC source file")
+    p.add_argument("--args", nargs="*",
+                   help="integer arguments for main (overrides the "
+                        "workload's input set)")
+    p.add_argument("--small", action="store_true",
+                   help="use the train input instead of ref (CI smoke)")
+    p.add_argument("--workers", type=int, default=24)
+    p.add_argument("--checkpoint-period", type=int, default=None)
+    p.add_argument("--misspec-period", type=int, default=0,
+                   help="inject a misspeculation every N iterations")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for <name>.trace.jsonl and "
+                        "<name>.chrome.json (default: .)")
+    p.add_argument("--cache", action="store_true",
+                   help="allow the on-disk profile cache (default: off, so "
+                        "the trace covers the whole pipeline)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("baselines", help="judge the program under the "
                                          "comparison systems")
@@ -194,11 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trajectory file to append to ('' to skip writing)")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="fail if the dijkstra interp speedup is below this")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_perf)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .obs.log import configure_from_env
+
+    configure_from_env()  # honour REPRO_LOG=debug|info|... for every command
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

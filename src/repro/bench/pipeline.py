@@ -17,6 +17,7 @@ from ..classify.classifier import HeapAssignment, classify
 from ..frontend.lower import compile_minic
 from ..interp.interpreter import Interpreter
 from ..ir.module import Module
+from ..obs.trace import TRACER
 from ..parallel.costmodel import CostModelConfig
 from ..parallel.executor import DOALLExecutor
 from ..parallel.stats import ExecutionResult
@@ -85,8 +86,16 @@ class PreparedProgram:
             costs=costs,
             record_timeline=record_timeline,
         )
-        result = executor.run(self.entry, tuple(args) if args is not None
-                              else self.ref_args)
+        with TRACER.span("pipeline.execute", cat="pipeline",
+                         program=self.name, workers=workers) as sp:
+            result = executor.run(self.entry, tuple(args) if args is not None
+                                  else self.ref_args)
+            if TRACER.enabled:
+                stats = result.runtime_stats
+                sp.set(wall_cycles=result.total_wall_cycles,
+                       invocations=stats.invocations,
+                       checkpoints=stats.checkpoints,
+                       misspeculations=stats.misspec_count())
         result.timeline = executor.timeline  # type: ignore[attr-defined]
         return result
 
@@ -128,6 +137,9 @@ def prepare(
     """
     train_args = tuple(args)
     eval_args = tuple(ref_args) if ref_args is not None else train_args
+    prepare_span = TRACER.span("pipeline.prepare", cat="pipeline",
+                               program=name, train_args=list(train_args),
+                               ref_args=list(eval_args))
 
     # The profiling/transform module is compiled *before* the baseline
     # run so its instruction uids — and hence its cache fingerprint —
@@ -139,6 +151,10 @@ def prepare(
     fingerprint = profile_cache.module_fingerprint(module)
 
     cached = profile_cache.load_entry(ckey, fingerprint) if use_cache else None
+    if TRACER.enabled:
+        TRACER.instant("pipeline.cache."
+                       + ("hit" if cached is not None else "miss"),
+                       cat="pipeline", program=name, use_cache=use_cache)
     profiles: Dict[str, LoopProfile] = {}
     if cached is not None:
         seq = cached["sequential"]
@@ -195,6 +211,8 @@ def prepare(
             last_error = e
             continue
         _persist()
+        prepare_span.end(selected=str(rec.ref), rejected=len(rejected),
+                         cache_hit=cached is not None)
         return PreparedProgram(
             name=name, source=source, entry=entry, train_args=train_args,
             ref_args=eval_args, sequential=sequential, module=module,
@@ -202,6 +220,8 @@ def prepare(
             plan=plan, rejected=rejected,
         )
     _persist()
+    prepare_span.end(selected=None, rejected=len(rejected),
+                     cache_hit=cached is not None)
     raise last_error or SelectionError(
         LoopRef(entry, "?"), ["no hot loop candidates found"])
 

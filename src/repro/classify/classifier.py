@@ -117,6 +117,10 @@ class HeapAssignment:
 
 def classify(profile: LoopProfile) -> HeapAssignment:
     """Algorithm 1, driven by the loop profile."""
+    from ..obs.trace import TRACER
+
+    span = TRACER.span("pipeline.classify", cat="pipeline",
+                       loop=str(profile.ref))
     assignment = HeapAssignment(loop=profile.ref)
 
     read = set(profile.read_sites)
@@ -175,6 +179,15 @@ def classify(profile: LoopProfile) -> HeapAssignment:
     assignment.io_sites = set(profile.io_sites)
     assignment.unexecuted_blocks = set(profile.unexecuted_blocks)
     assignment.uses_control_speculation = bool(profile.unexecuted_blocks)
+    if TRACER.enabled:
+        from ..obs.metrics import METRICS
+
+        counts = assignment.counts()
+        for heap, n in counts.items():
+            METRICS.counter(f"classify.sites.{heap}").inc(n)
+        METRICS.counter("classify.predictions").inc(
+            len(assignment.predictions))
+        span.end(**counts)
     return assignment
 
 

@@ -884,21 +884,29 @@ def compile_minic(source: str, module_name: str = "minic",
     by default, matching the paper's pipeline where LLVM's standard
     cleanups run before Privateer).
     """
+    from ..obs.trace import TRACER
     from .parser import parse
 
-    program = parse(source)
-    module = Lowerer(program, module_name).lower()
-    if promote:
-        from ..analysis.mem2reg import promote_module
+    with TRACER.span("pipeline.compile", cat="pipeline",
+                     module=module_name) as sp:
+        program = parse(source)
+        module = Lowerer(program, module_name).lower()
+        if promote:
+            from ..analysis.mem2reg import promote_module
 
-        promote_module(module)
-    if licm and promote:
-        from ..analysis.licm import hoist_module
+            promote_module(module)
+        if licm and promote:
+            from ..analysis.licm import hoist_module
 
-        hoist_module(module)
-    if verify:
-        from ..ir.verifier import verify_module
+            hoist_module(module)
+        if verify:
+            from ..ir.verifier import verify_module
 
-        verify_module(module)
-    _renumber_values(module)
+            verify_module(module)
+        _renumber_values(module)
+        if TRACER.enabled:
+            defined = module.defined_functions()
+            sp.set(functions=len(defined),
+                   instructions=sum(len(bb.instructions)
+                                    for fn in defined for bb in fn.blocks))
     return module

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import struct as _struct
+import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ir.instructions import (
@@ -282,9 +283,15 @@ class Interpreter:
 
     def run(self, entry: str = "main", args: Sequence[object] = ()):
         """Run ``entry`` to completion; returns its return value."""
+        from ..obs.trace import TRACER
+
         fn = self.module.function_named(entry)
         self.push_function(fn, args)
         result: object = None
+        # Observability stays outside the instruction loop: one enabled
+        # check and (when tracing) a perf_counter pair per run().
+        t0 = _time.perf_counter() if TRACER.enabled else 0.0
+        steps0 = self.steps
         try:
             if self.compiled:
                 result = run_fast(self)
@@ -294,8 +301,21 @@ class Interpreter:
         except GuestExit as e:
             self.exit_code = e.code
             self.frames.clear()
-            return e.code
+            result = e.code
+        finally:
+            if TRACER.enabled:
+                self._record_run_metrics(entry, t0, steps0)
         return result
+
+    def _record_run_metrics(self, entry: str, t0: float, steps0: int) -> None:
+        from ..obs.metrics import METRICS
+
+        elapsed = _time.perf_counter() - t0
+        steps = self.steps - steps0
+        path = "fast" if self.compiled else "step"
+        METRICS.counter(f"interp.instructions.{path}").inc(steps)
+        if elapsed > 0 and steps:
+            METRICS.histogram(f"interp.ips.{path}").observe(steps / elapsed)
 
     def run_until_event(self):
         """Run the current frame stack until it drains (returns the final

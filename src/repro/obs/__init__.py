@@ -1,0 +1,50 @@
+"""Unified observability: tracing, metrics, and logging.
+
+One switch controls the whole layer: :func:`enable` resets and arms the
+process-wide :data:`TRACER` and :data:`METRICS`, and applies any
+``$REPRO_LOG`` logging configuration.  Instrumented call sites across
+the pipeline guard their work behind ``TRACER.enabled`` — a single
+attribute check — so the disabled path is effectively free (the perf
+harness asserts a <= 2% interpreter budget).
+
+See DESIGN.md ("Observability") for the event taxonomy and file formats.
+"""
+
+from __future__ import annotations
+
+from .log import configure_from_env, get_logger
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    CYCLES_PER_US,
+    NULL_SPAN,
+    TRACE_FORMAT,
+    TRACER,
+    Span,
+    Tracer,
+    timeline_to_chrome,
+)
+
+__all__ = [
+    "CYCLES_PER_US", "Counter", "Gauge", "Histogram", "METRICS",
+    "MetricsRegistry", "NULL_SPAN", "Span", "TRACE_FORMAT", "TRACER",
+    "Tracer", "configure_from_env", "disable", "enable", "enabled",
+    "get_logger", "timeline_to_chrome",
+]
+
+
+def enable() -> None:
+    """Arm tracing + metrics for this process (fresh epoch, counters
+    cleared) and configure logging from ``$REPRO_LOG``."""
+    METRICS.reset()
+    TRACER.enable()
+    configure_from_env()
+
+
+def disable() -> None:
+    """Disarm tracing + metrics; recorded events stay readable until the
+    next :func:`enable`."""
+    TRACER.disable()
+
+
+def enabled() -> bool:
+    return TRACER.enabled

@@ -1,0 +1,64 @@
+"""Logging for the ``repro.*`` namespace.
+
+Every runtime module gets its logger via :func:`get_logger`; nothing is
+emitted unless the user opts in with ``REPRO_LOG=<level>`` (``debug``,
+``info``, ``warning``, ``error``, or ``off``) or a host application
+configures the ``repro`` logger itself.  :func:`configure_from_env` is
+idempotent and is invoked by the CLI entry point and ``obs.enable()``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+ENV_VAR = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_configured = False
+
+# Library etiquette: without opt-in configuration, nothing reaches the
+# user's terminal (not even via logging's last-resort stderr handler).
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_from_env(env: Optional[str] = None,
+                       force: bool = False) -> Optional[int]:
+    """Attach a stderr handler to the ``repro`` root logger according to
+    ``$REPRO_LOG``.  Returns the configured level, or None when logging
+    stays off.  Safe to call repeatedly."""
+    global _configured
+    if _configured and not force:
+        return None
+    value = (env if env is not None else os.environ.get(ENV_VAR, "")).strip()
+    if not value or value.lower() == "off":
+        return None
+    level = _LEVELS.get(value.lower())
+    if level is None:
+        try:
+            level = int(value)
+        except ValueError:
+            level = logging.INFO
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    _configured = True
+    return level

@@ -1,0 +1,153 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Lightweight by design — a metric update is a dict lookup plus an integer
+add, and call sites in hot code guard updates behind the same
+``TRACER.enabled`` check as tracing, so the disabled path costs one
+attribute load.  The registry captures the runtime's observability
+surface (PAPER.md §5): separation-check counts, shadow-memory byte
+transitions, per-class heap tallies, checkpoint latencies,
+misspeculation causes, and interpreter instructions/second on both
+execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Cap on raw samples retained per histogram; count/sum/min/max stay
+#: exact beyond it, percentiles become estimates over the first N.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution summary with capped raw-sample retention."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(v)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "histogram", "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max, "mean": self.mean,
+            "p50": self.percentile(50), "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric map with lazy creation and stable iteration order."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        m = self._metrics.get(name)
+        if m is None:
+            m = self._metrics[name] = cls(name)
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(m).__name__}, not {cls.__name__}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def render_table(self) -> str:
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics recorded)"
+        name_w = max(len(n) for n in snap)
+        lines = [f"{'metric':<{name_w}}  value"]
+        for name, s in snap.items():
+            if s["type"] == "histogram":
+                detail = (f"count={s['count']} mean={_fmt(s['mean'])} "
+                          f"p95={_fmt(s['p95'])} max={_fmt(s['max'])}")
+            else:
+                detail = _fmt(s["value"])
+            lines.append(f"{name:<{name_w}}  {detail}")
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:,.2f}" if abs(v) < 1e6 else f"{v:,.0f}"
+    return f"{v:,}"
+
+
+#: The process-wide registry; cleared by ``obs.enable()``.
+METRICS = MetricsRegistry()

@@ -1,0 +1,149 @@
+"""Schema validation for the JSONL trace stream (and the Chrome export).
+
+Usable as a library (:func:`validate_event`, :func:`validate_jsonl`) and
+as a script — CI runs it against the artifact emitted by
+``python -m repro trace``::
+
+    PYTHONPATH=src python -m repro.obs.schema out/dijkstra.trace.jsonl
+    PYTHONPATH=src python -m repro.obs.schema --chrome out/dijkstra.chrome.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+KINDS = {"meta", "span", "instant"}
+
+#: field -> (required, allowed types)
+_FIELDS = {
+    "kind": (True, str),
+    "name": (True, str),
+    "cat": (True, str),
+    "ts_us": (True, (int, float)),
+    "pid": (True, int),
+    "tid": (True, int),
+    "attrs": (True, dict),
+    "dur_us": (False, (int, float)),
+    "thread": (False, int),
+}
+
+CHROME_PHASES = {"X", "i", "M", "B", "E"}
+
+
+def validate_event(ev: object, lineno: int = 0) -> List[str]:
+    """Validate one JSONL event; returns a list of error strings."""
+    where = f"line {lineno}: " if lineno else ""
+    if not isinstance(ev, dict):
+        return [f"{where}event is not a JSON object"]
+    errors: List[str] = []
+    for field, (required, types) in _FIELDS.items():
+        if field not in ev:
+            if required:
+                errors.append(f"{where}missing field {field!r}")
+            continue
+        if not isinstance(ev[field], types) or isinstance(ev[field], bool):
+            errors.append(f"{where}field {field!r} has type "
+                          f"{type(ev[field]).__name__}")
+    kind = ev.get("kind")
+    if isinstance(kind, str) and kind not in KINDS:
+        errors.append(f"{where}unknown kind {kind!r}")
+    if kind == "span" and "dur_us" not in ev:
+        errors.append(f"{where}span missing dur_us")
+    ts = ev.get("ts_us")
+    if isinstance(ts, (int, float)) and ts < 0:
+        errors.append(f"{where}negative ts_us {ts}")
+    dur = ev.get("dur_us")
+    if isinstance(dur, (int, float)) and dur < 0:
+        errors.append(f"{where}negative dur_us {dur}")
+    for extra in set(ev) - set(_FIELDS):
+        errors.append(f"{where}unexpected field {extra!r}")
+    return errors
+
+
+def validate_jsonl(path: str,
+                   max_errors: int = 20) -> Dict[str, object]:
+    """Validate a JSONL trace file; returns
+    ``{"events": n, "errors": [...]}``."""
+    errors: List[str] = []
+    events = 0
+    kinds: Dict[str, int] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except ValueError as e:
+                errors.append(f"line {lineno}: invalid JSON ({e})")
+                continue
+            events += 1
+            if isinstance(ev, dict):
+                kinds[str(ev.get("kind"))] = kinds.get(str(ev.get("kind")), 0) + 1
+            errors.extend(validate_event(ev, lineno))
+            if len(errors) >= max_errors:
+                errors.append("(stopping after too many errors)")
+                break
+    if events == 0:
+        errors.append("trace contains no events")
+    if kinds.get("meta", 0) != 1 and events:
+        errors.append(f"expected exactly one meta header, got "
+                      f"{kinds.get('meta', 0)}")
+    return {"events": events, "kinds": kinds, "errors": errors}
+
+
+def validate_chrome(path: str) -> Dict[str, object]:
+    """Structural check of a Chrome ``trace_event`` JSON export."""
+    errors: List[str] = []
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as e:
+            return {"events": 0, "errors": [f"invalid JSON ({e})"]}
+    events = data.get("traceEvents") if isinstance(data, dict) else None
+    if not isinstance(events, list):
+        return {"events": 0, "errors": ["missing traceEvents array"]}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"traceEvents[{i}] is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in CHROME_PHASES:
+            errors.append(f"traceEvents[{i}]: bad ph {ph!r}")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            errors.append(f"traceEvents[{i}]: complete event missing dur")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"traceEvents[{i}]: missing ts")
+        if len(errors) >= 20:
+            errors.append("(stopping after too many errors)")
+            break
+    if not events:
+        errors.append("trace contains no events")
+    return {"events": len(events), "errors": errors}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.schema",
+        description="validate a repro trace file (JSONL or Chrome JSON)")
+    parser.add_argument("path", help="trace file to validate")
+    parser.add_argument("--chrome", action="store_true",
+                        help="validate as Chrome trace_event JSON instead "
+                             "of the JSONL event stream")
+    args = parser.parse_args(argv)
+    report = (validate_chrome if args.chrome else validate_jsonl)(args.path)
+    for err in report["errors"]:
+        print(f"error: {err}", file=sys.stderr)
+    if report["errors"]:
+        print(f"FAIL: {args.path}: {len(report['errors'])} error(s) in "
+              f"{report['events']} event(s)")
+        return 1
+    print(f"ok: {args.path}: {report['events']} event(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

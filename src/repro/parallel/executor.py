@@ -24,11 +24,16 @@ from ..interp.interpreter import BlockBreakpoint, Frame, Hook, Interpreter
 from ..ir.instructions import CmpPred, Phi
 from ..ir.types import IntType
 from ..ir.module import Module
+from ..obs.log import get_logger
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from ..runtime.system import RuntimeSystem, WorkerState
 from ..transform.plan import MAX_CHECKPOINT_PERIOD, ParallelPlan
 from .costmodel import DEFAULT_COSTS, CostModelConfig
 from .stats import ExecutionResult, InvocationResult
 from .timeline import Timeline
+
+log = get_logger("executor")
 
 _NEGATE = {
     CmpPred.LT: CmpPred.GE, CmpPred.GE: CmpPred.LT,
@@ -163,11 +168,20 @@ class DOALLExecutor:
         if trips is None or trips < self.min_parallel_trips:
             # Not worth (or not able to) parallelize this invocation: run
             # the loop sequentially in place.
+            log.debug("sequential fallback: trip count %s below minimum %d",
+                      trips, self.min_parallel_trips)
+            if TRACER.enabled:
+                TRACER.instant("executor.sequential_fallback", cat="executor",
+                               trips=trips,
+                               min_parallel_trips=self.min_parallel_trips)
             interp.resume_at(frame, bp.target, bp.prev)
             return
 
         workers = self.workers
         runtime.begin_invocation(workers)
+        span = TRACER.span("executor.invocation", cat="executor",
+                           invocation=runtime.invocation_index,
+                           trips=trips, workers=workers)
         costs = self.costs
         spawn = costs.spawn_time(workers)
         inv = InvocationResult(index=runtime.invocation_index, trips=trips,
@@ -282,6 +296,15 @@ class DOALLExecutor:
         inv.checkpoint_cycles = stats.checkpoint_cycles - base["checkpoint"]
         runtime.end_invocation()
         self._invocations.append(inv)
+        log.info("invocation %d done: %d trips, %d checkpoint(s), "
+                 "%d misspeculation(s), %d wall cycles",
+                 inv.index, inv.trips, inv.checkpoints, inv.misspeculations,
+                 inv.wall_cycles)
+        # Simulated-cycle dual alongside the span's wall-clock duration.
+        span.end(wall_cycles=inv.wall_cycles, checkpoints=inv.checkpoints,
+                 misspeculations=inv.misspeculations,
+                 recovered_iterations=inv.recovered_iterations,
+                 checkpoint_period=k)
 
         # Resume the main thread at the loop exit: the IV phi takes its
         # final value and the header's exit test runs normally.
@@ -371,6 +394,16 @@ class DOALLExecutor:
         if self.timeline is not None:
             self.timeline.add("recovery", None, t_abort, t_resume,
                               f"iters [{epoch_start},{m}]")
+        log.info("recovery: re-executed iterations [%d,%d] in %d cycles",
+                 epoch_start, m, recovery_cycles)
+        if TRACER.enabled:
+            METRICS.counter("executor.recoveries").inc()
+            METRICS.histogram("executor.recovery.cycles").observe(
+                recovery_cycles)
+            TRACER.instant("executor.recovery", cat="executor",
+                           misspec_iteration=m, epoch_start=epoch_start,
+                           recovered_iterations=m + 1 - epoch_start,
+                           cycles=recovery_cycles)
         runtime.resume_after_recovery(m + 1)
         for worker in runtime.workers:
             worker.clock = t_resume

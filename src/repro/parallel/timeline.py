@@ -4,7 +4,7 @@ misspeculation, and recovery, rendered as text."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -27,11 +27,22 @@ class Timeline:
     def render(self, width: int = 72) -> str:
         """ASCII rendering in the style of Figure 5: one row per worker,
         checkpoint/misspec/recovery markers below."""
+        width = max(1, width)
         if not self.events:
             return "(empty timeline)"
         t_end = max(e.end for e in self.events)
         t_end = max(t_end, 1)
         scale = width / t_end
+
+        def columns(e: TimelineEvent) -> Tuple[int, int]:
+            # Clamp into [0, width): a malformed event (negative start,
+            # start past t_end, end < start) must never index outside the
+            # row buffer — a negative index would silently wrap around and
+            # paint the end of the row.
+            a = min(width - 1, max(0, int(e.start * scale)))
+            b = min(width - 1, max(a, int(e.end * scale) - 1))
+            return a, b
+
         workers = sorted({e.worker for e in self.events if e.worker is not None})
         lines: List[str] = []
         for w in workers:
@@ -39,8 +50,7 @@ class Timeline:
             for e in self.events:
                 if e.worker != w:
                     continue
-                a = min(width - 1, int(e.start * scale))
-                b = min(width - 1, max(a, int(e.end * scale) - 1))
+                a, b = columns(e)
                 ch = {"iteration": "=", "checkpoint": "C", "misspec": "X",
                       "spawn": ".", "recovery": "R"}.get(e.kind, "?")
                 for i in range(a, b + 1):
@@ -49,8 +59,7 @@ class Timeline:
         marker_row = [" "] * width
         for e in self.events:
             if e.worker is None:
-                a = min(width - 1, int(e.start * scale))
-                b = min(width - 1, max(a, int(e.end * scale) - 1))
+                a, b = columns(e)
                 ch = {"checkpoint": "C", "misspec": "X", "recovery": "R",
                       "join": "J", "spawn": "S"}.get(e.kind, "|")
                 for i in range(a, b + 1):

@@ -269,10 +269,17 @@ def profile_loop(
     args: Sequence[object] = (),
 ) -> LoopProfile:
     """Run the program once with detailed instrumentation for ``ref``."""
-    interp = Interpreter(module)
-    hook = _LoopProfileHook(module, ref)
-    interp.hooks.append(hook)
-    interp.run(entry, args)
-    while hook.tracker.stack:
-        hook.tracker._pop(interp)
-    return hook.finalize()
+    from ..obs.trace import TRACER
+
+    with TRACER.span("pipeline.profile.loop", cat="pipeline",
+                     loop=str(ref)) as sp:
+        interp = Interpreter(module)
+        hook = _LoopProfileHook(module, ref)
+        interp.hooks.append(hook)
+        interp.run(entry, args)
+        while hook.tracker.stack:
+            hook.tracker._pop(interp)
+        profile = hook.finalize()
+        sp.set(cycles=interp.cycles, iterations=profile.iterations,
+               invocations=profile.invocations)
+    return profile

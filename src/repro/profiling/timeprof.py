@@ -6,6 +6,7 @@ from typing import Dict, List, Sequence
 
 from ..interp.interpreter import Hook, Interpreter
 from ..ir.module import Module
+from ..obs.trace import TRACER
 from .data import HotLoopReport, LoopRef, LoopTimeRecord
 from .looptracker import ActiveLoop, LoopInfoCache, LoopTracker
 
@@ -50,11 +51,14 @@ def profile_execution_time(
     module: Module, entry: str = "main", args: Sequence[object] = ()
 ) -> HotLoopReport:
     """Run the program once, attributing inclusive cycles to every loop."""
-    interp = Interpreter(module)
-    hook = _TimeHook(module)
-    interp.hooks.append(hook)
-    interp.run(entry, args)
-    # Close any loops still open at program end (exit() inside a loop).
-    while hook.tracker.stack:
-        hook.tracker._pop(interp)
+    with TRACER.span("pipeline.profile.time", cat="pipeline",
+                     entry=entry) as sp:
+        interp = Interpreter(module)
+        hook = _TimeHook(module)
+        interp.hooks.append(hook)
+        interp.run(entry, args)
+        # Close any loops still open at program end (exit() inside a loop).
+        while hook.tracker.stack:
+            hook.tracker._pop(interp)
+        sp.set(cycles=interp.cycles, loops=len(hook.records))
     return HotLoopReport(interp.cycles, list(hook.records.values()))

@@ -25,10 +25,15 @@ from ..interp.errors import Misspeculation
 from ..interp.interpreter import Interpreter
 from ..interp.memory import AddressSpace, MemoryObject, PAGE_SIZE, heap_tag_of
 from ..ir.instructions import BinOpKind
+from ..obs.log import get_logger
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from ..transform.plan import ParallelPlan, ReduxObjectPlan
 from .iodefer import DeferredOutput
 from .shadow import ShadowHeap, timestamp_for
 from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
+
+log = get_logger("runtime")
 
 #: Cycle cost of updating one byte of shadow metadata (on top of the
 #: fixed call cost charged by the interpreter's intrinsic dispatch).
@@ -142,6 +147,8 @@ class RuntimeSystem:
             return None
         self.stats.separation_checks += 1
         self.stats.separation_cycles += SEPARATION_CHECK_COST + 4
+        if TRACER.enabled:
+            METRICS.counter("runtime.separation_checks").inc()
         addr = int(args[0])
         kind = HeapKind(int(args[1]))
         if not tag_matches(addr, kind):
@@ -168,6 +175,8 @@ class RuntimeSystem:
         self.stats.private_read_calls += 1
         self.stats.private_read_bytes += size
         self.stats.private_read_cycles += cost
+        if TRACER.enabled:
+            METRICS.counter("runtime.shadow.bytes_read").inc(size)
         self.current_worker.shadow.on_read(offset, size, self._ts(),
                                            self.current_iteration)
         return None
@@ -186,6 +195,8 @@ class RuntimeSystem:
         self.stats.private_write_calls += 1
         self.stats.private_write_bytes += size
         self.stats.private_write_cycles += cost
+        if TRACER.enabled:
+            METRICS.counter("runtime.shadow.bytes_written").inc(size)
         worker = self.current_worker
         worker.shadow.on_write(offset, size, self._ts(), self.current_iteration)
         worker.epoch_written_offsets.update(range(offset, offset + size))
@@ -197,6 +208,8 @@ class RuntimeSystem:
         addr, size = int(args[0]), int(args[1])
         self.stats.redux_updates += 1
         self.stats.redux_cycles += 4 + REDUX_BYTE_COST * size
+        if TRACER.enabled:
+            METRICS.counter("runtime.redux.bytes_updated").inc(size)
         interp.cycles += REDUX_BYTE_COST * size
         self.current_worker.redux_written.add((addr, size))
         return None
@@ -263,6 +276,8 @@ class RuntimeSystem:
         self.deferred = DeferredOutput()
         self.epoch_start = 0
         self.speculating = True
+        log.info("invocation %d: %d worker(s), private extent %d bytes",
+                 self.invocation_index, worker_count, extent)
 
     def refork_workers(self) -> None:
         """After recovery: discard all speculative worker state and fork
@@ -412,20 +427,27 @@ class RuntimeSystem:
                 if cur is None or iteration > cur[0]:
                     best[b] = (iteration, worker)
         merged = 0
+        freed_bytes = 0
+        local_bytes = 0
         for b, (_iteration, worker) in best.items():
             addr = self.private_base + b
             found = worker.space.try_find(addr)
             if found is None:
+                freed_bytes += 1  # written then freed within the epoch
                 continue
             obj, off = found
             target = self.main_space.try_find(addr)
             if target is None:
-                continue  # worker-local private allocation; nothing to commit
+                local_bytes += 1  # worker-local private allocation
+                continue
             tobj, toff = target
             tobj.data[toff] = obj.data[off]
             if b < len(self.committed_meta):
                 self.committed_meta[b] = 1
             merged += 1
+        if freed_bytes or local_bytes:
+            log.debug("checkpoint: skipped %d freed and %d worker-local "
+                      "private byte(s) during merge", freed_bytes, local_bytes)
         record.private_bytes_copied = merged
 
         # Merge reduction partial results.
@@ -468,6 +490,22 @@ class RuntimeSystem:
         self.stats.checkpoints += 1
         self.stats.checkpoint_records.append(record)
         self.epoch_start = epoch_end
+        log.info("checkpoint [%d,%d): %d private byte(s), %d redux byte(s), "
+                 "%d dirty page(s), %d cycles",
+                 epoch_start, epoch_end, merged, redux_bytes,
+                 record.dirty_pages, cost)
+        if TRACER.enabled:
+            METRICS.counter("runtime.checkpoints").inc()
+            METRICS.histogram("runtime.checkpoint.cycles").observe(cost)
+            METRICS.counter("runtime.checkpoint.private_bytes").inc(merged)
+            METRICS.counter("runtime.checkpoint.redux_bytes").inc(redux_bytes)
+            TRACER.instant(
+                "runtime.checkpoint", cat="runtime",
+                invocation=self.invocation_index,
+                epoch_start=epoch_start, epoch_end=epoch_end,
+                private_bytes=merged, redux_bytes=redux_bytes,
+                dirty_pages=record.dirty_pages,
+                io_records=record.io_records_committed, cycles=cost)
         return record
 
     def _redux_object_base(self, addr: int) -> int:
@@ -497,10 +535,20 @@ class RuntimeSystem:
                               injected: bool = False) -> None:
         self.stats.misspeculations.append(
             MisspecEvent(exc.kind, exc.iteration, exc.detail, injected))
+        log.warning("misspeculation (%s) at iteration %d: %s%s",
+                    exc.kind, exc.iteration, exc.detail,
+                    " [injected]" if injected else "")
+        if TRACER.enabled:
+            METRICS.counter(f"runtime.misspec.{exc.kind}").inc()
+            TRACER.instant("runtime.misspec", cat="runtime", kind=exc.kind,
+                           iteration=exc.iteration, detail=exc.detail,
+                           injected=injected)
 
     def squash_to_recovery(self, misspec_iteration: int) -> None:
         """Discard all speculative state newer than the last checkpoint."""
         self.stats.recoveries += 1
+        log.info("squash to recovery: re-executing [%d,%d] sequentially",
+                 self.epoch_start, misspec_iteration)
         self.deferred.squash_from(self.epoch_start)
         self.speculating = False
         self.current_worker = None

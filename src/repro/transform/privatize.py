@@ -87,6 +87,14 @@ class PrivateerTransform:
     # -- public -------------------------------------------------------------
 
     def run(self) -> ParallelPlan:
+        from ..obs.trace import TRACER
+
+        with TRACER.span("pipeline.transform", cat="pipeline",
+                         loop=str(self.ref)) as sp:
+            plan = self._run(sp)
+        return plan
+
+    def _run(self, sp) -> ParallelPlan:
         loop, iv, reasons = check_transformable(
             self.module, self.ref, self.profile, self.assignment
         )
@@ -120,6 +128,9 @@ class PrivateerTransform:
             region_functions=region,
             checks=self.checks,
         )
+        sp.set(checkpoint_period=self.checkpoint_period,
+               redux_objects=len(redux_objects),
+               region_functions=len(region))
         return plan
 
     # -- §4.4 replace allocation ------------------------------------------------

@@ -96,6 +96,87 @@ class TestBaselines:
         assert "dependence speculation" in out
 
 
+class TestTrace:
+    def test_trace_source_file_emits_artifacts(self, prog_file, tmp_path,
+                                               capsys):
+        out_dir = tmp_path / "traces"
+        rc = main(["trace", prog_file, "--args", "24", "--workers", "2",
+                   "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
+        assert "pipeline.prepare" in out       # span summary table
+        assert "runtime.checkpoints" in out    # metrics table
+        jsonl = out_dir / "prog.trace.jsonl"
+        chrome = out_dir / "prog.chrome.json"
+        assert jsonl.is_file() and chrome.is_file()
+
+        from repro.obs import schema
+        assert schema.validate_jsonl(str(jsonl))["errors"] == []
+        assert schema.validate_chrome(str(chrome))["errors"] == []
+
+    def test_trace_artifacts_cover_phases_and_simulated_lanes(
+            self, prog_file, tmp_path, capsys):
+        import json
+
+        rc = main(["trace", prog_file, "--args", "24", "--workers", "2",
+                   "--misspec-period", "9", "--out-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert rc == 0
+        events = [json.loads(line) for line in
+                  (tmp_path / "prog.trace.jsonl").read_text().splitlines()]
+        spans = {e["name"] for e in events if e["kind"] == "span"}
+        assert {"pipeline.compile", "pipeline.classify", "pipeline.transform",
+                "pipeline.prepare", "pipeline.execute"} <= spans
+        instants = {e["name"] for e in events if e["kind"] == "instant"}
+        assert "runtime.checkpoint" in instants
+        assert "runtime.misspec" in instants
+        chrome = json.loads((tmp_path / "prog.chrome.json").read_text())
+        pids = {e["pid"] for e in chrome["traceEvents"]}
+        assert pids == {1, 2}  # wall clock + simulated timeline
+
+    def test_trace_unknown_target_fails(self, capsys):
+        rc = main(["trace", "no-such-workload"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "neither a workload" in err
+
+    def test_tracing_disabled_after_command(self, prog_file, tmp_path,
+                                            capsys):
+        from repro.obs import TRACER
+
+        main(["trace", prog_file, "--args", "24", "--workers", "2",
+              "--out-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert not TRACER.enabled
+
+
+class TestObsFlags:
+    def test_run_trace_flag(self, prog_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--trace"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace:" in out
+        assert (tmp_path / "prog.trace.jsonl").is_file()
+        assert (tmp_path / "prog.chrome.json").is_file()
+
+    def test_run_trace_out_prefix(self, prog_file, tmp_path, capsys):
+        prefix = tmp_path / "deep" / "mytrace"
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--trace-out", str(prefix)])
+        capsys.readouterr()
+        assert rc == 0
+        assert (tmp_path / "deep" / "mytrace.trace.jsonl").is_file()
+
+    def test_analyze_metrics_flag(self, prog_file, capsys):
+        rc = main(["analyze", prog_file, "--args", "24", "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "classify.sites.private" in out
+
+
 class TestWorkloads:
     def test_lists_five(self, capsys):
         rc = main(["workloads"])

@@ -1,0 +1,105 @@
+"""RuntimeStats reporting (Table 3) and the ExecutionResult overhead
+breakdown (Figure 8)."""
+
+import pytest
+
+from repro.parallel.stats import BUCKETS, ExecutionResult, InvocationResult
+from repro.runtime.stats import MisspecEvent, RuntimeStats
+
+
+class TestRuntimeStats:
+    def _stats(self):
+        s = RuntimeStats(invocations=3, checkpoints=7)
+        s.private_read_bytes = 4096
+        s.private_write_bytes = 1024
+        s.misspeculations = [
+            MisspecEvent("separation", 5),
+            MisspecEvent("injected", 9, injected=True),
+            MisspecEvent("privacy", 12),
+            MisspecEvent("injected", 18, injected=True),
+        ]
+        return s
+
+    def test_table3_row_keys_and_values(self):
+        row = self._stats().table3_row()
+        assert set(row) == {"invocations", "checkpoints",
+                            "private_bytes_read", "private_bytes_written"}
+        assert row["invocations"] == 3
+        assert row["checkpoints"] == 7
+        assert row["private_bytes_read"] == 4096
+        assert row["private_bytes_written"] == 1024
+
+    def test_misspec_count_filters_injected(self):
+        s = self._stats()
+        assert s.misspec_count() == 4
+        assert s.misspec_count(include_injected=True) == 4
+        assert s.misspec_count(include_injected=False) == 2
+
+    def test_misspec_count_empty(self):
+        s = RuntimeStats()
+        assert s.misspec_count() == 0
+        assert s.misspec_count(include_injected=False) == 0
+
+    def test_validation_cycles_sums_all_buckets(self):
+        s = RuntimeStats(private_read_cycles=10, private_write_cycles=20,
+                         separation_cycles=30, redux_cycles=40,
+                         misc_validation_cycles=50)
+        assert s.validation_cycles() == 150
+        # checkpoint cycles are deliberately not validation cycles
+        s.checkpoint_cycles = 1000
+        assert s.validation_cycles() == 150
+
+
+class TestOverheadBreakdown:
+    def _invocation(self):
+        inv = InvocationResult(index=0, trips=100, workers=4)
+        inv.wall_cycles = 1000
+        inv.spawn_cycles = 50
+        inv.useful_cycles = 2800
+        inv.validation_cycles = {
+            "private_read": 300, "private_write": 200,
+            "separation": 100, "redux": 50, "misc": 50,
+        }
+        inv.checkpoint_cycles = 300
+        return inv
+
+    def test_keys_match_figure8_buckets(self):
+        result = ExecutionResult(return_value=0, output=[], workers=4,
+                                 invocations=[self._invocation()])
+        assert tuple(result.overhead_breakdown()) == BUCKETS
+
+    def test_fractions_sum_to_one(self):
+        result = ExecutionResult(return_value=0, output=[], workers=4,
+                                 invocations=[self._invocation()])
+        breakdown = result.overhead_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in breakdown.values())
+        # capacity = 4 workers x 1000 cycles
+        assert breakdown["useful"] == pytest.approx(2800 / 4000)
+        assert breakdown["private_read"] == pytest.approx(300 / 4000)
+        assert breakdown["other_validation"] == pytest.approx(200 / 4000)
+
+    def test_empty_result_is_all_zero(self):
+        result = ExecutionResult(return_value=0, output=[], workers=4)
+        breakdown = result.overhead_breakdown()
+        assert set(breakdown) == set(BUCKETS)
+        assert all(v == 0.0 for v in breakdown.values())
+
+    def test_end_to_end_breakdown_sums_to_one(self):
+        from tests.helpers import prepared_counter_program
+
+        prog = prepared_counter_program(16)
+        result = prog.execute(workers=4)
+        breakdown = result.overhead_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-9)
+        assert breakdown["useful"] > 0
+
+    def test_speedup_over(self):
+        inv = self._invocation()
+        result = ExecutionResult(return_value=0, output=[], workers=4,
+                                 sequential_cycles_outside=500,
+                                 invocations=[inv])
+        assert result.total_wall_cycles == 1500
+        assert result.speedup_over(3000) == pytest.approx(2.0)
+        empty = ExecutionResult(return_value=0, output=[], workers=4)
+        assert empty.speedup_over(3000) == 0.0

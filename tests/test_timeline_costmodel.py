@@ -61,6 +61,56 @@ class TestTimeline:
     def test_empty_timeline(self):
         assert "empty" in Timeline().render()
 
+    def test_empty_worker_timeline(self):
+        """Only runtime-wide (worker=None) events: no worker rows, but the
+        marker row and legend still render."""
+        t = Timeline()
+        t.add("spawn", None, 0, 10)
+        t.add("join", None, 10, 20)
+        text = t.render(width=20)
+        assert "worker" not in text.splitlines()[0]
+        assert "events  :" in text and "legend" in text
+        assert "S" in text and "J" in text
+
+    def test_zero_width_timeline(self):
+        """All events at t=0 with zero duration must not divide by zero
+        or paint outside the row."""
+        t = Timeline()
+        t.add("iteration", 0, 0, 0)
+        t.add("checkpoint", None, 0, 0)
+        text = t.render(width=16)
+        row = text.splitlines()[0]
+        assert row.startswith("worker 0: [")
+        assert len(row) == len("worker 0: [") + 16 + 1
+
+    def test_negative_start_is_clamped_not_wrapped(self):
+        """A malformed negative start must not index from the end of the
+        row buffer (Python negative indexing) — regression test."""
+        t = Timeline()
+        t.add("iteration", 0, -50, 2)
+        t.add("iteration", 0, 90, 100)
+        text = t.render(width=10)
+        row = text.splitlines()[0]
+        cells = row[len("worker 0: ["):-1]
+        assert cells[0] == "="      # clamped to column 0
+        assert len(cells) == 10
+
+    def test_long_label_does_not_widen_rows(self):
+        t = Timeline()
+        t.add("iteration", 0, 0, 10, "i=" + "9" * 500)
+        t.add("checkpoint", None, 5, 6, "x" * 500)
+        lines = t.render(width=30).splitlines()
+        for line in lines[:-1]:  # worker row + events row, not the legend
+            assert len(line) == len("worker 0: [") + 30 + 1
+
+    def test_event_past_t_end_is_clamped(self):
+        t = Timeline()
+        t.add("iteration", 0, 5, 10)
+        # start beyond every end (malformed): clamp into the last column.
+        t.add("misspec", 0, 99, 4)
+        text = t.render(width=12)
+        assert "X" in text.splitlines()[0]
+
     def test_events_are_recorded_in_order(self):
         t = self._sample()
         kinds = [e.kind for e in t.events]
