@@ -1,0 +1,8 @@
+"""Executable reproduction of *Speculative Separation for Privatization
+and Reductions* (Privateer, PLDI 2012): compiler pipeline, five
+profilers, heap classification, privatizing transformation, speculative
+runtime, and the simulated/process DOALL backends.
+
+Start at :mod:`repro.bench.pipeline` (``prepare`` / ``execute``) or the
+CLI (``python -m repro``); docs/ARCHITECTURE.md maps the packages.
+"""

@@ -36,6 +36,15 @@ def _load_source(path: str) -> str:
 PERFETTO_HINT = ("open in chrome://tracing or https://ui.perfetto.dev")
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=("simulated", "process"),
+                   default=None,
+                   help="execution backend: 'simulated' is the "
+                        "deterministic in-process reference, 'process' "
+                        "runs real forked worker processes (default: "
+                        "$REPRO_BACKEND, then 'simulated')")
+
+
 def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", False)
                 or getattr(args, "trace_out", None)
@@ -115,11 +124,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_period=args.checkpoint_period,
         misspec_period=args.misspec_period,
         record_timeline=args.timeline or tracing,
+        backend=args.backend,
     )
     ok = result.output == program.sequential.output
     stats = result.runtime_stats
     sys.stdout.write("".join(result.output))
     print("---")
+    from .parallel.backend import resolve_backend_name
+
+    print(f"backend:          {resolve_backend_name(args.backend)}")
     print(f"workers:          {args.workers}")
     print(f"speedup:          {program.speedup(result):.2f}x "
           f"({program.sequential.cycles:,} -> {result.total_wall_cycles:,} cycles)")
@@ -195,6 +208,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         workload_names=args.workloads or None,
         out=args.out,
         min_speedup=args.min_speedup,
+        backend=args.backend,
     )
     _obs_finish(args, "perf")
     return rc
@@ -241,11 +255,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
         checkpoint_period=args.checkpoint_period,
         misspec_period=args.misspec_period,
         record_timeline=True,
+        backend=args.backend,
     )
     ok = result.output == program.sequential.output
     stats = result.runtime_stats
 
-    print(f"{name}: {args.workers} workers, "
+    from .parallel.backend import resolve_backend_name
+
+    print(f"{name}: {resolve_backend_name(args.backend)} backend, "
+          f"{args.workers} workers, "
           f"{program.speedup(result):.2f}x speedup "
           f"({program.sequential.cycles:,} -> "
           f"{result.total_wall_cycles:,} cycles), "
@@ -301,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the Figure 5 execution timeline")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk profile cache")
+    _add_backend_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
 
@@ -324,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", action="store_true",
                    help="allow the on-disk profile cache (default: off, so "
                         "the trace covers the whole pipeline)")
+    _add_backend_flag(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("baselines", help="judge the program under the "
@@ -353,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trajectory file to append to ('' to skip writing)")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="fail if the dijkstra interp speedup is below this")
+    _add_backend_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_perf)
     return parser

@@ -9,6 +9,7 @@ from ..ir.module import Function, Module
 
 
 class CallGraph:
+    """Static call graph over a module's direct calls (callees and callers per function)."""
     def __init__(self, mod: Module):
         self.module = mod
         self.callees: Dict[Function, Set[Function]] = {}

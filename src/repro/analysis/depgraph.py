@@ -22,6 +22,7 @@ from .scev import Affine, decompose_pointer
 
 
 class DepKind(enum.Enum):
+    """Memory dependence kind: flow (W->R), anti (R->W), or output (W->W)."""
     FLOW = "flow"     # write -> read
     ANTI = "anti"     # read -> write
     OUTPUT = "output"  # write -> write
@@ -29,6 +30,9 @@ class DepKind(enum.Enum):
 
 @dataclass
 class DepEdge:
+    """One memory dependence between two instructions, with its kind,
+    loop-carried flag, and the analysis reason that produced it.
+    """
     src: Instruction
     dst: Instruction
     kind: DepKind
@@ -201,6 +205,7 @@ class LoopDependences:
 
 @dataclass
 class DOALLVerdict:
+    """Static DOALL legality answer: legal, or the reasons it is not."""
     legal: bool
     reasons: List[str]
 

@@ -14,6 +14,9 @@ from .cfg import CFG
 
 
 class DominatorTree:
+    """Immediate-dominator tree and dominance frontiers for one
+    function (Cooper-Harvey-Kennedy iteration over the CFG).
+    """
     def __init__(self, fn: Function, cfg: Optional[CFG] = None):
         self.function = fn
         self.cfg = cfg or CFG(fn)

@@ -31,6 +31,9 @@ IO_INTRINSICS = {"printf", "puts", "exit"}
 
 @dataclass
 class ModRefSummary:
+    """What a function may modify and reference: points-to sets for
+    mod/ref, plus I/O and allocation effect flags.
+    """
     mod: PointsToSet = field(default_factory=PointsToSet)
     ref: PointsToSet = field(default_factory=PointsToSet)
     does_io: bool = False
@@ -47,6 +50,9 @@ class ModRefSummary:
 
 
 class ModRefAnalysis:
+    """Bottom-up interprocedural mod/ref: fixed-point propagation of
+    ModRefSummary over the call graph.
+    """
     def __init__(self, mod: Module, pta: Optional[PointsToAnalysis] = None):
         self.module = mod
         self.pta = pta or PointsToAnalysis(mod)

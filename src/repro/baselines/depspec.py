@@ -84,6 +84,9 @@ class _ManifestHook(Hook):
 
 @dataclass
 class DepSpecEstimate:
+    """Profiled misspeculation rate for naive dependence speculation
+    on one loop: conflicting iterations over total iterations (§2).
+    """
     ref: LoopRef
     iterations: int
     conflicting_iterations: int

@@ -47,6 +47,9 @@ MIN_INVOCATION_CYCLES = 2500
 
 @dataclass
 class DOALLCandidate:
+    """A loop the non-speculative DOALL baseline considered: its
+    induction variable, profiled cycles, and static legality verdict.
+    """
     ref: LoopRef
     loop: Loop
     iv: InductionVariable
@@ -62,6 +65,9 @@ class DOALLCandidate:
 
 @dataclass
 class DOALLOnlyResult:
+    """Execution result of the DOALL-only baseline (Fig. 7): output
+    plus parallel/sequential cycle accounting.
+    """
     return_value: object
     output: List[str]
     workers: int

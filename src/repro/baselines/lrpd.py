@@ -34,6 +34,9 @@ from ..transform.selection import region_functions
 
 @dataclass
 class LRPDVerdict:
+    """Whether an LRPD-style array-only speculative test could handle
+    this loop, with the disqualifying reasons (Table 1).
+    """
     ref: LoopRef
     applicable: bool
     reasons: List[str] = field(default_factory=list)

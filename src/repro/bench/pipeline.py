@@ -18,8 +18,8 @@ from ..frontend.lower import compile_minic
 from ..interp.interpreter import Interpreter
 from ..ir.module import Module
 from ..obs.trace import TRACER
+from ..parallel.backend import make_executor
 from ..parallel.costmodel import CostModelConfig
-from ..parallel.executor import DOALLExecutor
 from ..parallel.stats import ExecutionResult
 from ..profiling.data import HotLoopReport, LoopProfile, LoopRef
 from ..profiling.loopprof import profile_loop
@@ -73,11 +73,17 @@ class PreparedProgram:
         costs: Optional[CostModelConfig] = None,
         record_timeline: bool = False,
         args: Optional[Sequence[object]] = None,
+        backend: Optional[str] = None,
     ) -> ExecutionResult:
         """Run the transformed program under the speculative DOALL
-        executor on the ref input; each call uses a fresh simulated
-        machine."""
-        executor = DOALLExecutor(
+        executor on the ref input; each call uses a fresh machine.
+
+        ``backend`` selects the execution backend (``"simulated"`` or
+        ``"process"``); None defers to ``REPRO_BACKEND`` and then the
+        simulated default.
+        """
+        executor = make_executor(
+            backend,
             self.module,
             self.plan,
             workers=workers,
@@ -87,7 +93,8 @@ class PreparedProgram:
             record_timeline=record_timeline,
         )
         with TRACER.span("pipeline.execute", cat="pipeline",
-                         program=self.name, workers=workers) as sp:
+                         program=self.name, workers=workers,
+                         backend=executor.backend_name) as sp:
             result = executor.run(self.entry, tuple(args) if args is not None
                                   else self.ref_args)
             if TRACER.enabled:

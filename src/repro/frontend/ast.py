@@ -8,6 +8,7 @@ from typing import List, Optional, Tuple
 
 @dataclass
 class Node:
+    """Base class of all MiniC AST nodes; carries the source line."""
     line: int = 0
     col: int = 0
 
@@ -34,37 +35,44 @@ class TypeExpr(Node):
 
 @dataclass
 class Expr(Node):
+    """Base class for expression nodes."""
     pass
 
 
 @dataclass
 class IntLit(Expr):
+    """Integer literal."""
     value: int = 0
 
 
 @dataclass
 class FloatLit(Expr):
+    """Floating-point literal."""
     value: float = 0.0
 
 
 @dataclass
 class StringLit(Expr):
+    """String literal (used only as a printf format argument)."""
     value: str = ""
 
 
 @dataclass
 class Ident(Expr):
+    """Name reference."""
     name: str = ""
 
 
 @dataclass
 class Unary(Expr):
+    """Unary operation: -, !, ~, *, &, ++/-- (pre/post)."""
     op: str = ""                 # "-" "!" "~" "*" "&" "++" "--" "p++" "p--"
     operand: Optional[Expr] = None
 
 
 @dataclass
 class Binary(Expr):
+    """Binary operation, including short-circuit && and ||."""
     op: str = ""
     lhs: Optional[Expr] = None
     rhs: Optional[Expr] = None
@@ -72,6 +80,7 @@ class Binary(Expr):
 
 @dataclass
 class Assign(Expr):
+    """Assignment (optionally compound: +=, -=, ...)."""
     op: str = "="                # "=" "+=" "-=" ...
     target: Optional[Expr] = None
     value: Optional[Expr] = None
@@ -79,6 +88,7 @@ class Assign(Expr):
 
 @dataclass
 class Conditional(Expr):
+    """Ternary conditional: cond ? then : other."""
     cond: Optional[Expr] = None
     then: Optional[Expr] = None
     otherwise: Optional[Expr] = None
@@ -86,18 +96,21 @@ class Conditional(Expr):
 
 @dataclass
 class CallExpr(Expr):
+    """Function call."""
     name: str = ""
     args: List[Expr] = field(default_factory=list)
 
 
 @dataclass
 class Index(Expr):
+    """Array subscript: base[index]."""
     base: Optional[Expr] = None
     index: Optional[Expr] = None
 
 
 @dataclass
 class Member(Expr):
+    """Struct member access: base.field or base->field."""
     base: Optional[Expr] = None
     field_name: str = ""
     arrow: bool = False          # True for ``->``, False for ``.``
@@ -105,12 +118,14 @@ class Member(Expr):
 
 @dataclass
 class CastExpr(Expr):
+    """C-style cast: (type)expr."""
     type: Optional[TypeExpr] = None
     operand: Optional[Expr] = None
 
 
 @dataclass
 class SizeofExpr(Expr):
+    """sizeof(type) or sizeof(expr)."""
     type: Optional[TypeExpr] = None
 
 
@@ -119,16 +134,19 @@ class SizeofExpr(Expr):
 
 @dataclass
 class Stmt(Node):
+    """Base class for statement nodes."""
     pass
 
 
 @dataclass
 class ExprStmt(Stmt):
+    """Expression evaluated for its side effects."""
     expr: Optional[Expr] = None
 
 
 @dataclass
 class DeclStmt(Stmt):
+    """Local variable declaration, with optional initializer."""
     type: Optional[TypeExpr] = None
     name: str = ""
     init: Optional[Expr] = None
@@ -136,11 +154,13 @@ class DeclStmt(Stmt):
 
 @dataclass
 class Block(Stmt):
+    """Brace-delimited statement list with its own scope."""
     statements: List[Stmt] = field(default_factory=list)
 
 
 @dataclass
 class If(Stmt):
+    """if/else statement."""
     cond: Optional[Expr] = None
     then: Optional[Stmt] = None
     otherwise: Optional[Stmt] = None
@@ -148,12 +168,14 @@ class If(Stmt):
 
 @dataclass
 class While(Stmt):
+    """while loop."""
     cond: Optional[Expr] = None
     body: Optional[Stmt] = None
 
 
 @dataclass
 class For(Stmt):
+    """C-style for loop."""
     init: Optional[Stmt] = None      # DeclStmt or ExprStmt or None
     cond: Optional[Expr] = None
     step: Optional[Expr] = None
@@ -162,16 +184,19 @@ class For(Stmt):
 
 @dataclass
 class Return(Stmt):
+    """return statement, with optional value."""
     value: Optional[Expr] = None
 
 
 @dataclass
 class Break(Stmt):
+    """break statement."""
     pass
 
 
 @dataclass
 class Continue(Stmt):
+    """continue statement."""
     pass
 
 
@@ -180,12 +205,14 @@ class Continue(Stmt):
 
 @dataclass
 class StructDef(Node):
+    """struct type definition."""
     name: str = ""
     fields: List[Tuple[TypeExpr, str]] = field(default_factory=list)
 
 
 @dataclass
 class GlobalDef(Node):
+    """Global variable definition, with optional initializer."""
     type: Optional[TypeExpr] = None
     name: str = ""
     init: Optional[Expr] = None
@@ -194,12 +221,14 @@ class GlobalDef(Node):
 
 @dataclass
 class Param(Node):
+    """One formal function parameter."""
     type: Optional[TypeExpr] = None
     name: str = ""
 
 
 @dataclass
 class FunctionDef(Node):
+    """Function definition: signature plus body."""
     return_type: Optional[TypeExpr] = None
     name: str = ""
     params: List[Param] = field(default_factory=list)
@@ -208,6 +237,7 @@ class FunctionDef(Node):
 
 @dataclass
 class Program(Node):
+    """A whole translation unit: structs, globals, and functions."""
     structs: List[StructDef] = field(default_factory=list)
     globals: List[GlobalDef] = field(default_factory=list)
     functions: List[FunctionDef] = field(default_factory=list)

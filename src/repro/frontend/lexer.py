@@ -23,6 +23,7 @@ class CompileError(Exception):
 
 
 class TokKind(enum.Enum):
+    """Token categories produced by the lexer."""
     IDENT = "ident"
     KEYWORD = "keyword"
     INT = "int"
@@ -55,6 +56,7 @@ _ESCAPES = {
 
 @dataclass
 class Token:
+    """One lexed token: kind, text, and source position."""
     kind: TokKind
     text: str
     value: object = None
@@ -72,6 +74,7 @@ class Token:
 
 
 class Lexer:
+    """Hand-written MiniC lexer producing a Token stream."""
     def __init__(self, source: str, filename: str = "<minic>"):
         self.source = source
         self.filename = filename

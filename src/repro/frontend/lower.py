@@ -113,6 +113,10 @@ class _LV:
 
 
 class Lowerer:
+    """Lowers a type-checked MiniC AST to the typed mini-IR: control
+    flow to blocks/branches, lvalues to addresses, with deterministic
+    value numbering so module fingerprints are stable.
+    """
     def __init__(self, program: ast.Program, module_name: str = "minic"):
         self.program = program
         self.module = Module(module_name)

@@ -27,6 +27,9 @@ _BINARY_LEVELS: List[List[str]] = [
 
 
 class Parser:
+    """Recursive-descent MiniC parser with C operator precedence,
+    producing the AST consumed by semantic analysis.
+    """
     def __init__(self, tokens: List[Token]):
         self.tokens = tokens
         self.pos = 0

@@ -133,6 +133,11 @@ _U64 = 0xFFFFFFFFFFFFFFFF
 
 
 class Interpreter:
+    """Executes mini-IR on the simulated byte-addressable memory, with
+    cycle/step accounting, hooks, breakpoints, and intrinsics.  Has two
+    observationally identical paths: the reference step() path and the
+    closure-compiled fast path (see DESIGN.md §7).
+    """
     def __init__(
         self,
         module: Module,

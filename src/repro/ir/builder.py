@@ -38,6 +38,9 @@ Operand = Union[Value, int, float]
 
 
 class IRBuilder:
+    """Convenience layer for emitting IR: tracks an insertion point and
+    constant-folds as it builds.
+    """
     def __init__(self, module: Module, block: Optional[BasicBlock] = None):
         self.module = module
         self.block = block

@@ -20,6 +20,7 @@ from .values import Value
 
 
 class Opcode(enum.Enum):
+    """Instruction opcodes of the mini-IR."""
     PHI = "phi"
     ALLOCA = "alloca"
     LOAD = "load"
@@ -38,6 +39,7 @@ class Opcode(enum.Enum):
 
 
 class BinOpKind(enum.Enum):
+    """Binary arithmetic/logic operation kinds (f-prefixed = float)."""
     ADD = "add"
     SUB = "sub"
     MUL = "mul"
@@ -81,6 +83,7 @@ class BinOpKind(enum.Enum):
 
 
 class CmpPred(enum.Enum):
+    """Comparison predicates for icmp/fcmp."""
     EQ = "eq"
     NE = "ne"
     LT = "lt"
@@ -90,6 +93,7 @@ class CmpPred(enum.Enum):
 
 
 class CastKind(enum.Enum):
+    """Conversion kinds for the cast instruction."""
     TRUNC = "trunc"
     ZEXT = "zext"
     SEXT = "sext"
@@ -191,6 +195,7 @@ class Alloca(Instruction):
 
 
 class Load(Instruction):
+    """Memory load: *ptr -> value."""
     opcode = Opcode.LOAD
 
     def __init__(self, pointer: Value, type_: Type, name: str = ""):
@@ -204,6 +209,7 @@ class Load(Instruction):
 
 
 class Store(Instruction):
+    """Memory store: *ptr <- value."""
     opcode = Opcode.STORE
 
     def __init__(self, value: Value, pointer: Value):
@@ -248,6 +254,7 @@ class PtrAdd(Instruction):
 
 
 class BinOp(Instruction):
+    """Binary arithmetic/logic instruction."""
     opcode = Opcode.BINOP
 
     def __init__(self, kind: BinOpKind, lhs: Value, rhs: Value, name: str = ""):
@@ -267,6 +274,7 @@ class BinOp(Instruction):
 
 
 class ICmp(Instruction):
+    """Integer (or pointer) comparison producing an i1."""
     opcode = Opcode.ICMP
 
     def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str = ""):
@@ -283,6 +291,7 @@ class ICmp(Instruction):
 
 
 class FCmp(Instruction):
+    """Floating-point comparison producing an i1."""
     opcode = Opcode.FCMP
 
     def __init__(self, pred: CmpPred, lhs: Value, rhs: Value, name: str = ""):
@@ -299,6 +308,7 @@ class FCmp(Instruction):
 
 
 class Cast(Instruction):
+    """Type conversion instruction."""
     opcode = Opcode.CAST
 
     def __init__(self, kind: CastKind, value: Value, to_type: Type, name: str = ""):
@@ -340,6 +350,7 @@ class Call(Instruction):
 
 
 class Br(Instruction):
+    """Unconditional branch."""
     opcode = Opcode.BR
 
     def __init__(self, target: "BasicBlock"):
@@ -348,6 +359,7 @@ class Br(Instruction):
 
 
 class CondBr(Instruction):
+    """Conditional branch on an i1 operand."""
     opcode = Opcode.CONDBR
 
     def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock"):
@@ -361,6 +373,7 @@ class CondBr(Instruction):
 
 
 class Ret(Instruction):
+    """Function return, with optional value."""
     opcode = Opcode.RET
 
     def __init__(self, value: Optional[Value] = None):
@@ -372,6 +385,7 @@ class Ret(Instruction):
 
 
 class Unreachable(Instruction):
+    """Marks statically unreachable control flow; trapping if executed."""
     opcode = Opcode.UNREACHABLE
 
     def __init__(self) -> None:

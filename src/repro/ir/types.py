@@ -52,6 +52,8 @@ class Type:
 
 @dataclass(frozen=True)
 class VoidType(Type):
+    """The void type: no size, usable only as a return type."""
+
     @property
     def size(self) -> int:
         raise IRTypeError("void has no size")
@@ -156,6 +158,7 @@ class PointerType(Type):
 
 @dataclass(frozen=True)
 class ArrayType(Type):
+    """Fixed-length array type with C layout."""
     element: Type
     count: int
 
@@ -177,6 +180,7 @@ class ArrayType(Type):
 
 @dataclass(frozen=True)
 class StructField:
+    """One named, typed field of a struct type."""
     name: str
     type: Type
 
@@ -251,6 +255,7 @@ class StructType(Type):
 
 @dataclass(frozen=True)
 class FunctionType(Type):
+    """Function signature type: return type, parameters, variadic flag."""
     return_type: Type
     param_types: Tuple[Type, ...]
     variadic: bool = False

@@ -49,6 +49,7 @@ class Constant(Value):
 
 
 class ConstInt(Constant):
+    """Integer constant, wrapped to its type's width."""
     def __init__(self, type_: IntType, value: int):
         if not isinstance(type_, IntType):
             raise IRTypeError(f"ConstInt requires an integer type, got {type_}")
@@ -71,6 +72,7 @@ class ConstInt(Constant):
 
 
 class ConstFloat(Constant):
+    """Floating-point constant, stored at its type's precision."""
     def __init__(self, type_: FloatType, value: float):
         if not isinstance(type_, FloatType):
             raise IRTypeError(f"ConstFloat requires a float type, got {type_}")

@@ -51,6 +51,10 @@ CYCLES_PER_US = 1000.0
 WALL_PID = 1
 SIM_PID = 2
 
+#: Events shipped back from the process backend's forked workers are
+#: re-homed to one trace process per worker: pid = WORKER_PID_BASE + wid.
+WORKER_PID_BASE = 10
+
 
 class Span:
     """A started span; finish it with :meth:`end` (or use it as a
@@ -186,6 +190,23 @@ class Tracer:
                 "attrs": attrs,
             })
 
+    def absorb_worker_events(self, wid: int,
+                             events: List[Dict[str, object]]) -> None:
+        """Append events shipped back from a forked worker process,
+        re-homed to that worker's trace process (pid
+        ``WORKER_PID_BASE + wid``) so each real worker shows up as its
+        own process lane in the Chrome export.  The children share the
+        tracer epoch with the parent (fork inherits it), so their
+        timestamps land on the same axis."""
+        if not self.enabled or not events:
+            return
+        pid = WORKER_PID_BASE + wid
+        with self._lock:
+            for ev in events:
+                ev = dict(ev)
+                ev["pid"] = pid
+                self.events.append(ev)
+
     # -- export ------------------------------------------------------------
 
     def jsonl_lines(self) -> Iterator[str]:
@@ -217,15 +238,25 @@ class Tracer:
             {"ph": "M", "name": "thread_name", "pid": WALL_PID, "tid": 0,
              "args": {"name": "main"}},
         ]
-        named_tids = {0}
+        named_pids = {WALL_PID}
+        named_tids = {(WALL_PID, 0)}
         for ev in self.events:
             tid = ev["tid"]
-            if tid not in named_tids:
-                named_tids.add(tid)
-                out.append({"ph": "M", "name": "thread_name", "pid": WALL_PID,
+            pid = ev["pid"]
+            if pid not in named_pids:
+                named_pids.add(pid)
+                if pid >= WORKER_PID_BASE:
+                    pname = f"worker process {pid - WORKER_PID_BASE}"
+                else:
+                    pname = f"process {pid}"
+                out.append({"ph": "M", "name": "process_name", "pid": pid,
+                            "tid": 0, "args": {"name": pname}})
+            if (pid, tid) not in named_tids:
+                named_tids.add((pid, tid))
+                out.append({"ph": "M", "name": "thread_name", "pid": pid,
                             "tid": tid, "args": {"name": f"worker {tid - 1}"}})
             base = {
-                "name": ev["name"], "cat": ev["cat"], "pid": ev["pid"],
+                "name": ev["name"], "cat": ev["cat"], "pid": pid,
                 "tid": tid, "ts": ev["ts_us"], "args": dict(ev["attrs"]),
             }
             if ev["kind"] == "span":

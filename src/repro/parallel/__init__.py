@@ -1,12 +1,22 @@
-"""Simulated-multicore DOALL execution of speculatively privatized code."""
+"""DOALL execution of speculatively privatized code: the shared backend
+driver plus the simulated (deterministic reference) and process
+(real-parallel) backends."""
 
+from .backend import (
+    BACKEND_NAMES,
+    BackendError,
+    BaseDOALLExecutor,
+    make_executor,
+    resolve_backend_name,
+)
 from .costmodel import DEFAULT_COSTS, CostModelConfig
 from .executor import DOALLExecutor, trip_count
 from .stats import BUCKETS, ExecutionResult, InvocationResult
 from .timeline import Timeline, TimelineEvent
 
 __all__ = [
-    "BUCKETS", "CostModelConfig", "DEFAULT_COSTS", "DOALLExecutor",
+    "BACKEND_NAMES", "BUCKETS", "BackendError", "BaseDOALLExecutor",
+    "CostModelConfig", "DEFAULT_COSTS", "DOALLExecutor",
     "ExecutionResult", "InvocationResult", "Timeline", "TimelineEvent",
-    "trip_count",
+    "make_executor", "resolve_backend_name", "trip_count",
 ]

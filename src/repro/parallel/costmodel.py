@@ -14,6 +14,9 @@ from dataclasses import dataclass
 
 @dataclass
 class CostModelConfig:
+    """Simulated-cycle costs of the parallel runtime: spawn/join,
+    checkpoint, validation, and recovery parameters (DESIGN.md §9).
+    """
     spawn_base: int = 3_000
     spawn_per_worker: int = 800
     join_base: int = 2_000

@@ -1,4 +1,5 @@
-"""Simulated-multicore DOALL executor.
+"""Simulated-multicore DOALL executor (the deterministic reference
+backend).
 
 Drives a transformed module the way the paper's runtime drives worker
 processes (Figure 5): the main "process" runs sequentially until it
@@ -11,400 +12,85 @@ sequentially before parallel execution resumes.
 Workers are simulated one at a time (deterministically), which is
 behaviourally equivalent to concurrent execution because workers share no
 speculative state — exactly the property Privateer validates.  Timing is
-modelled with per-worker cycle clocks; see ``costmodel.py``.
+modelled with per-worker cycle clocks; see ``costmodel.py``.  For real
+concurrent execution of the same semantics, see
+:mod:`repro.parallel.process_backend`; the shared driver lives in
+:mod:`repro.parallel.backend`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..classify.heaps import HeapKind
-from ..interp.errors import GuestExit, GuestFault, GuestTimeout, Misspeculation
-from ..interp.interpreter import BlockBreakpoint, Frame, Hook, Interpreter
-from ..ir.instructions import CmpPred, Phi
-from ..ir.types import IntType
-from ..ir.module import Module
-from ..obs.log import get_logger
-from ..obs.metrics import METRICS
-from ..obs.trace import TRACER
-from ..runtime.system import RuntimeSystem, WorkerState
-from ..transform.plan import MAX_CHECKPOINT_PERIOD, ParallelPlan
-from .costmodel import DEFAULT_COSTS, CostModelConfig
-from .stats import ExecutionResult, InvocationResult
-from .timeline import Timeline
-
-log = get_logger("executor")
-
-_NEGATE = {
-    CmpPred.LT: CmpPred.GE, CmpPred.GE: CmpPred.LT,
-    CmpPred.LE: CmpPred.GT, CmpPred.GT: CmpPred.LE,
-    CmpPred.EQ: CmpPred.NE, CmpPred.NE: CmpPred.EQ,
-}
+from ..interp.errors import GuestFault, GuestTimeout, Misspeculation
+from ..interp.interpreter import Frame
+from ..runtime.fragments import EpochFragment
+from .backend import BaseDOALLExecutor, _RecoveryHook, trip_count  # noqa: F401
+from .stats import InvocationResult
 
 
-def trip_count(init: int, bound: int, step: int, pred: CmpPred,
-               exit_on_true: bool) -> Optional[int]:
-    """Number of iterations of a canonical counted loop, or None if it
-    cannot be computed (non-standard shape)."""
-    cont = _NEGATE[pred] if exit_on_true else pred
-    if cont is CmpPred.LT and step > 0:
-        return max(0, -(-(bound - init) // step))
-    if cont is CmpPred.LE and step > 0:
-        return max(0, (bound - init) // step + 1) if bound >= init else 0
-    if cont is CmpPred.GT and step < 0:
-        return max(0, -(-(init - bound) // -step))
-    if cont is CmpPred.GE and step < 0:
-        return max(0, (init - bound) // -step + 1) if init >= bound else 0
-    if cont is CmpPred.NE:
-        delta = bound - init
-        if step != 0 and delta % step == 0 and delta // step >= 0:
-            return delta // step
-    return None
+class DOALLExecutor(BaseDOALLExecutor):
+    """The simulated backend: one in-process interpreter, workers run
+    one at a time with per-worker cycle clocks."""
 
+    backend_name = "simulated"
 
-class _RecoveryHook(Hook):
-    """Marks stores executed during sequential recovery as committed
-    definitions (they must fail later live-in reads)."""
-
-    def __init__(self, runtime: RuntimeSystem):
-        self.runtime = runtime
-
-    def on_store(self, interp, inst, addr: int, size: int) -> None:
-        self.runtime.note_recovery_write(addr, size)
-
-
-class DOALLExecutor:
-    def __init__(
-        self,
-        module: Module,
-        plan: ParallelPlan,
-        workers: int = 24,
-        costs: Optional[CostModelConfig] = None,
-        checkpoint_period: Optional[int] = None,
-        misspec_period: int = 0,
-        min_parallel_trips: int = 2,
-        record_timeline: bool = False,
-        max_steps: int = 2_000_000_000,
-    ):
-        self.module = module
-        self.plan = plan
-        self.workers = max(1, workers)
-        self.costs = costs or DEFAULT_COSTS
-        # None = let the runtime pick a period per invocation ("the runtime
-        # selects a checkpoint period k before the parallel invocation").
-        self.checkpoint_period = (
-            min(checkpoint_period, MAX_CHECKPOINT_PERIOD)
-            if checkpoint_period else None
-        )
-        self.misspec_period = misspec_period
-        self.min_parallel_trips = min_parallel_trips
-        self.timeline = Timeline() if record_timeline else None
-
-        global_regions = {
-            name: kind.base for name, kind in plan.global_placements.items()
-        }
-        self.interp = Interpreter(module, max_steps=max_steps,
-                                  global_regions=global_regions)
-        self.runtime = RuntimeSystem(module, plan, self.interp)
-        self.interp.block_breakpoints.add(plan.loop.header)
-        self._invocations: List[InvocationResult] = []
-        self._cycles_in_invocations = 0
-        self._header_phi_count = sum(
-            1 for inst in plan.loop.header.instructions if isinstance(inst, Phi)
-        )
-
-    # -- whole-program run ----------------------------------------------------
-
-    def run(self, entry: str = "main", args: Sequence[object] = ()) -> ExecutionResult:
+    def _execute_epoch(
+        self, frame: Frame, inv: InvocationResult, epoch_start: int,
+        epoch_end: int, init: int,
+    ) -> Tuple[Optional[Tuple[int, Misspeculation]],
+               Optional[List[EpochFragment]]]:
         interp = self.interp
-        fn = self.module.function_named(entry)
-        interp.push_function(fn, args)
-        result: object = None
-        try:
-            while interp.frames:
-                try:
-                    result = interp.run_until_event()
-                except BlockBreakpoint as bp:
-                    if bp.prev in self.plan.loop.blocks:
-                        # Back edge during a sequential (fallback) pass of
-                        # the loop: just continue.
-                        interp.resume_at(bp.frame, bp.target, bp.prev)
-                    else:
-                        self._run_invocation(bp)
-        except GuestExit as e:
-            interp.exit_code = e.code
-            result = e.code
-            interp.frames.clear()
-        return ExecutionResult(
-            return_value=result,
-            output=list(interp.output),
-            workers=self.workers,
-            sequential_cycles_outside=interp.cycles - self._cycles_in_invocations,
-            invocations=self._invocations,
-            runtime_stats=self.runtime.stats,
-        )
-
-    # -- one parallel-region invocation ------------------------------------------
-
-    def _iv_value(self, i: int, init: int) -> int:
-        iv = self.plan.iv
-        value = init + i * iv.step
-        ty = iv.phi.type
-        if isinstance(ty, IntType):
-            value = ty.wrap(value)
-        return value
-
-    def _run_invocation(self, bp: BlockBreakpoint) -> None:
-        interp = self.interp
-        plan = self.plan
         runtime = self.runtime
-        frame = bp.frame
-        cycles_at_entry = interp.cycles
-
-        init = int(interp.value_of(frame, plan.iv.init))
-        bound = int(interp.value_of(frame, plan.iv.bound))
-        trips = trip_count(init, bound, plan.iv.step, plan.iv.pred,
-                           plan.iv.exit_on_true)
-        if trips is None or trips < self.min_parallel_trips:
-            # Not worth (or not able to) parallelize this invocation: run
-            # the loop sequentially in place.
-            log.debug("sequential fallback: trip count %s below minimum %d",
-                      trips, self.min_parallel_trips)
-            if TRACER.enabled:
-                TRACER.instant("executor.sequential_fallback", cat="executor",
-                               trips=trips,
-                               min_parallel_trips=self.min_parallel_trips)
-            interp.resume_at(frame, bp.target, bp.prev)
-            return
-
-        workers = self.workers
-        runtime.begin_invocation(workers)
-        span = TRACER.span("executor.invocation", cat="executor",
-                           invocation=runtime.invocation_index,
-                           trips=trips, workers=workers)
-        costs = self.costs
-        spawn = costs.spawn_time(workers)
-        inv = InvocationResult(index=runtime.invocation_index, trips=trips,
-                               workers=workers)
-        inv.spawn_cycles = spawn
         stats = runtime.stats
-        base = {
-            "private_read": stats.private_read_cycles,
-            "private_write": stats.private_write_cycles,
-            "separation": stats.separation_cycles,
-            "redux": stats.redux_cycles,
-            "misc": stats.misc_validation_cycles,
-            "checkpoint": stats.checkpoint_cycles,
-        }
-        for worker in runtime.workers:
-            worker.clock = spawn
-        if self.timeline is not None:
-            self.timeline.add("spawn", None, 0, spawn)
-
-        main_stack = interp.swap_stack([])
+        workers = self.workers
         main_space = interp.space
-        # Checkpoint period: aim for a handful of checkpoints per
-        # invocation, bounded by the metadata-byte limit of 253.
-        k = self.checkpoint_period or max(
-            2, min(MAX_CHECKPOINT_PERIOD, trips // 5))
+        earliest: Optional[Tuple[int, Misspeculation]] = None
 
-        next_iter = 0
-        while next_iter < trips:
-            epoch_end = min(next_iter + k, trips)
-            earliest: Optional[Tuple[int, Misspeculation]] = None
-
-            for worker in runtime.workers:
-                interp.space = worker.space
-                if worker.frame is None:
-                    worker.frame = frame.copy()
-                interp.swap_stack([worker.frame])
-                for i in range(next_iter, epoch_end):
-                    if i % workers != worker.wid:
-                        continue
-                    if earliest is not None and i > earliest[0]:
-                        break
-                    c0 = interp.cycles
-                    v0 = stats.validation_cycles()
-                    t0 = worker.clock
-                    try:
-                        self._execute_iteration(worker, i, init)
-                        if self.misspec_period and (i + 1) % self.misspec_period == 0:
-                            raise Misspeculation(
-                                "injected", "artificially injected", i)
-                    except Misspeculation as exc:
-                        runtime.record_misspeculation(
-                            exc, injected=(exc.kind == "injected"))
-                        worker.clock += interp.cycles - c0
-                        if earliest is None or i < earliest[0]:
-                            earliest = (i, exc)
-                        if self.timeline is not None:
-                            self.timeline.add("misspec", worker.wid, t0,
-                                              worker.clock, exc.kind)
-                        break
-                    except (GuestFault, GuestTimeout) as fault:
-                        exc = Misspeculation("fault", str(fault), i)
-                        runtime.record_misspeculation(exc)
-                        worker.clock += interp.cycles - c0
-                        if earliest is None or i < earliest[0]:
-                            earliest = (i, exc)
-                        break
-                    delta = interp.cycles - c0
-                    vdelta = stats.validation_cycles() - v0
-                    worker.clock += delta
-                    inv.useful_cycles += max(0, delta - vdelta)
-                    if self.timeline is not None:
-                        self.timeline.add("iteration", worker.wid, t0,
-                                          worker.clock, f"i={i}")
-                interp.swap_stack([])
-            interp.space = main_space
-
-            if earliest is None:
-                ckpt0 = stats.checkpoint_cycles
-                try:
-                    runtime.checkpoint(next_iter, epoch_end)
-                    ckpt_cost = stats.checkpoint_cycles - ckpt0
-                    share = ckpt_cost // max(1, workers)
-                    for worker in runtime.workers:
-                        worker.clock += share
-                    inv.checkpoints += 1
-                    if self.timeline is not None:
-                        t = max(w.clock for w in runtime.workers)
-                        self.timeline.add("checkpoint", None, t - share, t,
-                                          f"iters [{next_iter},{epoch_end})")
-                    next_iter = epoch_end
-                except Misspeculation as exc:
-                    runtime.record_misspeculation(exc)
-                    at = exc.iteration if exc.iteration >= 0 else next_iter
-                    earliest = (min(at, epoch_end - 1), exc)
-
-            if earliest is not None:
-                next_iter = self._recover(frame, inv, next_iter, earliest, init)
-
-        # Join: final state is already committed by the last checkpoint.
-        wall = max((w.clock for w in runtime.workers), default=spawn)
-        inv.join_cycles = costs.join_time(workers)
-        inv.wall_cycles = wall + inv.join_cycles
-        if self.timeline is not None:
-            self.timeline.add("join", None, wall, inv.wall_cycles)
-        inv.validation_cycles = {
-            "private_read": stats.private_read_cycles - base["private_read"],
-            "private_write": stats.private_write_cycles - base["private_write"],
-            "separation": stats.separation_cycles - base["separation"],
-            "redux": stats.redux_cycles - base["redux"],
-            "misc": stats.misc_validation_cycles - base["misc"],
-        }
-        inv.checkpoint_cycles = stats.checkpoint_cycles - base["checkpoint"]
-        runtime.end_invocation()
-        self._invocations.append(inv)
-        log.info("invocation %d done: %d trips, %d checkpoint(s), "
-                 "%d misspeculation(s), %d wall cycles",
-                 inv.index, inv.trips, inv.checkpoints, inv.misspeculations,
-                 inv.wall_cycles)
-        # Simulated-cycle dual alongside the span's wall-clock duration.
-        span.end(wall_cycles=inv.wall_cycles, checkpoints=inv.checkpoints,
-                 misspeculations=inv.misspeculations,
-                 recovered_iterations=inv.recovered_iterations,
-                 checkpoint_period=k)
-
-        # Resume the main thread at the loop exit: the IV phi takes its
-        # final value and the header's exit test runs normally.
-        interp.swap_stack(main_stack)
-        frame.regs[plan.iv.phi] = self._iv_value(trips, init)
-        frame.prev_block = frame.block
-        frame.block = plan.loop.header
-        frame.index = self._header_phi_count
-        self._cycles_in_invocations += interp.cycles - cycles_at_entry
-
-    # -- iteration execution -------------------------------------------------------
-
-    def _execute_iteration(self, worker: WorkerState, i: int, init: int) -> None:
-        """Run one loop iteration to the next header entry in the worker's
-        context, with full speculation support."""
-        interp = self.interp
-        plan = self.plan
-        frame = worker.frame
-        self.runtime.begin_iteration(worker, i)
-        interp.enter_block(frame, plan.loop.header, fire_breakpoints=False)
-        frame.regs[plan.iv.phi] = self._iv_value(i, init)
-        while True:
-            try:
-                interp.run_until_event()
-            except BlockBreakpoint as bblk:
-                if bblk.target is plan.loop.header and len(interp.frames) == 1:
-                    break
-                interp.resume_at(bblk.frame, bblk.target, bblk.prev)
-                continue
-            except GuestExit as e:
-                raise Misspeculation(
-                    "control", f"guest exit({e.code}) inside speculative "
-                    f"region", i) from e
-            # run_until_event returned: the frame stack drained without
-            # re-entering the loop header.
-            raise Misspeculation(
-                "control", "loop function returned inside the parallel "
-                "region", i)
-        self.runtime.end_iteration(worker, i)
-
-    def _execute_iteration_plain(self, frame: Frame, i: int, init: int) -> None:
-        """Non-speculative re-execution of one iteration (recovery)."""
-        interp = self.interp
-        plan = self.plan
-        interp.enter_block(frame, plan.loop.header, fire_breakpoints=False)
-        frame.regs[plan.iv.phi] = self._iv_value(i, init)
-        while True:
-            try:
-                interp.run_until_event()
-            except BlockBreakpoint as bblk:
-                if bblk.target is plan.loop.header and len(interp.frames) == 1:
-                    return
-                interp.resume_at(bblk.frame, bblk.target, bblk.prev)
-                continue
-            raise GuestFault(
-                "loop function returned during non-speculative recovery")
-
-    # -- recovery -----------------------------------------------------------------------
-
-    def _recover(self, frame: Frame, inv: InvocationResult, epoch_start: int,
-                 earliest: Tuple[int, Misspeculation], init: int) -> int:
-        """Squash, re-execute [epoch_start, m] sequentially, resume.
-        Returns the next iteration to execute speculatively."""
-        interp = self.interp
-        runtime = self.runtime
-        m, _exc = earliest
-        inv.misspeculations += 1
-        t_abort = max(w.clock for w in runtime.workers)
-
-        runtime.squash_to_recovery(m)
-        recovery_frame = frame.copy()
-        interp.swap_stack([recovery_frame])
-        hook = _RecoveryHook(runtime)
-        interp.hooks.append(hook)
-        c0 = interp.cycles
-        try:
-            for i in range(epoch_start, m + 1):
-                self._execute_iteration_plain(recovery_frame, i, init)
-        finally:
-            interp.hooks.remove(hook)
-            interp.swap_stack([])
-        recovery_cycles = interp.cycles - c0
-        inv.recovery_cycles += recovery_cycles
-        inv.recovered_iterations += m + 1 - epoch_start
-
-        t_resume = t_abort + self.costs.recovery_fixed + recovery_cycles
-        if self.timeline is not None:
-            self.timeline.add("recovery", None, t_abort, t_resume,
-                              f"iters [{epoch_start},{m}]")
-        log.info("recovery: re-executed iterations [%d,%d] in %d cycles",
-                 epoch_start, m, recovery_cycles)
-        if TRACER.enabled:
-            METRICS.counter("executor.recoveries").inc()
-            METRICS.histogram("executor.recovery.cycles").observe(
-                recovery_cycles)
-            TRACER.instant("executor.recovery", cat="executor",
-                           misspec_iteration=m, epoch_start=epoch_start,
-                           recovered_iterations=m + 1 - epoch_start,
-                           cycles=recovery_cycles)
-        runtime.resume_after_recovery(m + 1)
         for worker in runtime.workers:
-            worker.clock = t_resume
-        return m + 1
+            interp.space = worker.space
+            if worker.frame is None:
+                worker.frame = frame.copy()
+            interp.swap_stack([worker.frame])
+            for i in range(epoch_start, epoch_end):
+                if i % workers != worker.wid:
+                    continue
+                if earliest is not None and i > earliest[0]:
+                    break
+                c0 = interp.cycles
+                v0 = stats.validation_cycles()
+                t0 = worker.clock
+                try:
+                    self._execute_iteration(worker, i, init)
+                    if self.misspec_period and (i + 1) % self.misspec_period == 0:
+                        raise Misspeculation(
+                            "injected", "artificially injected", i)
+                except Misspeculation as exc:
+                    runtime.record_misspeculation(
+                        exc, injected=(exc.kind == "injected"))
+                    worker.clock += interp.cycles - c0
+                    if earliest is None or i < earliest[0]:
+                        earliest = (i, exc)
+                    if self.timeline is not None:
+                        self.timeline.add("misspec", worker.wid, t0,
+                                          worker.clock, exc.kind)
+                    break
+                except (GuestFault, GuestTimeout) as fault:
+                    exc = Misspeculation("fault", str(fault), i)
+                    runtime.record_misspeculation(exc)
+                    worker.clock += interp.cycles - c0
+                    if earliest is None or i < earliest[0]:
+                        earliest = (i, exc)
+                    break
+                delta = interp.cycles - c0
+                vdelta = stats.validation_cycles() - v0
+                worker.clock += delta
+                inv.useful_cycles += max(0, delta - vdelta)
+                if self.timeline is not None:
+                    self.timeline.add("iteration", worker.wid, t0,
+                                      worker.clock, f"i={i}")
+            interp.swap_stack([])
+        interp.space = main_space
+        # fragments=None: the checkpoint extracts them from the live
+        # in-process worker states.
+        return earliest, None

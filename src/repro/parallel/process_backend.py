@@ -1,0 +1,353 @@
+"""Process-parallel DOALL backend: real concurrent worker processes.
+
+Mirrors the paper's runtime much more literally than the simulated
+backend: at each checkpoint epoch the parent **forks one OS process per
+worker** (the paper forks workers once per invocation and relies on the
+kernel's copy-on-write page mapping; here every fork inherits the whole
+simulated address space by COW, so a per-epoch fork reproduces the same
+isolation).  Each child executes its round-robin slice of the epoch on
+its own private/reduction heap replicas, then pickles back over a pipe:
+
+* one :class:`~repro.parallel.backend.IterationRecord` per executed
+  iteration (cycle/step deltas, validation attribution, RuntimeStats
+  counter deltas, deferred output, misspeculation terms);
+* an :class:`~repro.runtime.fragments.EpochFragment` — the serialized
+  shadow-memory state — iff the slice completed cleanly;
+* any trace events it recorded (re-homed to a per-worker trace process
+  in the Chrome export).
+
+The parent drains all pipes concurrently (``selectors``), **replays**
+the iteration records in worker order — reproducing the simulated
+scheduler's earliest-misspeculation cut exactly — and feeds the
+fragments to the shared :meth:`RuntimeSystem.checkpoint` commit path.
+Phase-two validation, merge, reduction folding, deferred-I/O commit,
+squash and sequential recovery therefore all run in the parent,
+identically to the simulated backend; the parity suite asserts equality
+of final memory, ``RuntimeStats`` and misspeculation counts.
+
+A deadline (``epoch_timeout``) bounds every epoch: if a child wedges,
+the parent SIGKILLs the whole worker pool and raises instead of hanging
+(the CI smoke job relies on this failing fast).
+
+Known fidelity boundary: inside an epoch that is *doomed* to fail
+phase-two validation, a forked child reads freshly committed main
+memory where a persistent simulated worker may read a stale COW page;
+both backends squash the epoch, so committed state never diverges.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import signal
+import struct
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.errors import GuestFault, GuestTimeout, Misspeculation
+from ..interp.interpreter import Frame
+from ..obs.log import get_logger
+from ..obs.trace import TRACER
+from ..runtime.fragments import EpochFragment
+from ..runtime.system import WorkerState
+from .backend import (
+    BackendError,
+    BaseDOALLExecutor,
+    IterationRecord,
+    WorkerEpochReport,
+)
+from .stats import InvocationResult
+
+log = get_logger("process_backend")
+
+#: Length prefix for pipe frames: one unsigned 64-bit little-endian int.
+_LEN = struct.Struct("<Q")
+
+#: Default wall-clock budget per epoch before the pool is killed.
+DEFAULT_EPOCH_TIMEOUT = 300.0
+
+
+@dataclass
+class _ChildFailure:
+    """Shipped instead of a report when a child hits an internal error."""
+
+    wid: int
+    error: str
+
+
+def _write_frame(fd: int, data: bytes) -> None:
+    view = memoryview(_LEN.pack(len(data)) + data)
+    while view:
+        n = os.write(fd, view)
+        view = view[n:]
+
+
+class ProcessDOALLExecutor(BaseDOALLExecutor):
+    """DOALL backend running worker slices in forked OS processes."""
+
+    backend_name = "process"
+
+    def __init__(self, *args, epoch_timeout: float = DEFAULT_EPOCH_TIMEOUT,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if not hasattr(os, "fork"):
+            raise BackendError(
+                "the process backend requires os.fork (POSIX); "
+                "use --backend simulated on this platform")
+        self.epoch_timeout = epoch_timeout
+
+    # -- epoch execution ------------------------------------------------------
+
+    def _execute_epoch(
+        self, frame: Frame, inv: InvocationResult, epoch_start: int,
+        epoch_end: int, init: int,
+    ) -> Tuple[Optional[Tuple[int, Misspeculation]],
+               Optional[List[EpochFragment]]]:
+        reports = self._fork_epoch(frame, epoch_start, epoch_end, init)
+        for report in reports:
+            if report.trace_events and TRACER.enabled:
+                TRACER.absorb_worker_events(report.wid, report.trace_events)
+        earliest = self._replay_reports(reports, inv)
+        if earliest is not None:
+            return earliest, None
+        return None, [r.fragment for r in reports]
+
+    def _fork_epoch(self, frame: Frame, epoch_start: int, epoch_end: int,
+                    init: int) -> List[WorkerEpochReport]:
+        """Fork one child per worker, run the slices concurrently, and
+        collect the shipped reports (in wid order)."""
+        # Buffered host output must not be duplicated into the children.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pids: Dict[int, int] = {}   # wid -> pid
+        fds: Dict[int, int] = {}    # read fd -> wid
+        for worker in self.runtime.workers:
+            rfd, wfd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    os.close(rfd)
+                    report = self._child_slice(worker, frame, epoch_start,
+                                               epoch_end, init)
+                    _write_frame(wfd, pickle.dumps(
+                        report, protocol=pickle.HIGHEST_PROTOCOL))
+                    status = 0
+                except BaseException:
+                    try:
+                        _write_frame(wfd, pickle.dumps(
+                            _ChildFailure(worker.wid, traceback.format_exc()),
+                            protocol=pickle.HIGHEST_PROTOCOL))
+                    except BaseException:
+                        pass
+                finally:
+                    try:
+                        os.close(wfd)
+                    except OSError:
+                        pass
+                    # _exit: never run parent atexit/flush machinery in
+                    # the forked interpreter image.
+                    os._exit(status)
+            os.close(wfd)
+            pids[worker.wid] = pid
+            fds[rfd] = worker.wid
+        try:
+            payloads = self._drain(fds)
+        except BaseException:
+            self._kill_pool(pids)
+            raise
+        self._reap(pids)
+        reports: List[WorkerEpochReport] = []
+        for wid in sorted(payloads):
+            payload = payloads[wid]
+            if isinstance(payload, _ChildFailure):
+                raise RuntimeError(
+                    f"worker process {payload.wid} failed during epoch "
+                    f"[{epoch_start},{epoch_end}):\n{payload.error}")
+            reports.append(payload)
+        return reports
+
+    def _drain(self, fds: Dict[int, int]) -> Dict[int, object]:
+        """Read one length-prefixed pickle frame from every pipe,
+        concurrently, within the epoch deadline."""
+        deadline = time.monotonic() + self.epoch_timeout
+        buffers: Dict[int, bytearray] = {fd: bytearray() for fd in fds}
+        payloads: Dict[int, object] = {}
+        sel = selectors.DefaultSelector()
+        for fd in fds:
+            os.set_blocking(fd, False)
+            sel.register(fd, selectors.EVENT_READ)
+        try:
+            while buffers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"process backend: worker(s) "
+                        f"{sorted(fds[fd] for fd in buffers)} did not "
+                        f"report within {self.epoch_timeout:.0f}s "
+                        f"(deadlocked or wedged pool)")
+                for key, _events in sel.select(timeout=remaining):
+                    fd = key.fd
+                    try:
+                        chunk = os.read(fd, 1 << 20)
+                    except BlockingIOError:
+                        continue
+                    if chunk:
+                        buffers[fd].extend(chunk)
+                        continue
+                    # EOF: the frame must be complete.
+                    buf = buffers.pop(fd)
+                    sel.unregister(fd)
+                    os.close(fd)
+                    wid = fds[fd]
+                    if len(buf) < _LEN.size:
+                        raise RuntimeError(
+                            f"worker process {wid} exited without "
+                            f"reporting (killed or crashed before "
+                            f"serialization)")
+                    (length,) = _LEN.unpack(buf[:_LEN.size])
+                    if len(buf) != _LEN.size + length:
+                        raise RuntimeError(
+                            f"worker process {wid} shipped a truncated "
+                            f"report ({len(buf) - _LEN.size}/{length} "
+                            f"bytes)")
+                    payloads[wid] = pickle.loads(buf[_LEN.size:])
+        finally:
+            for fd in buffers:
+                try:
+                    sel.unregister(fd)
+                except (KeyError, ValueError):
+                    pass
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            sel.close()
+        return payloads
+
+    @staticmethod
+    def _kill_pool(pids: Dict[int, int]) -> None:
+        for pid in pids.values():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        for pid in pids.values():
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+
+    @staticmethod
+    def _reap(pids: Dict[int, int]) -> None:
+        for pid in pids.values():
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+
+    # -- child side -----------------------------------------------------------
+
+    def _child_slice(self, worker: WorkerState, frame: Frame,
+                     epoch_start: int, epoch_end: int,
+                     init: int) -> WorkerEpochReport:
+        """Run one worker's slice of the epoch (inside the forked child)
+        and build its report."""
+        interp = self.interp
+        runtime = self.runtime
+        stats = runtime.stats
+        trace_mark = len(TRACER.events) if TRACER.enabled else 0
+        span = TRACER.span("backend.worker_epoch", cat="backend",
+                           tid=worker.wid + 1, worker=worker.wid,
+                           epoch_start=epoch_start, epoch_end=epoch_end)
+        interp.space = worker.space
+        if worker.frame is None:
+            worker.frame = frame.copy()
+        interp.swap_stack([worker.frame])
+        records: List[IterationRecord] = []
+        workers = self.workers
+        misspeculated = False
+        for i in range(epoch_start, epoch_end):
+            if i % workers != worker.wid:
+                continue
+            c0 = interp.cycles
+            s0 = interp.steps
+            v0 = stats.validation_cycles()
+            k0 = stats.counter_snapshot()
+            misspec: Optional[Tuple[str, str, int, bool, bool]] = None
+            try:
+                self._execute_iteration(worker, i, init)
+                if self.misspec_period and (i + 1) % self.misspec_period == 0:
+                    raise Misspeculation(
+                        "injected", "artificially injected", i)
+            except Misspeculation as exc:
+                misspec = (exc.kind, exc.detail, exc.iteration,
+                           exc.kind == "injected", False)
+            except (GuestFault, GuestTimeout) as fault:
+                misspec = ("fault", str(fault), i, False, True)
+            records.append(IterationRecord(
+                iteration=i,
+                cycles=interp.cycles - c0,
+                steps=interp.steps - s0,
+                validation_cycles=stats.validation_cycles() - v0,
+                stats_delta=stats.counter_delta(k0),
+                io=runtime.deferred.records_for(i),
+                misspec=misspec,
+            ))
+            if misspec is not None:
+                misspeculated = True
+                break
+        fragment = (None if misspeculated
+                    else runtime.extract_fragment(worker, epoch_start))
+        span.end(iterations=len(records), misspeculated=misspeculated)
+        events = ([dict(ev) for ev in TRACER.events[trace_mark:]]
+                  if TRACER.enabled else [])
+        return WorkerEpochReport(wid=worker.wid, records=records,
+                                 fragment=fragment, trace_events=events)
+
+    # -- parent-side replay ---------------------------------------------------
+
+    def _replay_reports(self, reports: List[WorkerEpochReport],
+                        inv: InvocationResult
+                        ) -> Optional[Tuple[int, Misspeculation]]:
+        """Replay the shipped iteration records in worker order,
+        reproducing exactly the bookkeeping the simulated backend does
+        in-process — including the earliest-misspeculation cut, under
+        which iterations a simulated worker would never have started
+        are discarded (the children executed them speculatively; that
+        wasted work is squashed anyway)."""
+        interp = self.interp
+        runtime = self.runtime
+        stats = runtime.stats
+        earliest: Optional[Tuple[int, Misspeculation]] = None
+        for report in reports:
+            worker = runtime.workers[report.wid]
+            for rec in report.records:
+                if earliest is not None and rec.iteration > earliest[0]:
+                    break
+                t0 = worker.clock
+                stats.apply_counter_delta(rec.stats_delta)
+                interp.cycles += rec.cycles
+                interp.steps += rec.steps
+                worker.clock += rec.cycles
+                if rec.misspec is not None:
+                    kind, detail, exc_iter, injected, from_fault = rec.misspec
+                    exc = Misspeculation(kind, detail, exc_iter)
+                    runtime.record_misspeculation(exc, injected=injected)
+                    if earliest is None or rec.iteration < earliest[0]:
+                        earliest = (rec.iteration, exc)
+                    if self.timeline is not None and not from_fault:
+                        self.timeline.add("misspec", worker.wid, t0,
+                                          worker.clock, exc.kind)
+                    break
+                worker.iterations += 1
+                runtime.deferred.absorb(rec.iteration, rec.io)
+                inv.useful_cycles += max(0, rec.cycles - rec.validation_cycles)
+                if self.timeline is not None:
+                    self.timeline.add("iteration", worker.wid, t0,
+                                      worker.clock, f"i={rec.iteration}")
+        return earliest

@@ -9,6 +9,7 @@ from typing import List, Optional, Tuple
 
 @dataclass
 class TimelineEvent:
+    """One Figure 5 timeline entry: kind, worker lane, cycle interval."""
     kind: str           # "iteration" | "checkpoint" | "misspec" | "recovery" | "spawn" | "join"
     worker: Optional[int]
     start: int
@@ -18,6 +19,9 @@ class TimelineEvent:
 
 @dataclass
 class Timeline:
+    """Figure 5 execution timeline: per-worker iteration spans plus
+    checkpoint/misspeculation/recovery markers, with ASCII rendering.
+    """
     events: List[TimelineEvent] = field(default_factory=list)
 
     def add(self, kind: str, worker: Optional[int], start: int, end: int,

@@ -178,6 +178,52 @@ def measure_pipeline(workload: Workload, repeats: int = 3,
     }
 
 
+def measure_wallclock_scaling(workload: Workload, args: Sequence[object],
+                              worker_counts: Sequence[int] = (1, 2, 4),
+                              repeats: int = 2,
+                              backend: str = "process") -> Dict[str, object]:
+    """Real wall-clock speedup curve for the process backend.
+
+    Prepares the workload once (profile cache allowed — only execution
+    is timed), then times ``PreparedProgram.execute`` per worker count,
+    best-of ``repeats`` to suppress scheduler noise.  Speedups are
+    relative to the same backend at 1 worker, so the curve isolates
+    scaling from the backend's fixed fork/pickle overhead.  Unlike the
+    simulated-cycle numbers (deterministic, Table 3), these are
+    measured on the host and vary run to run — see EXPERIMENTS.md for
+    the methodology.
+    """
+    from ..bench.pipeline import prepare
+
+    program = prepare(workload.source, workload.name, args=workload.train,
+                      ref_args=args)
+    points: List[Dict[str, object]] = []
+    base_wall: Optional[float] = None
+    for count in worker_counts:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = program.execute(workers=count, backend=backend)
+            best = min(best, time.perf_counter() - t0)
+        assert result.output == program.sequential.output, (
+            f"{workload.name}: output diverged at {count} worker(s)")
+        if base_wall is None:
+            base_wall = best
+        points.append({
+            "workers": count,
+            "wall_s": round(best, 4),
+            "speedup_vs_1w": round(base_wall / best, 2),
+            "sim_speedup": round(program.speedup(result), 2),
+        })
+    return {
+        "workload": workload.name,
+        "args": list(args),
+        "backend": backend,
+        "repeats": repeats,
+        "points": points,
+    }
+
+
 def append_trajectory(entry: Dict[str, object],
                       path: os.PathLike = DEFAULT_OUT) -> None:
     path = Path(path)
@@ -196,13 +242,21 @@ def append_trajectory(entry: Dict[str, object],
 def run_bench(quick: bool = False, repeats: int = 3,
               workload_names: Optional[Sequence[str]] = None,
               out: Optional[str] = DEFAULT_OUT,
-              min_speedup: Optional[float] = None) -> int:
+              min_speedup: Optional[float] = None,
+              backend: Optional[str] = None) -> int:
     """Run the benchmark; returns a process exit code.
 
     ``quick`` uses train inputs, one pipeline workload, and a 1.5× floor
     on the dijkstra interp speedup (the CI smoke gate).  The full run
     uses ref inputs across all workloads.
+
+    ``backend="process"`` adds a real-wall-clock section: a per-worker-
+    count speedup curve of the process backend on each selected
+    workload, recorded into the trajectory under ``process_backend``.
     """
+    from ..parallel.backend import resolve_backend_name
+
+    backend = resolve_backend_name(backend)
     if quick:
         repeats = max(2, min(repeats, 2))
         if min_speedup is None:
@@ -254,6 +308,19 @@ def run_bench(quick: bool = False, repeats: int = 3,
           f"(on-overhead {trace_res['tracing_on_overhead_pct']:.1f}%, "
           f"off vs fast {trace_res['tracing_off_overhead_pct']:+.1f}%)")
 
+    scaling_results = []
+    if backend == "process":
+        counts = (1, 2) if quick else (1, 2, 4)
+        for w in pipeline_workloads:
+            res = measure_wallclock_scaling(
+                w, w.train, worker_counts=counts,
+                repeats=1 if quick else 2)
+            scaling_results.append(res)
+            curve = "  ".join(
+                f"{p['workers']}w {p['wall_s']:.3f}s "
+                f"({p['speedup_vs_1w']:.2f}x)" for p in res["points"])
+            print(f"process  {w.name:12s} {curve}")
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -261,6 +328,8 @@ def run_bench(quick: bool = False, repeats: int = 3,
         "pipeline": pipeline_results,
         "trace": trace_res,
     }
+    if scaling_results:
+        entry["process_backend"] = scaling_results
     if out:
         append_trajectory(entry, out)
         print(f"appended to {out}")

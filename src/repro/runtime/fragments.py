@@ -1,0 +1,66 @@
+"""Serializable per-worker epoch state shipped to the checkpoint.
+
+An :class:`EpochFragment` is everything the commit phase of a checkpoint
+(§5.2) needs to know about one worker's epoch: which private bytes it
+read apparently-live-in (for phase-two privacy validation), which bytes
+it wrote and at which iteration (for the latest-iteration-wins merge),
+and the partial results accumulated in its reduction-heap replica.
+
+The simulated backend extracts fragments in-process right before the
+commit; the process backend extracts them inside each forked worker and
+pickles them back over a pipe.  Both feed the exact same
+:meth:`~repro.runtime.system.RuntimeSystem.checkpoint` commit path, so
+checkpoint semantics are identical across backends by construction.
+Every field is a plain int/str/tuple/set container, so fragments
+round-trip through :mod:`pickle` with no custom machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+#: Kinds for one written private byte in :attr:`EpochFragment.writes`.
+WRITE_VALUE = 0   #: normal write: carry the byte value to commit
+WRITE_FREED = 1   #: the containing object was freed within the epoch
+WRITE_LOCAL = 2   #: worker-local allocation, absent from main memory
+
+
+@dataclass
+class ReduxElement:
+    """One element of a reduction object with its partial result.
+
+    ``operator is None`` marks an element whose object has no reduction
+    plan (the runtime still accounts its bytes, but has no merge recipe
+    for it — matching the historical checkpoint behaviour).
+    """
+
+    addr: int
+    size: int
+    operator: Optional[str]  # BinOpKind name, e.g. "ADD"/"FADD"/"MUL"
+    is_float: bool
+    delta: object            # int or float partial result
+
+
+@dataclass
+class EpochFragment:
+    """One worker's speculative state for one checkpoint epoch."""
+
+    wid: int
+    epoch_start: int
+    #: Private-heap byte offsets read while apparently live-in (phase-2
+    #: privacy validation input).
+    read_live_in: Set[int] = field(default_factory=set)
+    #: ``(offset, absolute iteration, kind, value)`` per written private
+    #: byte; ``kind`` is one of the ``WRITE_*`` codes, ``value`` is the
+    #: byte to commit for :data:`WRITE_VALUE` (0 otherwise).
+    writes: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    #: All byte offsets the worker wrote this epoch (cross-worker check).
+    epoch_written: Set[int] = field(default_factory=set)
+    #: Reduction partial results, one entry per element.
+    redux_elements: List[ReduxElement] = field(default_factory=list)
+    #: Dirty private pages, for the checkpoint copy-cost model.
+    dirty_private_pages: int = 0
+
+    def write_offsets(self) -> Set[int]:
+        return {w[0] for w in self.writes}

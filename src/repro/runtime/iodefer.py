@@ -34,5 +34,16 @@ class DeferredOutput:
                 committed += 1
         return committed
 
+    def records_for(self, iteration: int) -> Tuple[str, ...]:
+        """The texts buffered for one iteration (a forked worker ships
+        these back so the parent can commit them at the checkpoint)."""
+        return tuple(self._records.get(iteration, ()))
+
+    def absorb(self, iteration: int, texts) -> None:
+        """Append texts shipped back from a worker process, preserving
+        the per-iteration ordering the worker emitted them in."""
+        for text in texts:
+            self.emit(iteration, text)
+
     def pending(self) -> int:
         return sum(len(v) for v in self._records.values())

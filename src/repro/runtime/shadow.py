@@ -135,6 +135,21 @@ class ShadowHeap:
         self.written.clear()
         self.read_live_in.clear()
 
+    def mark_old_writes(self, offsets) -> None:
+        """Force the given byte offsets to old-write.
+
+        Used when replaying a checkpoint from shipped
+        :class:`~repro.runtime.fragments.EpochFragment` state: the
+        parent-side replica shadow never saw the forked worker's writes,
+        but after the commit those bytes must read as old-write exactly
+        as they would in a persistent in-process shadow.  Idempotent on
+        shadows that already went through ``reset_after_checkpoint``.
+        """
+        for b in offsets:
+            if b >= self.size:
+                self._grow(b + 1)
+            self.meta[b] = OLD_WRITE
+
 
 def timestamp_for(iteration: int, epoch_start: int) -> int:
     """Encode an iteration as a metadata timestamp; the checkpoint period

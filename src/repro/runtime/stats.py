@@ -3,11 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
+
+#: The purely additive counters, snapshot/delta-able so a worker process
+#: can ship per-iteration increments back to the parent (the remaining
+#: fields — invocations, checkpoints, recoveries, misspeculations,
+#: checkpoint_records — are only ever updated by the parent).
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "private_read_calls", "private_read_bytes",
+    "private_write_calls", "private_write_bytes",
+    "separation_checks", "redux_updates", "predictions_checked",
+    "lifetime_checks", "io_deferred",
+    "private_read_cycles", "private_write_cycles", "separation_cycles",
+    "checkpoint_cycles", "redux_cycles", "misc_validation_cycles",
+)
 
 
 @dataclass
 class MisspecEvent:
+    """One recorded misspeculation: kind, iteration, detail, and
+    whether it was artificially injected.
+    """
     kind: str
     iteration: int
     detail: str = ""
@@ -58,6 +74,21 @@ class RuntimeStats:
     misc_validation_cycles: int = 0
 
     checkpoint_records: List[CheckpointRecord] = field(default_factory=list)
+
+    def counter_snapshot(self) -> Tuple[int, ...]:
+        """Current values of the additive counters, in COUNTER_FIELDS
+        order."""
+        return tuple(getattr(self, f) for f in COUNTER_FIELDS)
+
+    def counter_delta(self, base: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-counter increments since ``base`` (a prior snapshot)."""
+        return tuple(cur - prev
+                     for cur, prev in zip(self.counter_snapshot(), base))
+
+    def apply_counter_delta(self, delta: Tuple[int, ...]) -> None:
+        """Add a shipped increment vector onto the additive counters."""
+        for name, d in zip(COUNTER_FIELDS, delta):
+            setattr(self, name, getattr(self, name) + d)
 
     def misspec_count(self, include_injected: bool = True) -> int:
         return sum(

@@ -29,6 +29,13 @@ from ..obs.log import get_logger
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACER
 from ..transform.plan import ParallelPlan, ReduxObjectPlan
+from .fragments import (
+    WRITE_FREED,
+    WRITE_LOCAL,
+    WRITE_VALUE,
+    EpochFragment,
+    ReduxElement,
+)
 from .iodefer import DeferredOutput
 from .shadow import ShadowHeap, timestamp_for
 from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
@@ -69,6 +76,11 @@ class WorkerState:
 
 
 class RuntimeSystem:
+    """The speculative runtime (§5): owns the logical heaps, per-worker
+    COW replicas and shadow metadata, performs two-phase privacy
+    validation, checkpoint commit, reduction merge, deferred I/O, and
+    squash/recovery bookkeeping.
+    """
     def __init__(self, module, plan: ParallelPlan, interp: Interpreter):
         self.module = module
         self.plan = plan
@@ -392,56 +404,114 @@ class RuntimeSystem:
 
     # -- checkpoints (§5.2) ----------------------------------------------------------------------
 
-    def checkpoint(self, epoch_start: int, epoch_end: int) -> CheckpointRecord:
+    def extract_fragment(self, worker: WorkerState,
+                         epoch_start: int) -> EpochFragment:
+        """Snapshot one worker's epoch state as a serializable fragment.
+
+        Pure read: neither the worker nor main memory is mutated, so the
+        simulated backend can extract in-process right before the commit
+        and a forked worker can extract and pickle the result without
+        perturbing its parent.
+        """
+        frag = EpochFragment(
+            wid=worker.wid, epoch_start=epoch_start,
+            read_live_in=set(worker.shadow.read_live_in_offsets()),
+            epoch_written=set(worker.epoch_written_offsets))
+        for b, iteration in worker.shadow.write_iterations(epoch_start):
+            addr = self.private_base + b
+            found = worker.space.try_find(addr)
+            if found is None:
+                # written then freed within the epoch
+                frag.writes.append((b, iteration, WRITE_FREED, 0))
+                continue
+            obj, off = found
+            if self.main_space.try_find(addr) is None:
+                # worker-local private allocation
+                frag.writes.append((b, iteration, WRITE_LOCAL, 0))
+            else:
+                frag.writes.append((b, iteration, WRITE_VALUE, obj.data[off]))
+        elements: Set[Tuple[int, int]] = set()
+        for addr, size in worker.redux_written:
+            base_entry = worker.redux_copies.get(self._redux_object_base(addr))
+            es = base_entry[1].element_size if base_entry else size
+            for e in range(addr, addr + size, es):
+                elements.add((e, es))
+        for addr, es in sorted(elements):
+            entry = worker.redux_copies.get(self._redux_object_base(addr))
+            if entry is None:
+                frag.redux_elements.append(
+                    ReduxElement(addr, es, None, False, 0))
+                continue
+            _copy, rplan = entry
+            if rplan.is_float:
+                delta: object = worker.space.read_float(addr, es)
+            else:
+                signed = rplan.operator in ("ADD", "MUL")
+                delta = worker.space.read_int(addr, es, signed)
+            frag.redux_elements.append(
+                ReduxElement(addr, es, rplan.operator, rplan.is_float, delta))
+        frag.dirty_private_pages = len({
+            p for p in worker.space.dirty_pages
+            if (p << 12) >= self.private_base
+            and (p << 12) < self.private_base + (1 << 44)
+        })
+        return frag
+
+    def checkpoint(self, epoch_start: int, epoch_end: int,
+                   fragments: Optional[List[EpochFragment]] = None
+                   ) -> CheckpointRecord:
         """Collect all workers' speculative state, run phase-two privacy
-        validation, merge, and commit into main memory."""
+        validation, merge, and commit into main memory.
+
+        ``fragments`` is the per-worker epoch state in wid order.  When
+        ``None`` (the simulated backend), fragments are extracted from
+        the in-process worker states; the process backend passes the
+        fragments its forked workers shipped back.  Either way the same
+        validation/merge/commit code runs below.
+        """
+        if fragments is None:
+            fragments = [self.extract_fragment(w, epoch_start)
+                         for w in self.workers]
         record = CheckpointRecord(self.invocation_index, epoch_start, epoch_end)
 
         # Phase 2 privacy: a byte that some worker read as live-in must not
         # have been defined since the invocation began (committed old-write)
         # nor written by any other worker during this epoch.  Without a
         # read-iteration timestamp this is conservative, as in the paper.
-        written_by: Dict[int, Set[int]] = {
-            w.wid: w.epoch_written_offsets for w in self.workers
-        }
-        for worker in self.workers:
-            for b in worker.shadow.read_live_in_offsets():
+        for frag in fragments:
+            for b in sorted(frag.read_live_in):
                 if b < len(self.committed_meta) and self.committed_meta[b] == 1:
                     raise Misspeculation(
                         "privacy",
                         f"live-in read of byte private+{b} defined in an "
                         f"earlier checkpoint epoch", epoch_start)
-                for other in self.workers:
-                    if other is not worker and b in written_by[other.wid]:
+                for other in fragments:
+                    if other.wid != frag.wid and b in other.epoch_written:
                         raise Misspeculation(
                             "privacy",
                             f"cross-worker flow: worker {other.wid} wrote "
-                            f"private+{b}, worker {worker.wid} read it "
+                            f"private+{b}, worker {frag.wid} read it "
                             f"live-in", epoch_start)
 
         # Merge private state: per byte, latest iteration wins.
-        best: Dict[int, Tuple[int, WorkerState]] = {}
-        for worker in self.workers:
-            for b, iteration in worker.shadow.write_iterations(epoch_start):
+        best: Dict[int, Tuple[int, int, int]] = {}
+        for frag in fragments:
+            for b, iteration, kind, value in frag.writes:
                 cur = best.get(b)
                 if cur is None or iteration > cur[0]:
-                    best[b] = (iteration, worker)
+                    best[b] = (iteration, kind, value)
         merged = 0
         freed_bytes = 0
         local_bytes = 0
-        for b, (_iteration, worker) in best.items():
-            addr = self.private_base + b
-            found = worker.space.try_find(addr)
-            if found is None:
-                freed_bytes += 1  # written then freed within the epoch
+        for b, (_iteration, kind, value) in best.items():
+            if kind == WRITE_FREED:
+                freed_bytes += 1
                 continue
-            obj, off = found
-            target = self.main_space.try_find(addr)
-            if target is None:
-                local_bytes += 1  # worker-local private allocation
+            if kind == WRITE_LOCAL:
+                local_bytes += 1
                 continue
-            tobj, toff = target
-            tobj.data[toff] = obj.data[off]
+            tobj, toff = self.main_space.find(self.private_base + b)
+            tobj.data[toff] = value
             if b < len(self.committed_meta):
                 self.committed_meta[b] = 1
             merged += 1
@@ -450,37 +520,35 @@ class RuntimeSystem:
                       "private byte(s) during merge", freed_bytes, local_bytes)
         record.private_bytes_copied = merged
 
-        # Merge reduction partial results.
+        # Merge reduction partial results, in worker order (float merge
+        # order is part of the observable semantics).
         redux_bytes = 0
-        for worker in self.workers:
-            elements: Set[Tuple[int, int]] = set()
-            for addr, size in worker.redux_written:
-                base_entry = worker.redux_copies.get(self._redux_object_base(addr))
-                es = base_entry[1].element_size if base_entry else size
-                for e in range(addr, addr + size, es):
-                    elements.add((e, es))
-            for addr, es in elements:
-                self._merge_redux_element(worker, addr, es)
-                redux_bytes += es
-            self._reset_worker_redux(worker)
+        for frag in fragments:
+            for el in frag.redux_elements:
+                self._apply_redux_element(el)
+                redux_bytes += el.size
         record.redux_bytes_merged = redux_bytes
 
         # Commit deferred output in iteration order.
         record.io_records_committed = self.deferred.commit_range(
             epoch_start, epoch_end, self.interp.emit_output)
 
-        # Reset per-epoch state and cost the copies.
+        # Reset per-epoch state and cost the copies.  The shadow reset
+        # must leave this epoch's writes marked old-write in each
+        # worker's replica shadow: the simulated backend's persistent
+        # shadows get that from reset_after_checkpoint, while the
+        # process backend's parent-side replicas (whose shadows never
+        # saw the writes) get it from mark_old_writes, so freshly
+        # forked children inherit identical phase-1 behaviour.
         dirty_total = 0
-        for worker in self.workers:
-            dirty = {
-                p for p in worker.space.dirty_pages
-                if (p << 12) >= self.private_base
-                and (p << 12) < self.private_base + (1 << 44)
-            }
-            dirty_total += len(dirty)
-            record.dirty_pages += len(dirty)
+        for frag in fragments:
+            worker = self.workers[frag.wid]
+            dirty_total += frag.dirty_private_pages
+            record.dirty_pages += frag.dirty_private_pages
             worker.shadow.reset_after_checkpoint()
+            worker.shadow.mark_old_writes(frag.write_offsets())
             worker.reset_epoch_tracking()
+            self._reset_worker_redux(worker)
 
         cost = (CHECKPOINT_FIXED_COST * len(self.workers)
                 + CHECKPOINT_PAGE_COST * dirty_total
@@ -512,22 +580,20 @@ class RuntimeSystem:
         found = self.main_space.try_find(addr)
         return found[0].base if found else addr
 
-    def _merge_redux_element(self, worker: WorkerState, addr: int, size: int) -> None:
-        entry = worker.redux_copies.get(self._redux_object_base(addr))
-        if entry is None:
+    def _apply_redux_element(self, el: ReduxElement) -> None:
+        """Fold one worker's partial result into main memory."""
+        if el.operator is None:
             return
-        _copy, rplan = entry
-        op = BinOpKind[rplan.operator]
-        if rplan.is_float:
-            delta = worker.space.read_float(addr, size)
-            current = self.main_space.read_float(addr, size)
-            self.main_space.write_float(addr, apply_operator(op, current, delta), size)
+        op = BinOpKind[el.operator]
+        if el.is_float:
+            current = self.main_space.read_float(el.addr, el.size)
+            self.main_space.write_float(
+                el.addr, apply_operator(op, current, el.delta), el.size)
         else:
-            signed = rplan.operator in ("ADD", "MUL")
-            delta = worker.space.read_int(addr, size, signed)
-            current = self.main_space.read_int(addr, size, signed)
-            merged = apply_operator(op, current, delta)
-            self.main_space.write_int(addr, merged, size)
+            signed = el.operator in ("ADD", "MUL")
+            current = self.main_space.read_int(el.addr, el.size, signed)
+            merged = apply_operator(op, current, el.delta)
+            self.main_space.write_int(el.addr, merged, el.size)
 
     # -- misspeculation & recovery (§5.3) ------------------------------------------------------------
 

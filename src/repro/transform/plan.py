@@ -61,6 +61,10 @@ class ReduxObjectPlan:
 
 @dataclass
 class ParallelPlan:
+    """Everything the executor needs about a transformed loop: the
+    loop, its induction variable, heap placements, checkpoint period,
+    and speculation hooks planted by the transformation.
+    """
     module: Module
     ref: LoopRef
     function: Function

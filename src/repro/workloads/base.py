@@ -32,6 +32,9 @@ class PaperExpectations:
 
 @dataclass
 class Workload:
+    """One evaluated program: MiniC source plus train/ref/alt input
+    tuples and its paper expectations (Table 3).
+    """
     name: str
     suite: str
     description: str

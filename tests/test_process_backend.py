@@ -1,0 +1,171 @@
+"""Unit tests for the process backend plumbing: backend selection,
+executor factory, child-failure and timeout handling, and the trace
+integration that re-homes worker events into per-process lanes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.trace import SIM_PID, WALL_PID, WORKER_PID_BASE, Tracer
+from repro.parallel.backend import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BackendError,
+    make_executor,
+    resolve_backend_name,
+)
+from repro.parallel.executor import DOALLExecutor
+from repro.parallel.process_backend import ProcessDOALLExecutor
+
+from helpers import prepared_counter_program
+
+
+class TestBackendResolution:
+    def test_default_is_simulated(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend_name() == "simulated"
+        assert resolve_backend_name(None) == "simulated"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend_name("simulated") == "simulated"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend_name() == "process"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            resolve_backend_name("threads")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "gpu")
+        with pytest.raises(BackendError, match="unknown backend"):
+            resolve_backend_name()
+
+    def test_backend_error_is_value_error(self):
+        # argparse and callers catching ValueError keep working.
+        assert issubclass(BackendError, ValueError)
+
+    def test_names_cover_both_backends(self):
+        assert set(BACKEND_NAMES) == {"simulated", "process"}
+
+
+class TestMakeExecutor:
+    def test_factory_dispatch(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        prog = prepared_counter_program(8)
+        sim = make_executor(None, prog.module, prog.plan, workers=2)
+        assert isinstance(sim, DOALLExecutor)
+        assert sim.backend_name == "simulated"
+        proc = make_executor("process", prog.module, prog.plan, workers=2)
+        assert isinstance(proc, ProcessDOALLExecutor)
+        assert proc.backend_name == "process"
+
+    def test_env_dispatch(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        prog = prepared_counter_program(8)
+        ex = make_executor(None, prog.module, prog.plan, workers=2)
+        assert isinstance(ex, ProcessDOALLExecutor)
+
+    def test_epoch_timeout_plumbing(self):
+        prog = prepared_counter_program(8)
+        ex = make_executor("process", prog.module, prog.plan, workers=2,
+                           epoch_timeout=12.5)
+        assert ex.epoch_timeout == 12.5
+
+
+class TestChildFailureHandling:
+    def test_child_internal_error_surfaces_traceback(self):
+        """An internal error inside a forked child must abort the run
+        with the child's traceback, not hang or silently squash."""
+        prog = prepared_counter_program(8)
+        ex = ProcessDOALLExecutor(prog.module, prog.plan, workers=2)
+
+        def boom(worker, i, init):
+            raise ZeroDivisionError("synthetic child crash")
+
+        ex._execute_iteration = boom
+        with pytest.raises(RuntimeError, match="synthetic child crash"):
+            ex.run("main", prog.ref_args)
+
+    def test_wedged_child_hits_deadline(self):
+        """A child that never reports trips the epoch deadline; the
+        parent kills the pool and raises instead of hanging forever."""
+        prog = prepared_counter_program(8)
+        ex = ProcessDOALLExecutor(prog.module, prog.plan, workers=2,
+                                  epoch_timeout=1.0)
+
+        def wedge(worker, i, init):
+            # Child-side only: the parent never calls _execute_iteration
+            # on the process backend's speculative path.
+            os.read(os.pipe()[0], 1)  # blocks forever
+
+        ex._execute_iteration = wedge
+        with pytest.raises(RuntimeError, match="did not report"):
+            ex.run("main", prog.ref_args)
+
+
+class TestWorkerTraceProcesses:
+    def test_absorb_worker_events_rehomes_pids(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("backend.worker_epoch", cat="backend", tid=3):
+                pass
+            shipped = [dict(ev) for ev in tracer.events]
+            tracer.absorb_worker_events(2, shipped)
+            absorbed = [ev for ev in tracer.events
+                        if ev.get("pid", None) == WORKER_PID_BASE + 2]
+            assert absorbed, "worker events must land in the worker pid"
+        finally:
+            tracer.disable()
+
+    def test_absorb_noop_when_disabled(self):
+        tracer = Tracer()
+        before = len(tracer.events)
+        tracer.absorb_worker_events(0, [{"name": "x", "ph": "X"}])
+        assert len(tracer.events) == before
+
+    def test_chrome_export_names_worker_processes(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("backend.worker_epoch", cat="backend", tid=1):
+                pass
+            tracer.absorb_worker_events(
+                0, [dict(ev) for ev in tracer.events])
+            events = tracer.chrome_events()
+        finally:
+            tracer.disable()
+        names = {
+            (ev["pid"], ev["args"]["name"])
+            for ev in events
+            if ev.get("ph") == "M" and ev.get("name") == "process_name"
+        }
+        assert (WORKER_PID_BASE, "worker process 0") in names
+        # The export stays valid JSON.
+        json.dumps(events)
+
+
+class TestProcessBackendTraceIntegration:
+    def test_worker_epoch_spans_in_worker_pids(self):
+        """An end-to-end traced process-backend run must produce
+        backend.worker_epoch spans homed in per-worker trace pids."""
+        from repro.obs.trace import TRACER
+
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        try:
+            prog.execute(workers=2, backend="process")
+            worker_pids = {
+                ev.get("pid") for ev in TRACER.events
+                if ev.get("name") == "backend.worker_epoch"
+            }
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+        assert worker_pids == {WORKER_PID_BASE, WORKER_PID_BASE + 1}
+        assert WALL_PID not in worker_pids and SIM_PID not in worker_pids

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Docstring lint for src/repro: every module and every public class
+must carry a docstring.
+
+A class is public when its name has no leading underscore and it is
+defined at module top level (nested helper classes are exempt).  Run
+from the repository root:
+
+    python tools/lint_docstrings.py
+
+Exit status is non-zero when violations exist; CI runs this next to the
+test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def check_file(path: Path) -> list:
+    """Return (path, lineno, message) violations for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append((path, 1, "missing module docstring"))
+    for node in ast.iter_child_nodes(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            problems.append(
+                (path, node.lineno,
+                 f"missing docstring on public class {node.name!r}"))
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(check_file(path))
+    for path, lineno, message in problems:
+        print(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+    if problems:
+        print(f"\n{len(problems)} docstring violation(s)", file=sys.stderr)
+        return 1
+    print(f"docstring lint: OK "
+          f"({sum(1 for _ in SRC.rglob('*.py'))} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
