@@ -29,6 +29,32 @@ def _parse_args_list(values: Optional[List[str]]) -> tuple:
     return tuple(int(v) for v in (values or []))
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for --workers: a parallel run needs >= 1 worker."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {n}); a run needs at least one worker")
+    return n
+
+
+def _epoch_size(value: str) -> int:
+    """argparse type for --checkpoint-period: an epoch must retire at
+    least 2 iterations for speculation to make progress."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 2:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 2 (got {n}); an epoch below 2 iterations cannot "
+            f"amortize a checkpoint")
+    return n
+
+
 def _load_source(path: str) -> str:
     return Path(path).read_text()
 
@@ -43,6 +69,24 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
                         "deterministic in-process reference, 'process' "
                         "runs real forked worker processes (default: "
                         "$REPRO_BACKEND, then 'simulated')")
+
+
+def _add_adapt_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--adapt", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="enable the adaptive speculation controller "
+                        "(AIMD epoch sizing, demotion, sequential "
+                        "fallback; persists policy across runs). "
+                        "Default: $REPRO_ADAPT, then off; --no-adapt "
+                        "fully bypasses the subsystem")
+
+
+def _print_adapt_summary(adapt) -> None:
+    if adapt is None:
+        return
+    from .adapt import format_summary
+
+    print(f"adapt:            {format_summary(adapt)}")
 
 
 def _obs_requested(args: argparse.Namespace) -> bool:
@@ -118,13 +162,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     source = _load_source(args.source)
     program = prepare(source, Path(args.source).stem,
                       args=_parse_args_list(args.args),
-                      use_cache=not args.no_cache)
+                      use_cache=not args.no_cache,
+                      adapt=args.adapt)
     result = program.execute(
         workers=args.workers,
         checkpoint_period=args.checkpoint_period,
         misspec_period=args.misspec_period,
+        misspec_burst=args.misspec_burst,
         record_timeline=args.timeline or tracing,
         backend=args.backend,
+        adapt=args.adapt,
     )
     ok = result.output == program.sequential.output
     stats = result.runtime_stats
@@ -141,6 +188,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"checkpoints:      {stats.checkpoints}")
     print(f"misspeculations:  {stats.misspec_count()} "
           f"(recoveries: {stats.recoveries})")
+    _print_adapt_summary(result.adapt)
     breakdown = result.overhead_breakdown()
     print("capacity:         " + ", ".join(
         f"{k} {v:.1%}" for k, v in breakdown.items()))
@@ -209,6 +257,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         out=args.out,
         min_speedup=args.min_speedup,
         backend=args.backend,
+        adapt=args.adapt,
     )
     _obs_finish(args, "perf")
     return rc
@@ -243,7 +292,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         # cache unless the user opts back in, so the profiling phases and
         # interpreter metrics always appear in the trace.
         program = prepare(source, name, args=train, ref_args=ref,
-                          use_cache=args.cache)
+                          use_cache=args.cache, adapt=args.adapt)
     except SelectionError as e:
         print("no parallelizable loop found:")
         for reason in e.reasons:
@@ -254,8 +303,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint_period=args.checkpoint_period,
         misspec_period=args.misspec_period,
+        misspec_burst=args.misspec_burst,
         record_timeline=True,
         backend=args.backend,
+        adapt=args.adapt,
     )
     ok = result.output == program.sequential.output
     stats = result.runtime_stats
@@ -270,6 +321,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"{stats.checkpoints} checkpoint(s), "
           f"{stats.misspec_count()} misspeculation(s), "
           f"output match: {ok}")
+    _print_adapt_summary(result.adapt)
     print()
     print(obs.TRACER.render_summary())
     print()
@@ -311,15 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
                                    "simulated multicore")
     p.add_argument("source")
     p.add_argument("--args", nargs="*")
-    p.add_argument("--workers", type=int, default=24)
-    p.add_argument("--checkpoint-period", type=int, default=None)
+    p.add_argument("--workers", type=_positive_int, default=24)
+    p.add_argument("--checkpoint-period", type=_epoch_size, default=None)
     p.add_argument("--misspec-period", type=int, default=0,
                    help="inject a misspeculation every N iterations")
+    p.add_argument("--misspec-burst", type=int, default=0,
+                   help="limit injection to the first N iterations "
+                        "(0 = no limit)")
     p.add_argument("--timeline", action="store_true",
                    help="render the Figure 5 execution timeline")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk profile cache")
     _add_backend_flag(p)
+    _add_adapt_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_run)
 
@@ -333,10 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "workload's input set)")
     p.add_argument("--small", action="store_true",
                    help="use the train input instead of ref (CI smoke)")
-    p.add_argument("--workers", type=int, default=24)
-    p.add_argument("--checkpoint-period", type=int, default=None)
+    p.add_argument("--workers", type=_positive_int, default=24)
+    p.add_argument("--checkpoint-period", type=_epoch_size, default=None)
     p.add_argument("--misspec-period", type=int, default=0,
                    help="inject a misspeculation every N iterations")
+    p.add_argument("--misspec-burst", type=int, default=0,
+                   help="limit injection to the first N iterations "
+                        "(0 = no limit)")
     p.add_argument("--out-dir", default=".",
                    help="directory for <name>.trace.jsonl and "
                         "<name>.chrome.json (default: .)")
@@ -344,13 +403,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow the on-disk profile cache (default: off, so "
                         "the trace covers the whole pipeline)")
     _add_backend_flag(p)
+    _add_adapt_flag(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("baselines", help="judge the program under the "
                                          "comparison systems")
     p.add_argument("source")
     p.add_argument("--args", nargs="*")
-    p.add_argument("--workers", type=int, default=24)
+    p.add_argument("--workers", type=_positive_int, default=24)
     p.set_defaults(func=cmd_baselines)
 
     p = sub.add_parser("workloads", help="list the five evaluated programs")
@@ -374,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=None,
                    help="fail if the dijkstra interp speedup is below this")
     _add_backend_flag(p)
+    _add_adapt_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_perf)
     return parser

@@ -1,0 +1,80 @@
+"""Windowed misspeculation-rate monitor.
+
+One monitor instance watches one (workload, loop) pair.  It is fed two
+event streams by the runtime — epoch commits (how many iterations
+retired cleanly) and squashes (how many iterations were thrown away) —
+and maintains a sliding window of recent epoch outcomes from which the
+controller reads its rate estimate.  A windowed rate, rather than a
+lifetime average, is what lets the controller *recover*: once a burst of
+misspeculation ages out of the window the rate falls back toward zero
+and the epoch size can grow again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+
+class MisspecRateMonitor:
+    """Sliding-window estimate of the squashed-iteration rate.
+
+    Each entry is one epoch attempt: ``(iterations, squashed)`` where
+    ``iterations`` counts everything the epoch tried to retire and
+    ``squashed`` the subset that was discarded by a misspeculation.
+    """
+
+    __slots__ = ("window", "outcomes", "epochs", "total_iterations",
+                 "total_squashed", "misspecs_by_kind")
+
+    def __init__(self, window: int = 32):
+        if window < 1:
+            raise ValueError(f"window must be >= 1 (got {window})")
+        self.window = window
+        self.outcomes: Deque[Tuple[int, int]] = deque(maxlen=window)
+        self.epochs = 0
+        self.total_iterations = 0
+        self.total_squashed = 0
+        self.misspecs_by_kind: Dict[str, int] = {}
+
+    def record_commit(self, iterations: int) -> None:
+        """One epoch retired ``iterations`` iterations cleanly."""
+        self._record(iterations, 0)
+
+    def record_squash(self, squashed: int) -> None:
+        """One epoch attempt lost ``squashed`` iterations to a squash."""
+        self._record(squashed, squashed)
+
+    def record_misspec(self, kind: str) -> None:
+        """Count one misspeculation event by kind (privacy/separation/…)."""
+        self.misspecs_by_kind[kind] = self.misspecs_by_kind.get(kind, 0) + 1
+
+    def _record(self, iterations: int, squashed: int) -> None:
+        self.outcomes.append((iterations, squashed))
+        self.epochs += 1
+        self.total_iterations += iterations
+        self.total_squashed += squashed
+
+    def rate(self) -> float:
+        """Fraction of attempted iterations squashed, over the window."""
+        attempted = sum(n for n, _s in self.outcomes)
+        if attempted == 0:
+            return 0.0
+        return sum(s for _n, s in self.outcomes) / attempted
+
+    def lifetime_rate(self) -> float:
+        """Fraction of attempted iterations squashed since creation."""
+        if self.total_iterations == 0:
+            return 0.0
+        return self.total_squashed / self.total_iterations
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "epochs": self.epochs,
+            "rate": round(self.rate(), 4),
+            "lifetime_rate": round(self.lifetime_rate(), 4),
+            "total_iterations": self.total_iterations,
+            "total_squashed": self.total_squashed,
+            "misspecs_by_kind": dict(sorted(self.misspecs_by_kind.items())),
+        }

@@ -1,0 +1,156 @@
+"""On-disk policy store for learned speculation decisions.
+
+Mirrors :mod:`repro.bench.cache`: one standalone JSON file per module,
+keyed by the pre-transform module fingerprint (the same key the profile
+cache uses), atomically replaced on write and treated as a miss when
+corrupt.  Each file records per-loop policies::
+
+    {
+      "version": 1,
+      "fingerprint": "...",
+      "workload": "dijkstra",
+      "loops": {
+        "main:for.cond": {
+          "epoch_size": 48,
+          "demotions": ["global:state"],
+          "fallbacks": 2,
+          "runs": 3
+        }
+      }
+    }
+
+``epoch_size`` warm-starts the AIMD controller on the next run;
+``demotions`` are object sites whose classification repeatedly
+misspeculated and which ``prepare()`` demotes to the unrestricted heap
+before the transform — the re-plan then either rejects the loop (and the
+pipeline falls through to the next hottest candidate) or parallelizes it
+without speculating on the offending object.
+
+Location: ``$REPRO_ADAPT_DIR`` if set, else ``~/.cache/repro-adapt``.
+Writes are best-effort: an unwritable store degrades to cold starts, it
+never fails a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..classify.classifier import HeapAssignment
+from ..classify.heaps import HeapKind
+
+#: Environment variable overriding the policy-store directory.
+ADAPT_DIR_ENV = "REPRO_ADAPT_DIR"
+
+#: Bumped when the on-disk layout changes; older files read as misses.
+POLICY_VERSION = 1
+
+
+def policy_dir() -> Path:
+    override = os.environ.get(ADAPT_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-adapt"
+
+
+class PolicyStore:
+    """Load/merge/persist per-(module, loop) speculation policies."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else None
+
+    def _dir(self) -> Path:
+        return self.root if self.root is not None else policy_dir()
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self._dir() / f"policy-{fingerprint[:24]}.json"
+
+    def load(self, fingerprint: str) -> Optional[Dict]:
+        """Decoded policy file for ``fingerprint``, or None on a miss /
+        corrupt / version-stale / mismatched entry."""
+        try:
+            data = json.loads(self.path_for(fingerprint).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("version") != POLICY_VERSION:
+            return None
+        if data.get("fingerprint") != fingerprint:
+            return None
+        if not isinstance(data.get("loops"), dict):
+            return None
+        return data
+
+    def loop_policy(self, fingerprint: str, loop: str) -> Optional[Dict]:
+        data = self.load(fingerprint)
+        if data is None:
+            return None
+        entry = data["loops"].get(loop)
+        return entry if isinstance(entry, dict) else None
+
+    def demotions_for(self, fingerprint: str, loop: str) -> List[str]:
+        entry = self.loop_policy(fingerprint, loop)
+        if not entry:
+            return []
+        demotions = entry.get("demotions")
+        return sorted(str(s) for s in demotions) if isinstance(demotions, list) \
+            else []
+
+    def update(self, fingerprint: str, loop: str, *, epoch_size: int,
+               demotions: Iterable[str] = (), fallbacks: int = 0,
+               workload: str = "") -> None:
+        """Merge one run's learned decisions into the store.
+
+        Demotions are unioned (a learned demotion is never forgotten by a
+        later clean run); the epoch size and fallback count reflect the
+        latest run.  Failures to write are silent — the store is
+        best-effort, like the profile cache.
+        """
+        data = self.load(fingerprint) or {
+            "version": POLICY_VERSION,
+            "fingerprint": fingerprint,
+            "workload": workload,
+            "loops": {},
+        }
+        if workload:
+            data["workload"] = workload
+        entry = data["loops"].setdefault(loop, {})
+        prior = set(entry.get("demotions") or [])
+        entry["epoch_size"] = int(epoch_size)
+        entry["demotions"] = sorted(prior | {str(s) for s in demotions})
+        entry["fallbacks"] = int(fallbacks)
+        entry["runs"] = int(entry.get("runs", 0)) + 1
+        path = self.path_for(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            pass
+
+
+def apply_demotions(assignment: HeapAssignment,
+                    demotions: Iterable[str]) -> List[str]:
+    """Demote the given object sites to the unrestricted heap in-place.
+
+    Only sites currently assigned to a speculative class (private,
+    short-lived, redux, read-only) are demoted; unknown sites and sites
+    already unrestricted are ignored.  Returns the sites actually
+    demoted, in sorted order.  Demoting a site re-opens its loop-carried
+    dependences, so the subsequent ``check_transformable`` either rejects
+    the loop (re-plan falls through to the next candidate) or proceeds
+    without speculating on that object.
+    """
+    applied: List[str] = []
+    for site in sorted(set(demotions)):
+        kind = assignment.site_heaps.get(site)
+        if kind is None or kind is HeapKind.UNRESTRICTED:
+            continue
+        assignment.site_heaps[site] = HeapKind.UNRESTRICTED
+        assignment.redux_ops.pop(site, None)
+        applied.append(site)
+    return applied

@@ -13,6 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..adapt import (
+    AdaptConfig,
+    PolicyStore,
+    SpeculationController,
+    apply_demotions,
+    resolve_adapt_enabled,
+)
 from ..classify.classifier import HeapAssignment, classify
 from ..frontend.lower import compile_minic
 from ..interp.interpreter import Interpreter
@@ -64,24 +71,50 @@ class PreparedProgram:
     assignment: HeapAssignment
     plan: ParallelPlan
     rejected: Dict[LoopRef, List[str]] = field(default_factory=dict)
+    #: Pre-transform module fingerprint (the profile-cache key component);
+    #: also keys the adaptive policy store.
+    fingerprint: str = ""
+    #: Whether :func:`prepare` resolved adaptation on (and applied any
+    #: persisted demotions before the transform).
+    adapt_enabled: bool = False
+    #: Demotions from the policy store that prepare() applied, per loop.
+    applied_demotions: List[str] = field(default_factory=list)
+
+    def make_controller(
+        self, adapt_config: Optional[AdaptConfig] = None,
+        store: Optional[PolicyStore] = None,
+    ) -> SpeculationController:
+        """A speculation controller bound to this program's fingerprint
+        and selected loop (``store=None`` uses the default policy dir)."""
+        return SpeculationController(
+            key=self.fingerprint, loop=str(self.plan.ref),
+            workload=self.name, config=adapt_config,
+            store=store if store is not None else PolicyStore())
 
     def execute(
         self,
         workers: int = 24,
         checkpoint_period: Optional[int] = None,
         misspec_period: int = 0,
+        misspec_burst: int = 0,
         costs: Optional[CostModelConfig] = None,
         record_timeline: bool = False,
         args: Optional[Sequence[object]] = None,
         backend: Optional[str] = None,
+        adapt: Optional[bool] = None,
+        adapt_config: Optional[AdaptConfig] = None,
     ) -> ExecutionResult:
         """Run the transformed program under the speculative DOALL
         executor on the ref input; each call uses a fresh machine.
 
         ``backend`` selects the execution backend (``"simulated"`` or
         ``"process"``); None defers to ``REPRO_BACKEND`` and then the
-        simulated default.
+        simulated default.  ``adapt`` enables the adaptive speculation
+        controller (None inherits :func:`prepare`'s resolution; False
+        fully bypasses the subsystem).
         """
+        enabled = adapt if adapt is not None else self.adapt_enabled
+        controller = self.make_controller(adapt_config) if enabled else None
         executor = make_executor(
             backend,
             self.module,
@@ -89,8 +122,10 @@ class PreparedProgram:
             workers=workers,
             checkpoint_period=checkpoint_period,
             misspec_period=misspec_period,
+            misspec_burst=misspec_burst,
             costs=costs,
             record_timeline=record_timeline,
+            controller=controller,
         )
         with TRACER.span("pipeline.execute", cat="pipeline",
                          program=self.name, workers=workers,
@@ -129,6 +164,7 @@ def prepare(
     min_coverage: float = 0.10,
     max_candidates: int = 6,
     use_cache: bool = True,
+    adapt: Optional[bool] = None,
 ) -> PreparedProgram:
     """Run the full Privateer compiler pipeline on MiniC source.
 
@@ -141,6 +177,12 @@ def prepare(
     With ``use_cache`` (the default) profiling observations are memoized
     on disk keyed by module fingerprint + inputs; the classification and
     transformation always run fresh (they mutate the module).
+
+    With ``adapt`` resolved on (explicit flag > ``REPRO_ADAPT``), any
+    demotions the adaptive controller persisted for this module are
+    applied to each candidate's classification before the transform —
+    the re-plan either proceeds without speculating on the demoted
+    objects or rejects the loop and falls through to the next candidate.
     """
     train_args = tuple(args)
     eval_args = tuple(ref_args) if ref_args is not None else train_args
@@ -202,6 +244,9 @@ def prepare(
         if hot_report.coverage(rec.ref) >= min_coverage
     ][:max_candidates]
 
+    adapt_enabled = resolve_adapt_enabled(adapt)
+    policy_store = PolicyStore() if adapt_enabled else None
+
     last_error: Optional[SelectionError] = None
     for rec in candidates:
         profile = profiles.get(str(rec.ref))
@@ -209,6 +254,14 @@ def prepare(
             profile = profile_loop(module, rec.ref, entry, train_args)
             profiles[str(rec.ref)] = profile
         assignment = classify(profile)
+        applied: List[str] = []
+        if policy_store is not None:
+            applied = apply_demotions(
+                assignment,
+                policy_store.demotions_for(fingerprint, str(rec.ref)))
+            if applied and TRACER.enabled:
+                TRACER.instant("pipeline.demotions_applied", cat="pipeline",
+                               program=name, loop=str(rec.ref), sites=applied)
         period = checkpoint_period or _default_period(profile)
         try:
             plan = PrivateerTransform(module, rec.ref, profile, assignment,
@@ -224,7 +277,8 @@ def prepare(
             name=name, source=source, entry=entry, train_args=train_args,
             ref_args=eval_args, sequential=sequential, module=module,
             hot_report=hot_report, profile=profile, assignment=assignment,
-            plan=plan, rejected=rejected,
+            plan=plan, rejected=rejected, fingerprint=fingerprint,
+            adapt_enabled=adapt_enabled, applied_demotions=applied,
         )
     _persist()
     prepare_span.end(selected=None, rejected=len(rejected),

@@ -176,9 +176,11 @@ class BaseDOALLExecutor:
         costs: Optional[CostModelConfig] = None,
         checkpoint_period: Optional[int] = None,
         misspec_period: int = 0,
+        misspec_burst: int = 0,
         min_parallel_trips: int = 2,
         record_timeline: bool = False,
         max_steps: int = 2_000_000_000,
+        controller=None,
     ):
         self.module = module
         self.plan = plan
@@ -191,7 +193,14 @@ class BaseDOALLExecutor:
             if checkpoint_period else None
         )
         self.misspec_period = misspec_period
+        # 0 = inject forever; N > 0 = only inject within the first N
+        # iterations (a bounded "burst", letting adaptive runs demonstrate
+        # recovery once the storm passes).
+        self.misspec_burst = misspec_burst
         self.min_parallel_trips = min_parallel_trips
+        #: Adaptive speculation controller
+        #: (:class:`repro.adapt.SpeculationController`); None = fixed policy.
+        self.controller = controller
         self.timeline = Timeline() if record_timeline else None
 
         global_regions = {
@@ -201,6 +210,7 @@ class BaseDOALLExecutor:
                                   global_regions=global_regions)
         self.runtime = RuntimeSystem(module, plan, self.interp)
         self.interp.block_breakpoints.add(plan.loop.header)
+        self.runtime.controller = controller
         self._invocations: List[InvocationResult] = []
         self._cycles_in_invocations = 0
         self._header_phi_count = sum(
@@ -229,6 +239,10 @@ class BaseDOALLExecutor:
             interp.exit_code = e.code
             result = e.code
             interp.frames.clear()
+        adapt = None
+        if self.controller is not None:
+            self.controller.save()
+            adapt = self.controller.summary()
         return ExecutionResult(
             return_value=result,
             output=list(interp.output),
@@ -236,6 +250,7 @@ class BaseDOALLExecutor:
             sequential_cycles_outside=interp.cycles - self._cycles_in_invocations,
             invocations=self._invocations,
             runtime_stats=self.runtime.stats,
+            adapt=adapt,
         )
 
     # -- one parallel-region invocation ------------------------------------------
@@ -317,9 +332,21 @@ class BaseDOALLExecutor:
         # invocation, bounded by the metadata-byte limit of 253.
         k = self.checkpoint_period or max(
             2, min(MAX_CHECKPOINT_PERIOD, trips // 5))
+        controller = self.controller
+        if controller is not None:
+            controller.begin_invocation(k)
 
         next_iter = 0
         while next_iter < trips:
+            if controller is not None and controller.should_fallback():
+                span_len = controller.begin_fallback()
+                seq_end = min(next_iter + span_len, trips)
+                self._run_sequential_span(frame, inv, next_iter, seq_end, init)
+                controller.end_fallback(seq_end - next_iter)
+                next_iter = seq_end
+                continue
+            if controller is not None:
+                k = controller.next_epoch_size()
             epoch_end = min(next_iter + k, trips)
             earliest, fragments = self._execute_epoch(
                 frame, inv, next_iter, epoch_end, init)
@@ -345,6 +372,9 @@ class BaseDOALLExecutor:
                     earliest = (min(at, epoch_end - 1), exc)
 
             if earliest is not None:
+                if controller is not None:
+                    controller.on_squash(earliest[0] + 1 - next_iter,
+                                         earliest[1].kind)
                 next_iter = self._recover(frame, inv, next_iter, earliest, init)
 
         # Join: final state is already committed by the last checkpoint.
@@ -383,6 +413,14 @@ class BaseDOALLExecutor:
         self._cycles_in_invocations += interp.cycles - cycles_at_entry
 
     # -- iteration execution -------------------------------------------------------
+
+    def _inject_misspec(self, i: int) -> bool:
+        """Should iteration ``i`` raise an injected misspeculation?
+        Period 0 disables injection; a non-zero burst limits it to the
+        first ``misspec_burst`` iterations of each invocation."""
+        if not self.misspec_period or (i + 1) % self.misspec_period != 0:
+            return False
+        return not self.misspec_burst or i < self.misspec_burst
 
     def _execute_iteration(self, worker: WorkerState, i: int, init: int) -> None:
         """Run one loop iteration to the next header entry in the worker's
@@ -428,6 +466,48 @@ class BaseDOALLExecutor:
                 continue
             raise GuestFault(
                 "loop function returned during non-speculative recovery")
+
+    # -- adaptive sequential fallback ---------------------------------------------------
+
+    def _run_sequential_span(self, frame: Frame, inv: InvocationResult,
+                             start: int, end: int, init: int) -> None:
+        """Run iterations ``[start, end)`` sequentially and committed
+        (non-speculative), as directed by the adaptive controller's
+        fallback policy after repeated whole-epoch squashes.  Reuses the
+        recovery machinery: stores commit straight to main memory and are
+        marked as committed definitions, then speculation resumes at
+        ``end`` with freshly forked workers."""
+        interp = self.interp
+        runtime = self.runtime
+        t_start = max(w.clock for w in runtime.workers)
+        runtime.begin_sequential_span()
+        seq_frame = frame.copy()
+        interp.swap_stack([seq_frame])
+        hook = _RecoveryHook(runtime)
+        interp.hooks.append(hook)
+        c0 = interp.cycles
+        try:
+            for i in range(start, end):
+                self._execute_iteration_plain(seq_frame, i, init)
+        finally:
+            interp.hooks.remove(hook)
+            interp.swap_stack([])
+        cycles = interp.cycles - c0
+        inv.sequential_cycles += cycles
+        inv.sequential_iterations += end - start
+        runtime.resume_after_recovery(end)
+        t_end = t_start + self.costs.recovery_fixed + cycles
+        for worker in runtime.workers:
+            worker.clock = t_end
+        if self.timeline is not None:
+            self.timeline.add("sequential", None, t_start, t_end,
+                              f"iters [{start},{end})")
+        log.info("adaptive fallback: ran iterations [%d,%d) sequentially "
+                 "in %d cycles", start, end, cycles)
+        if TRACER.enabled:
+            METRICS.counter("adapt.sequential_iterations").inc(end - start)
+            TRACER.instant("executor.sequential_span", cat="executor",
+                           start=start, end=end, cycles=cycles)
 
     # -- recovery -----------------------------------------------------------------------
 

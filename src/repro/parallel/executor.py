@@ -62,7 +62,7 @@ class DOALLExecutor(BaseDOALLExecutor):
                 t0 = worker.clock
                 try:
                     self._execute_iteration(worker, i, init)
-                    if self.misspec_period and (i + 1) % self.misspec_period == 0:
+                    if self._inject_misspec(i):
                         raise Misspeculation(
                             "injected", "artificially injected", i)
                 except Misspeculation as exc:

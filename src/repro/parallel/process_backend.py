@@ -281,7 +281,7 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
             misspec: Optional[Tuple[str, str, int, bool, bool]] = None
             try:
                 self._execute_iteration(worker, i, init)
-                if self.misspec_period and (i + 1) % self.misspec_period == 0:
+                if self._inject_misspec(i):
                     raise Misspeculation(
                         "injected", "artificially injected", i)
             except Misspeculation as exc:

@@ -33,6 +33,10 @@ class InvocationResult:
     misspeculations: int = 0
     recovered_iterations: int = 0
     executed_sequentially: bool = False
+    #: Iterations/cycles spent in adaptive sequential-fallback spans
+    #: (committed non-speculative execution inside a parallel invocation).
+    sequential_iterations: int = 0
+    sequential_cycles: int = 0
 
     @property
     def capacity(self) -> int:
@@ -49,6 +53,9 @@ class ExecutionResult:
     sequential_cycles_outside: int = 0
     invocations: List[InvocationResult] = field(default_factory=list)
     runtime_stats: Optional[RuntimeStats] = None
+    #: Adaptive-controller summary (epoch trajectory, decision counts);
+    #: None when the run used a fixed policy.
+    adapt: Optional[Dict[str, object]] = None
 
     @property
     def parallel_wall_cycles(self) -> int:

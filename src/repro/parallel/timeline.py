@@ -10,7 +10,7 @@ from typing import List, Optional, Tuple
 @dataclass
 class TimelineEvent:
     """One Figure 5 timeline entry: kind, worker lane, cycle interval."""
-    kind: str           # "iteration" | "checkpoint" | "misspec" | "recovery" | "spawn" | "join"
+    kind: str           # "iteration" | "checkpoint" | "misspec" | "recovery" | "sequential" | "spawn" | "join"
     worker: Optional[int]
     start: int
     end: int
@@ -56,7 +56,8 @@ class Timeline:
                     continue
                 a, b = columns(e)
                 ch = {"iteration": "=", "checkpoint": "C", "misspec": "X",
-                      "spawn": ".", "recovery": "R"}.get(e.kind, "?")
+                      "spawn": ".", "recovery": "R",
+                      "sequential": "s"}.get(e.kind, "?")
                 for i in range(a, b + 1):
                     row[i] = ch
             lines.append(f"worker {w}: [{''.join(row)}]")
@@ -65,10 +66,11 @@ class Timeline:
             if e.worker is None:
                 a, b = columns(e)
                 ch = {"checkpoint": "C", "misspec": "X", "recovery": "R",
-                      "join": "J", "spawn": "S"}.get(e.kind, "|")
+                      "sequential": "s", "join": "J",
+                      "spawn": "S"}.get(e.kind, "|")
                 for i in range(a, b + 1):
                     marker_row[i] = ch
         lines.append(f"events  : [{''.join(marker_row)}]")
         lines.append("legend  : = iteration, C checkpoint, X misspec, "
-                     "R recovery, S spawn, J join")
+                     "R recovery, s sequential span, S spawn, J join")
         return "\n".join(lines)

@@ -224,6 +224,88 @@ def measure_wallclock_scaling(workload: Workload, args: Sequence[object],
     }
 
 
+def measure_adaptive(workload: Workload, args: Sequence[object],
+                     workers: int = 4, misspec_period: int = 3,
+                     misspec_burst: int = 30) -> Dict[str, object]:
+    """Adaptive vs fixed speculation policy, in deterministic simulated
+    cycles (repeats are unnecessary: both runs are exactly reproducible).
+
+    Three comparisons against a scratch policy store:
+
+    * **storm** — with a misspeculation injected every ``misspec_period``
+      iterations for the first ``misspec_burst`` iterations, total
+      squashed (re-executed) iterations under the fixed policy vs the
+      adaptive controller;
+    * **clean** — no injection: the controller's overhead (or win, once
+      AIMD grows the epoch past the fixed default) on a well-behaved run;
+    * **warm** — the storm again: the second run reloads the persisted
+      policy and should start from the learned epoch size.
+
+    Every run's output is checked against the fixed-policy run, and the
+    controller's decision counts are recorded for the trajectory.
+    """
+    from ..adapt.policy import ADAPT_DIR_ENV
+    from ..bench.pipeline import prepare
+
+    saved = os.environ.get(ADAPT_DIR_ENV)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-adapt-") as tmp:
+            os.environ[ADAPT_DIR_ENV] = tmp
+            program = prepare(workload.source, workload.name,
+                              args=workload.train, ref_args=args)
+            inject = dict(misspec_period=misspec_period,
+                          misspec_burst=misspec_burst)
+            fixed = program.execute(workers=workers, **inject)
+            adaptive = program.execute(workers=workers, adapt=True, **inject)
+            warm = program.execute(workers=workers, adapt=True, **inject)
+            fixed_clean = program.execute(workers=workers)
+            adapt_clean = program.execute(workers=workers, adapt=True)
+            for run, label in ((adaptive, "adaptive"), (warm, "warm"),
+                               (adapt_clean, "adaptive-clean")):
+                assert run.output == fixed.output, (
+                    f"{workload.name}: {label} output diverged from fixed")
+
+            def squashed(result) -> int:
+                return sum(inv.recovered_iterations
+                           for inv in result.invocations)
+
+            clean_overhead = (adapt_clean.total_wall_cycles
+                              / max(1, fixed_clean.total_wall_cycles) - 1)
+            summary = adaptive.adapt or {}
+            return {
+                "workload": workload.name,
+                "args": list(args),
+                "workers": workers,
+                "misspec_period": misspec_period,
+                "misspec_burst": misspec_burst,
+                "fixed_squashed_iterations": squashed(fixed),
+                "adaptive_squashed_iterations": squashed(adaptive),
+                "fixed_wall_cycles": fixed.total_wall_cycles,
+                "adaptive_wall_cycles": adaptive.total_wall_cycles,
+                "clean_overhead_pct": round(100 * clean_overhead, 2),
+                "warm_start": bool((warm.adapt or {}).get("warm_start")),
+                "converged": bool(summary.get("converged")),
+                "decisions": {
+                    "grows": summary.get("grows", 0),
+                    "shrinks": summary.get("shrinks", 0),
+                    "fallbacks": summary.get("fallbacks", 0),
+                    "demotions": len(summary.get("demotions") or []),
+                    "sequential_iterations":
+                        summary.get("sequential_iterations", 0),
+                },
+                "epoch_trajectory": {
+                    "initial": summary.get("initial_epoch"),
+                    "min": summary.get("min_epoch"),
+                    "final": summary.get("final_epoch"),
+                },
+            }
+    finally:
+        if saved is None:
+            os.environ.pop(ADAPT_DIR_ENV, None)
+        else:
+            os.environ[ADAPT_DIR_ENV] = saved
+
+
 def append_trajectory(entry: Dict[str, object],
                       path: os.PathLike = DEFAULT_OUT) -> None:
     path = Path(path)
@@ -243,7 +325,8 @@ def run_bench(quick: bool = False, repeats: int = 3,
               workload_names: Optional[Sequence[str]] = None,
               out: Optional[str] = DEFAULT_OUT,
               min_speedup: Optional[float] = None,
-              backend: Optional[str] = None) -> int:
+              backend: Optional[str] = None,
+              adapt: Optional[bool] = None) -> int:
     """Run the benchmark; returns a process exit code.
 
     ``quick`` uses train inputs, one pipeline workload, and a 1.5× floor
@@ -253,10 +336,18 @@ def run_bench(quick: bool = False, repeats: int = 3,
     ``backend="process"`` adds a real-wall-clock section: a per-worker-
     count speedup curve of the process backend on each selected
     workload, recorded into the trajectory under ``process_backend``.
+
+    ``adapt`` (or ``REPRO_ADAPT``) adds the adaptive-vs-fixed section:
+    squashed-iteration counts under an injected misspeculation storm,
+    clean-run overhead, warm start, and the controller's decision
+    counts, recorded under ``adaptive``.  Fails the run if adaptive mode
+    squashes more than fixed mode or the clean-run overhead exceeds 2%.
     """
+    from ..adapt import resolve_adapt_enabled
     from ..parallel.backend import resolve_backend_name
 
     backend = resolve_backend_name(backend)
+    adapt_on = resolve_adapt_enabled(adapt)
     if quick:
         repeats = max(2, min(repeats, 2))
         if min_speedup is None:
@@ -321,6 +412,24 @@ def run_bench(quick: bool = False, repeats: int = 3,
                 f"({p['speedup_vs_1w']:.2f}x)" for p in res["points"])
             print(f"process  {w.name:12s} {curve}")
 
+    adaptive_results = []
+    if adapt_on:
+        for w in pipeline_workloads:
+            res = measure_adaptive(w, w.train if quick else w.ref)
+            adaptive_results.append(res)
+            d = res["decisions"]
+            print(f"adaptive {w.name:12s} squashed "
+                  f"{res['fixed_squashed_iterations']} -> "
+                  f"{res['adaptive_squashed_iterations']} iters  "
+                  f"clean {res['clean_overhead_pct']:+.1f}%  "
+                  f"epoch {res['epoch_trajectory']['initial']}->"
+                  f"{res['epoch_trajectory']['min']}->"
+                  f"{res['epoch_trajectory']['final']}  "
+                  f"grows={d['grows']} shrinks={d['shrinks']} "
+                  f"fallbacks={d['fallbacks']} "
+                  f"warm={'yes' if res['warm_start'] else 'no'} "
+                  f"converged={'yes' if res['converged'] else 'no'}")
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -330,9 +439,23 @@ def run_bench(quick: bool = False, repeats: int = 3,
     }
     if scaling_results:
         entry["process_backend"] = scaling_results
+    if adaptive_results:
+        entry["adaptive"] = adaptive_results
     if out:
         append_trajectory(entry, out)
         print(f"appended to {out}")
+
+    for res in adaptive_results:
+        if (res["adaptive_squashed_iterations"]
+                > res["fixed_squashed_iterations"]):
+            print(f"FAIL: {res['workload']}: adaptive mode squashed more "
+                  f"iterations ({res['adaptive_squashed_iterations']}) than "
+                  f"fixed ({res['fixed_squashed_iterations']})")
+            return 1
+        if res["clean_overhead_pct"] > 2.0:
+            print(f"FAIL: {res['workload']}: adaptive clean-run overhead "
+                  f"{res['clean_overhead_pct']:.2f}% exceeds the 2% budget")
+            return 1
 
     if trace_res["tracing_off_overhead_pct"] > 100 * TRACE_OFF_BUDGET:
         print(f"FAIL: tracing-disabled overhead "

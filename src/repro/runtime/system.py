@@ -16,6 +16,7 @@ Substitutions vs. the paper (see DESIGN.md):
 
 from __future__ import annotations
 
+import re
 import struct as _struct
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -98,6 +99,11 @@ class RuntimeSystem:
 
         self.private_base = HeapKind.PRIVATE.base
         self.redux_base = HeapKind.REDUX.base
+        #: Adaptive speculation controller
+        #: (:class:`repro.adapt.SpeculationController`); None runs the
+        #: fixed policy.  Installed by the executor, fed from
+        #: :meth:`record_misspeculation` and :meth:`checkpoint`.
+        self.controller = None
         self.committed_meta = bytearray()
         self._protected: List[MemoryObject] = []
         self._default_printf = None
@@ -574,6 +580,8 @@ class RuntimeSystem:
                 private_bytes=merged, redux_bytes=redux_bytes,
                 dirty_pages=record.dirty_pages,
                 io_records=record.io_records_committed, cycles=cost)
+        if self.controller is not None:
+            self.controller.note_commit(epoch_start, epoch_end)
         return record
 
     def _redux_object_base(self, addr: int) -> int:
@@ -609,6 +617,25 @@ class RuntimeSystem:
             TRACER.instant("runtime.misspec", cat="runtime", kind=exc.kind,
                            iteration=exc.iteration, detail=exc.detail,
                            injected=injected)
+        if self.controller is not None:
+            self.controller.note_misspec(exc.kind, exc.iteration,
+                                         self._attribute_site(exc.detail))
+
+    def _attribute_site(self, detail: str) -> Optional[str]:
+        """Allocation site of the object a misspeculation detail string
+        refers to, or None when no address can be recovered.  Feeds the
+        controller's demotion policy: the site identifies the object class
+        whose speculative classification caused the misprediction."""
+        match = re.search(r"private\+(\d+)", detail)
+        if match:
+            addr = self.private_base + int(match.group(1))
+        else:
+            match = re.search(r"0x([0-9a-f]+)", detail)
+            if not match:
+                return None
+            addr = int(match.group(1), 16)
+        found = self.main_space.try_find(addr)
+        return found[0].site if found else None
 
     def squash_to_recovery(self, misspec_iteration: int) -> None:
         """Discard all speculative state newer than the last checkpoint."""
@@ -619,6 +646,22 @@ class RuntimeSystem:
         self.speculating = False
         self.current_worker = None
         # Recovery may legally write read-only-classified objects.
+        self._unprotect_readonly()
+
+    def begin_sequential_span(self) -> None:
+        """Leave speculation for an adaptive sequential-fallback span.
+
+        Entered only at an epoch boundary (right after a recovery
+        resumed), so there is no uncommitted speculative state to squash:
+        the freshly forked workers are discarded wholesale when
+        :meth:`resume_after_recovery` re-forks at span end.  While the
+        span runs, stores commit directly to main memory (the executor's
+        recovery hook marks them as committed definitions) and I/O
+        bypasses the deferral queue.
+        """
+        self.speculating = False
+        self.current_worker = None
+        # Like recovery, the span may legally write read-only objects.
         self._unprotect_readonly()
 
     def resume_after_recovery(self, next_iteration: int) -> None:

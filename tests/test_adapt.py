@@ -1,0 +1,450 @@
+"""Adaptive speculation controller: AIMD epoch sizing, misspec-rate
+monitoring, demotion and sequential-fallback policy, policy persistence
+and warm starts, and the end-to-end adaptive-vs-fixed win."""
+
+import json
+
+import pytest
+
+from repro.adapt import (
+    AdaptConfig,
+    MisspecRateMonitor,
+    PolicyStore,
+    SpeculationController,
+    apply_demotions,
+    format_summary,
+    resolve_adapt_enabled,
+)
+from repro.bench.pipeline import prepare
+from repro.classify.classifier import HeapAssignment
+from repro.classify.heaps import HeapKind
+from repro.transform.plan import MAX_CHECKPOINT_PERIOD
+
+from helpers import prepared_counter_program
+
+
+@pytest.fixture(autouse=True)
+def _isolated_policy_store(tmp_path, monkeypatch):
+    """Never touch the user's ~/.cache/repro-adapt from the test suite."""
+    monkeypatch.setenv("REPRO_ADAPT_DIR", str(tmp_path / "adapt"))
+
+
+class TestResolveAdaptEnabled:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ADAPT", raising=False)
+        assert resolve_adapt_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
+    def test_env_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ADAPT", value)
+        assert resolve_adapt_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", ""])
+    def test_env_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ADAPT", value)
+        assert resolve_adapt_enabled() is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADAPT", "1")
+        assert resolve_adapt_enabled(False) is False
+        monkeypatch.delenv("REPRO_ADAPT")
+        assert resolve_adapt_enabled(True) is True
+
+
+class TestMisspecRateMonitor:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MisspecRateMonitor(window=0)
+
+    def test_rates(self):
+        m = MisspecRateMonitor(window=4)
+        assert m.rate() == 0.0 and m.lifetime_rate() == 0.0
+        m.record_commit(10)
+        m.record_squash(10)
+        assert m.rate() == 0.5
+        assert m.lifetime_rate() == 0.5
+
+    def test_window_ages_out_squashes(self):
+        m = MisspecRateMonitor(window=2)
+        m.record_squash(8)
+        m.record_commit(8)
+        m.record_commit(8)  # the squash falls out of the window here
+        assert m.rate() == 0.0
+        assert m.lifetime_rate() == pytest.approx(8 / 24)
+
+    def test_misspec_kinds(self):
+        m = MisspecRateMonitor()
+        m.record_misspec("privacy")
+        m.record_misspec("privacy")
+        m.record_misspec("injected")
+        snap = m.snapshot()
+        assert snap["misspecs_by_kind"] == {"injected": 1, "privacy": 2}
+
+
+class TestAdaptConfig:
+    def test_max_epoch_clamped_to_shadow_limit(self):
+        cfg = AdaptConfig(max_epoch=10_000)
+        assert cfg.max_epoch == MAX_CHECKPOINT_PERIOD
+
+    def test_clamp(self):
+        cfg = AdaptConfig(min_epoch=4, max_epoch=32)
+        assert cfg.clamp(1) == 4
+        assert cfg.clamp(100) == 32
+        assert cfg.clamp(16) == 16
+
+
+class TestControllerAIMD:
+    def _controller(self, **cfg):
+        c = SpeculationController(config=AdaptConfig(**cfg))
+        c.begin_invocation(16)
+        return c
+
+    def test_additive_grow_on_commit(self):
+        c = self._controller(grow_add=4)
+        c.note_commit(0, 16)
+        assert c.next_epoch_size() == 20
+        assert c.grows == 1
+
+    def test_multiplicative_shrink_on_squash(self):
+        c = self._controller(shrink_num=1, shrink_den=2)
+        c.on_squash(8, "injected")
+        assert c.next_epoch_size() == 8
+        c.on_squash(8, "injected")
+        assert c.next_epoch_size() == 4
+        assert c.shrinks == 2
+
+    def test_bounds_respected(self):
+        c = self._controller(min_epoch=2, max_epoch=24)
+        for _ in range(10):
+            c.on_squash(1, "x")
+        assert c.next_epoch_size() == 2
+        for _ in range(10):
+            c.note_commit(0, 2)
+        assert c.next_epoch_size() == 24
+
+    def test_warm_start_seed_ignores_default(self):
+        store = PolicyStore()
+        store.update("fp", "loop", epoch_size=48)
+        c = SpeculationController(key="fp", loop="loop", store=store)
+        assert c.warm_start
+        c.begin_invocation(16)
+        assert c.next_epoch_size() == 48
+
+    def test_second_invocation_keeps_learned_size(self):
+        c = self._controller()
+        c.note_commit(0, 16)
+        c.begin_invocation(16)  # no-op: epoch already seeded
+        assert c.next_epoch_size() == 20
+
+
+class TestControllerFallback:
+    def _stormy(self, fallback_after=3, **cfg):
+        c = SpeculationController(config=AdaptConfig(
+            fallback_after=fallback_after, **cfg))
+        c.begin_invocation(16)
+        for _ in range(fallback_after):
+            c.on_squash(4, "injected")
+        return c
+
+    def test_triggers_after_consecutive_squashes(self):
+        c = self._stormy(fallback_after=3)
+        assert c.should_fallback()
+
+    def test_commit_resets_the_counter(self):
+        c = SpeculationController(config=AdaptConfig(fallback_after=3))
+        c.begin_invocation(16)
+        c.on_squash(4, "x")
+        c.on_squash(4, "x")
+        c.note_commit(0, 4)
+        c.on_squash(4, "x")
+        assert not c.should_fallback()
+
+    def test_exponential_backoff(self):
+        c = self._stormy(backoff_initial=8, backoff_factor=2, backoff_max=20)
+        assert c.begin_fallback() == 8
+        # One more squash right after the probe resumes re-triggers with
+        # a doubled span, capped at backoff_max.
+        c.on_squash(4, "x")
+        assert c.should_fallback()
+        assert c.begin_fallback() == 16
+        c.on_squash(4, "x")
+        assert c.begin_fallback() == 20
+        c.end_fallback(20)
+        assert c.sequential_iterations == 20
+        assert c.fallbacks == 3
+
+    def test_commit_resets_backoff(self):
+        c = self._stormy(backoff_initial=8)
+        c.begin_fallback()
+        c.note_commit(0, 4)
+        assert c.backoff == 8
+
+
+class TestControllerDemotion:
+    def test_demotes_after_k_strikes(self):
+        c = SpeculationController(config=AdaptConfig(demote_after=3))
+        c.begin_invocation(16)
+        for _ in range(2):
+            c.note_misspec("privacy", 5, "global:state")
+        assert not c.new_demotions
+        c.note_misspec("privacy", 9, "global:state")
+        assert c.new_demotions == {"global:state"}
+        assert c.decision_counts()["demotions"] == 1
+
+    def test_unattributed_misspecs_never_demote(self):
+        c = SpeculationController(config=AdaptConfig(demote_after=1))
+        c.begin_invocation(16)
+        c.note_misspec("injected", 3, None)
+        assert not c.new_demotions
+
+    def test_already_persisted_sites_not_recounted(self):
+        store = PolicyStore()
+        store.update("fp", "loop", epoch_size=8,
+                     demotions=["global:state"])
+        c = SpeculationController(key="fp", loop="loop", store=store,
+                                  config=AdaptConfig(demote_after=1))
+        c.begin_invocation(16)
+        c.note_misspec("privacy", 0, "global:state")
+        assert not c.new_demotions
+        assert c.persisted_demotions == {"global:state"}
+
+
+class TestControllerSummary:
+    def test_converged_requires_shrink_and_recovery(self):
+        c = SpeculationController()
+        c.begin_invocation(16)
+        assert not c.converged()
+        c.on_squash(4, "x")        # 16 -> 8
+        assert not c.converged()   # still at the minimum seen
+        c.note_commit(0, 8)        # 8 -> 12
+        assert c.converged()
+
+    def test_format_summary_line(self):
+        c = SpeculationController()
+        c.begin_invocation(16)
+        c.on_squash(4, "x")
+        c.note_commit(0, 8)
+        line = format_summary(c.summary())
+        assert "epoch 16->8->12" in line
+        assert "converged=yes" in line
+        assert c.summary_line() == line
+
+    def test_save_without_store_is_noop(self):
+        c = SpeculationController()
+        c.begin_invocation(16)
+        c.save()  # must not raise
+
+
+class TestPolicyStore:
+    def test_round_trip(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.update("fp1", "main:for.cond", epoch_size=48,
+                     demotions=["global:a"], fallbacks=2, workload="w")
+        entry = store.loop_policy("fp1", "main:for.cond")
+        assert entry["epoch_size"] == 48
+        assert entry["demotions"] == ["global:a"]
+        assert entry["fallbacks"] == 2
+        assert entry["runs"] == 1
+
+    def test_demotions_union_across_runs(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.update("fp", "l", epoch_size=8, demotions=["global:a"])
+        store.update("fp", "l", epoch_size=16, demotions=["global:b"])
+        assert store.demotions_for("fp", "l") == ["global:a", "global:b"]
+        assert store.loop_policy("fp", "l")["runs"] == 2
+
+    def test_miss_on_unknown_fingerprint(self, tmp_path):
+        assert PolicyStore(tmp_path).load("nope") is None
+
+    def test_miss_on_corrupt_file(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.update("fp", "l", epoch_size=8)
+        store.path_for("fp").write_text("{not json")
+        assert store.load("fp") is None
+
+    def test_miss_on_version_mismatch(self, tmp_path):
+        store = PolicyStore(tmp_path)
+        store.update("fp", "l", epoch_size=8)
+        data = json.loads(store.path_for("fp").read_text())
+        data["version"] = 999
+        store.path_for("fp").write_text(json.dumps(data))
+        assert store.load("fp") is None
+
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ADAPT_DIR", str(tmp_path / "policies"))
+        store = PolicyStore()
+        store.update("fp", "l", epoch_size=8)
+        assert store.path_for("fp").parent == tmp_path / "policies"
+        assert store.loop_policy("fp", "l")["epoch_size"] == 8
+
+
+class TestApplyDemotions:
+    def _assignment(self):
+        a = HeapAssignment(loop=None)
+        a.site_heaps = {"global:a": HeapKind.PRIVATE,
+                        "global:b": HeapKind.REDUX,
+                        "global:c": HeapKind.UNRESTRICTED}
+        a.redux_ops = {"global:b": "ADD"}
+        return a
+
+    def test_demotes_speculative_sites(self):
+        a = self._assignment()
+        applied = apply_demotions(a, ["global:a", "global:b"])
+        assert applied == ["global:a", "global:b"]
+        assert a.site_heaps["global:a"] is HeapKind.UNRESTRICTED
+        assert a.site_heaps["global:b"] is HeapKind.UNRESTRICTED
+        assert "global:b" not in a.redux_ops
+
+    def test_skips_unknown_and_already_unrestricted(self):
+        a = self._assignment()
+        assert apply_demotions(a, ["global:c", "global:zzz"]) == []
+
+
+class TestAdaptiveExecution:
+    """End-to-end: the controller plugged into the executors."""
+
+    def test_fewer_squashed_iterations_than_fixed(self):
+        prog = prepared_counter_program(64)
+        fixed = prog.execute(workers=4, misspec_period=5)
+        adaptive = prog.execute(workers=4, misspec_period=5, adapt=True)
+        assert adaptive.output == fixed.output
+        assert adaptive.return_value == fixed.return_value
+
+        def squashed(result):
+            return sum(i.recovered_iterations for i in result.invocations)
+
+        assert squashed(adaptive) < squashed(fixed)
+        assert adaptive.adapt["shrinks"] > 0
+
+    def test_fallback_engages_under_sustained_storm(self):
+        prog = prepared_counter_program(64)
+        fixed = prog.execute(workers=4, misspec_period=2)
+        adaptive = prog.execute(workers=4, misspec_period=2, adapt=True)
+        assert adaptive.output == fixed.output
+        assert adaptive.adapt["fallbacks"] > 0
+        assert adaptive.adapt["sequential_iterations"] > 0
+        total_seq = sum(i.sequential_iterations
+                        for i in adaptive.invocations)
+        assert total_seq == adaptive.adapt["sequential_iterations"]
+
+    def test_burst_then_recovery_converges(self):
+        prog = prepared_counter_program(64)
+        adaptive = prog.execute(workers=4, misspec_period=2,
+                                misspec_burst=30, adapt=True)
+        s = adaptive.adapt
+        assert s["min_epoch"] < s["initial_epoch"]     # it shrank
+        assert s["final_epoch"] > s["min_epoch"]       # then recovered
+        assert s["converged"] is True
+
+    def test_clean_run_overhead_within_budget(self):
+        prog = prepared_counter_program(64)
+        fixed = prog.execute(workers=4)
+        adaptive = prog.execute(workers=4, adapt=True)
+        assert adaptive.output == fixed.output
+        assert adaptive.total_wall_cycles <= fixed.total_wall_cycles * 1.02
+
+    def test_no_adapt_fully_bypasses(self):
+        prog = prepared_counter_program(32)
+        result = prog.execute(workers=4, adapt=False)
+        assert result.adapt is None
+        assert not list((PolicyStore().path_for("x").parent).glob("*.json")) \
+            if PolicyStore().path_for("x").parent.exists() else True
+
+    def test_env_var_enables_through_prepare(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ADAPT", "1")
+        prog = prepared_counter_program(32)
+        assert prog.adapt_enabled
+        result = prog.execute(workers=4)
+        assert result.adapt is not None
+
+    def test_timeline_records_sequential_spans(self):
+        prog = prepared_counter_program(64)
+        adaptive = prog.execute(workers=4, misspec_period=2, adapt=True,
+                                record_timeline=True)
+        kinds = {e.kind for e in adaptive.timeline.events}
+        assert "sequential" in kinds
+        assert "s sequential span" in adaptive.timeline.render()
+
+
+class TestWarmStart:
+    def test_policy_persisted_and_reloaded(self):
+        prog = prepared_counter_program(64)
+        first = prog.execute(workers=4, misspec_period=5, misspec_burst=30,
+                             adapt=True)
+        assert first.adapt["warm_start"] is False
+        store = PolicyStore()
+        entry = store.loop_policy(prog.fingerprint, str(prog.plan.ref))
+        assert entry is not None
+        assert entry["epoch_size"] == first.adapt["final_epoch"]
+
+        second = prog.execute(workers=4, misspec_period=5, misspec_burst=30,
+                              adapt=True)
+        assert second.adapt["warm_start"] is True
+        assert second.adapt["initial_epoch"] == first.adapt["final_epoch"]
+        assert second.output == first.output
+
+
+SRC_PRIVACY = """
+int state[8];
+int out[128];
+int main(int n, int cut) {
+    for (int i = 0; i < n; i++) {
+        if (i < cut) { state[0] = i * 3; }
+        out[i] = state[0] + i;
+        for (int j = 0; j < 25; j++) { out[i] += j; }
+    }
+    printf("%d %d %d\\n", out[1], out[5], out[n-1]);
+    return 0;
+}
+"""
+
+
+class TestDemotionEndToEnd:
+    """Genuine privacy misspeculations attribute to the offending object
+    site, persist a demotion, and change the next run's plan."""
+
+    def _run_with_demotion(self, demote_after=2):
+        # Profiled with cut=n (state written every iteration, so it
+        # classifies private), executed with cut=n/2: later iterations
+        # read state[0] live-in, so every epoch past the cut raises a
+        # privacy misspeculation whose detail names the offending byte.
+        prog = prepare(SRC_PRIVACY, "demotion_e2e", args=(24, 24),
+                       ref_args=(24, 12), adapt=True)
+        config = AdaptConfig(demote_after=demote_after)
+        result = prog.execute(workers=4, adapt=True, adapt_config=config)
+        return prog, result
+
+    def test_misspec_attributed_and_demotion_recorded(self):
+        prog, result = self._run_with_demotion()
+        assert result.output == prog.sequential.output
+        assert any(m.kind == "privacy"
+                   for m in result.runtime_stats.misspeculations)
+        assert result.adapt["demotions"] == ["global:state"]
+        stored = PolicyStore().demotions_for(prog.fingerprint,
+                                             str(prog.plan.ref))
+        assert stored == ["global:state"]
+
+    def test_next_prepare_replans_around_the_demotion(self):
+        prog, _result = self._run_with_demotion()
+        replanned = prepare(SRC_PRIVACY, "demotion_e2e", args=(24, 24),
+                            ref_args=(24, 12), adapt=True)
+        # The demoted object makes the original loop untransformable, so
+        # the pipeline falls through to the next hottest candidate...
+        assert str(replanned.plan.ref) != str(prog.plan.ref)
+        reasons = replanned.rejected[prog.plan.ref]
+        assert any("unrestricted" in r and "global:state" in r
+                   for r in reasons)
+        # ... which no longer speculates on state and runs clean.
+        rerun = replanned.execute(workers=4, adapt=True)
+        assert rerun.output == replanned.sequential.output
+        assert rerun.runtime_stats.misspec_count() == 0
+
+    def test_no_adapt_prepare_ignores_the_store(self):
+        prog, _result = self._run_with_demotion()
+        fresh = prepare(SRC_PRIVACY, "demotion_e2e", args=(24, 24),
+                        ref_args=(24, 12))
+        assert not fresh.adapt_enabled
+        assert fresh.applied_demotions == []
+        assert str(fresh.plan.ref) == str(prog.plan.ref)
+        assert fresh.assignment.site_heaps["global:state"] is \
+            HeapKind.PRIVATE

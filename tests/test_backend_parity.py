@@ -11,6 +11,7 @@ events, and identical simulated-cycle wall clocks and timelines.
 
 import pytest
 
+from repro.adapt import SpeculationController
 from repro.bench.pipeline import prepare
 from repro.parallel.backend import make_executor
 from repro.workloads import ALL_WORKLOADS
@@ -28,6 +29,12 @@ def _memory_digest(space):
 
 
 def _execute(program, backend, **kwargs):
+    if kwargs.pop("adapt", False):
+        # A fresh store-less controller per run: decisions are pure
+        # functions of the epoch outcomes, so both backends must drive
+        # identical state trajectories without any persistence.
+        kwargs["controller"] = SpeculationController(
+            loop=str(program.plan.ref), workload=program.name)
     executor = make_executor(backend, program.module, program.plan,
                              workers=kwargs.pop("workers", 4),
                              record_timeline=True, **kwargs)
@@ -69,6 +76,7 @@ def _assert_parity(source, name, train, ref=None, **kwargs):
           r.redux_bytes_merged, r.io_records_committed, r.dirty_pages)
          for r in p.checkpoint_records]
     assert _timeline_tuples(sim_ex) == _timeline_tuples(proc_ex)
+    assert sim.adapt == proc.adapt
     return sim, proc
 
 
@@ -101,6 +109,42 @@ class TestCounterProgramParity:
         sim, _ = _assert_parity(prog.source, "counter", train=(32,),
                                 misspec_period=7, checkpoint_period=4)
         assert sim.runtime_stats.misspec_count() > 0
+
+
+class TestAdaptiveParity:
+    """The adaptive controller must preserve parity: decisions are pure
+    functions of the (identical) epoch-outcome sequence, so both
+    backends follow the same epoch-size trajectory, and the adaptive
+    run's final output is bit-exact vs the fixed-policy run."""
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS,
+                             ids=[w.name for w in ALL_WORKLOADS])
+    def test_workload_adaptive_parity(self, workload):
+        sim, proc = _assert_parity(workload.source, workload.name,
+                                   train=workload.train, ref=workload.train,
+                                   adapt=True, misspec_period=6,
+                                   misspec_burst=18)
+        assert sim.adapt is not None
+        # Bit-exact vs the fixed-policy run under the same injection.
+        fixed_prog = prepare(workload.source, workload.name,
+                             args=workload.train, ref_args=workload.train)
+        _, fixed = _execute(fixed_prog, "simulated", misspec_period=6,
+                            misspec_burst=18)
+        assert sim.output == fixed.output
+        assert sim.return_value == fixed.return_value
+
+    def test_counter_adaptive_storm_with_fallback(self):
+        """Sustained storm: shrink, fallback, sequential spans — all in
+        lockstep across backends."""
+        prog = prepared_counter_program(64)
+        sim, proc = _assert_parity(prog.source, "counter", train=(64,),
+                                   adapt=True, misspec_period=2)
+        assert sim.adapt["fallbacks"] > 0
+        assert sim.adapt["sequential_iterations"] > 0
+        assert [(i.sequential_iterations, i.sequential_cycles)
+                for i in sim.invocations] == \
+            [(i.sequential_iterations, i.sequential_cycles)
+             for i in proc.invocations]
 
 
 class TestGenuineMisspeculationParity:

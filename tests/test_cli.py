@@ -85,6 +85,88 @@ class TestRun:
         assert "recoveries: 2" in out
 
 
+class TestArgValidation:
+    """Bad worker/epoch arguments die in argparse with a clear message,
+    before any compilation or execution starts."""
+
+    def _expect_usage_error(self, argv, capsys, fragment):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_run_zero_workers_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["run", prog_file, "--args", "24", "--workers", "0"],
+            capsys, "at least one worker")
+
+    def test_run_negative_workers_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["run", prog_file, "--args", "24", "--workers", "-3"],
+            capsys, "must be >= 1 (got -3)")
+
+    def test_run_non_integer_workers_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["run", prog_file, "--args", "24", "--workers", "two"],
+            capsys, "expected an integer, got 'two'")
+
+    def test_run_epoch_floor_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["run", prog_file, "--args", "24", "--checkpoint-period", "1"],
+            capsys, "cannot amortize a checkpoint")
+
+    def test_trace_zero_workers_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["trace", prog_file, "--args", "24", "--workers", "0"],
+            capsys, "at least one worker")
+
+    def test_baselines_zero_workers_rejected(self, prog_file, capsys):
+        self._expect_usage_error(
+            ["baselines", prog_file, "--args", "24", "--workers", "0"],
+            capsys, "at least one worker")
+
+    def test_valid_arguments_still_accepted(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "1",
+                   "--checkpoint-period", "2"])
+        assert rc == 0
+        assert "speedup:" in capsys.readouterr().out
+
+
+class TestAdaptFlag:
+    def test_run_adapt_prints_summary(self, prog_file, capsys, monkeypatch,
+                                      tmp_path):
+        from repro.adapt.policy import ADAPT_DIR_ENV
+
+        monkeypatch.setenv(ADAPT_DIR_ENV, str(tmp_path))
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--adapt", "--misspec-period", "5",
+                   "--misspec-burst", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adapt:" in out
+        assert "epoch " in out and "grows=" in out and "warm=no" in out
+        assert "output matches sequential: True" in out
+
+    def test_run_no_adapt_is_silent(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--no-adapt"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adapt:" not in out
+
+    def test_env_var_enables_adapt(self, prog_file, capsys, monkeypatch,
+                                   tmp_path):
+        from repro.adapt import ADAPT_ENV
+        from repro.adapt.policy import ADAPT_DIR_ENV
+
+        monkeypatch.setenv(ADAPT_ENV, "1")
+        monkeypatch.setenv(ADAPT_DIR_ENV, str(tmp_path))
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adapt:" in out
+
+
 class TestBaselines:
     def test_reports_all_baselines(self, prog_file, capsys):
         rc = main(["baselines", prog_file, "--args", "24",

@@ -1,0 +1,169 @@
+"""Property tests for the serialization seam between backends.
+
+The process backend works only if (a) :class:`EpochFragment` survives a
+pickle round-trip bit-for-bit — it is the *only* state shipped from a
+forked worker back to the parent — and (b) replaying a fragment's
+writes into the parent-side replica shadow via ``mark_old_writes`` is
+idempotent and equivalent to the in-process ``reset_after_checkpoint``
+path.  Hypothesis generates arbitrary fragments and write patterns so
+these invariants hold beyond the shapes the workloads happen to hit.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.fragments import (
+    EpochFragment, ReduxElement, WRITE_FREED, WRITE_LOCAL, WRITE_VALUE)
+from repro.runtime.shadow import (
+    LIVE_IN, OLD_WRITE, READ_LIVE_IN, ShadowHeap, timestamp_for)
+
+offsets = st.integers(min_value=0, max_value=4095)
+iterations = st.integers(min_value=0, max_value=10_000)
+
+redux_elements = st.builds(
+    ReduxElement,
+    addr=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+    operator=st.sampled_from(["ADD", "FADD", "MUL", "MAX", "MIN", None]),
+    is_float=st.booleans(),
+    delta=st.one_of(
+        st.integers(min_value=-2**63, max_value=2**63 - 1),
+        st.floats(allow_nan=False, allow_infinity=False),
+    ),
+)
+
+writes = st.tuples(
+    offsets, iterations,
+    st.sampled_from([WRITE_VALUE, WRITE_FREED, WRITE_LOCAL]),
+    st.integers(min_value=0, max_value=255),
+)
+
+fragments = st.builds(
+    EpochFragment,
+    wid=st.integers(min_value=0, max_value=63),
+    epoch_start=iterations,
+    read_live_in=st.sets(offsets, max_size=64),
+    writes=st.lists(writes, max_size=64),
+    epoch_written=st.sets(offsets, max_size=64),
+    redux_elements=st.lists(redux_elements, max_size=16),
+    dirty_private_pages=st.integers(min_value=0, max_value=1024),
+)
+
+
+class TestFragmentPickleRoundTrip:
+    @given(frag=fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_preserves_every_field(self, frag):
+        clone = pickle.loads(pickle.dumps(frag))
+        assert clone == frag
+        assert clone.write_offsets() == frag.write_offsets()
+        # Container identity must not be shared — a worker-side mutation
+        # after pickling cannot alias the parent's copy.
+        assert clone.read_live_in is not frag.read_live_in
+        assert clone.writes is not frag.writes
+        assert clone.epoch_written is not frag.epoch_written
+
+    @given(elem=redux_elements)
+    @settings(max_examples=200, deadline=None)
+    def test_redux_element_round_trip(self, elem):
+        clone = pickle.loads(pickle.dumps(elem))
+        assert clone == elem
+        assert type(clone.delta) is type(elem.delta)
+
+    @given(frag=fragments)
+    @settings(max_examples=100, deadline=None)
+    def test_highest_protocol_round_trip(self, frag):
+        data = pickle.dumps(frag, protocol=pickle.HIGHEST_PROTOCOL)
+        assert pickle.loads(data) == frag
+
+
+# Write patterns as (offset, size, relative-iteration) triples against a
+# small heap; sizes stay modest so intervals overlap often.
+write_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=120),
+              st.integers(min_value=1, max_value=8),
+              st.integers(min_value=0, max_value=7)),
+    min_size=1, max_size=32)
+
+
+def _apply_writes(shadow, ops, epoch_start):
+    for offset, size, rel in sorted(ops, key=lambda op: op[2]):
+        ts = timestamp_for(epoch_start + rel, epoch_start)
+        shadow.on_write(offset, size, ts, epoch_start + rel)
+
+
+class TestMarkOldWritesMerge:
+    @given(ops=write_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, ops):
+        """Replaying the same fragment's offsets twice is a no-op: the
+        commit path may mark offsets that reset_after_checkpoint already
+        demoted, and re-delivery must not change the metadata."""
+        shadow = ShadowHeap(128)
+        _apply_writes(shadow, ops, epoch_start=0)
+        written = shadow.written_offsets()
+        shadow.reset_after_checkpoint()
+        baseline = bytes(shadow.meta)
+        shadow.mark_old_writes(written)
+        assert bytes(shadow.meta) == baseline
+        shadow.mark_old_writes(written)
+        assert bytes(shadow.meta) == baseline
+
+    @given(ops=write_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_replica_matches_in_process_shadow(self, ops):
+        """A fresh replica shadow fed only the fragment's write offsets
+        ends bit-identical to the persistent shadow that actually
+        executed the writes and checkpointed."""
+        live = ShadowHeap(128)
+        _apply_writes(live, ops, epoch_start=0)
+        frag = EpochFragment(wid=0, epoch_start=0)
+        frag.writes = [(b, it, WRITE_VALUE, 0)
+                       for b, it in live.write_iterations(0)]
+        live.reset_after_checkpoint()
+
+        replica = ShadowHeap(128)
+        replica.mark_old_writes(frag.write_offsets())
+        assert bytes(replica.meta) == bytes(live.meta)
+        assert not live.written and not live.read_live_in
+
+    @given(ops=write_ops, extra=st.sets(
+        st.integers(min_value=0, max_value=200), max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_only_marked_offsets_change(self, ops, extra):
+        shadow = ShadowHeap(128)
+        _apply_writes(shadow, ops, epoch_start=0)
+        shadow.reset_after_checkpoint()
+        before = bytes(shadow.meta)
+        shadow.mark_old_writes(extra)
+        for b, code in enumerate(shadow.meta):
+            if b in extra:
+                assert code == OLD_WRITE
+            elif b < len(before):
+                assert code == before[b]
+            else:  # offsets past the old size grew in as live-in
+                assert code == LIVE_IN
+
+    def test_grows_heap_for_out_of_range_offset(self):
+        shadow = ShadowHeap(8)
+        shadow.mark_old_writes({20})
+        assert shadow.size == 21
+        assert shadow.meta[20] == OLD_WRITE
+        assert all(c == LIVE_IN for c in shadow.meta[8:20])
+
+    @given(ops=write_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_read_live_in_survives_unrelated_marks(self, ops):
+        """Marking committed writes as old-write must not disturb bytes
+        another epoch is still tracking as read-live-in."""
+        shadow = ShadowHeap(256)
+        _apply_writes(shadow, ops, epoch_start=0)
+        shadow.reset_after_checkpoint()
+        probe = 200  # disjoint from write_ops offsets (max 120 + 8)
+        shadow.on_read(probe, 1, timestamp_for(0, 0), 0)
+        assert shadow.meta[probe] == READ_LIVE_IN
+        marked = {b for b in range(130) if shadow.meta[b] == OLD_WRITE}
+        shadow.mark_old_writes(marked)
+        assert shadow.meta[probe] == READ_LIVE_IN
+        assert shadow.read_live_in_offsets() == {probe}

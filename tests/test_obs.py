@@ -177,6 +177,56 @@ class TestMetrics:
         assert h.percentile(50) == 50
         assert h.percentile(95) == 95
 
+    def test_histogram_empty(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.mean is None
+        for p in (0, 50, 95, 100):
+            assert h.percentile(p) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] is None
+        assert snap["p50"] is None and snap["p95"] is None
+
+    def test_histogram_single_sample(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(42.0)
+        # Every percentile of a one-sample distribution is that sample.
+        for p in (0, 1, 50, 95, 99, 100):
+            assert h.percentile(p) == 42.0
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == snap["mean"] == 42.0
+
+    def test_histogram_percentile_bounds_clamped(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (10, 20, 30):
+            h.observe(v)
+        # Out-of-range p clamps to the extreme samples, never indexes
+        # outside the reservoir.
+        assert h.percentile(-50) == 10
+        assert h.percentile(0) == 10
+        assert h.percentile(100) == 30
+        assert h.percentile(500) == 30
+
+    def test_histogram_beyond_reservoir_cap(self):
+        from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP
+
+        h = MetricsRegistry().histogram("h")
+        n = HISTOGRAM_SAMPLE_CAP + 500
+        for v in range(n):
+            h.observe(float(v))
+        # Aggregates stay exact past the cap; the reservoir does not.
+        assert h.count == n
+        assert len(h.samples) == HISTOGRAM_SAMPLE_CAP
+        assert h.min == 0.0 and h.max == float(n - 1)
+        assert h.mean == sum(range(n)) / n
+        # Percentiles become estimates over the first CAP samples: still
+        # defined, still ordered, and bounded by the reservoir contents.
+        p50, p95 = h.percentile(50), h.percentile(95)
+        assert p50 is not None and p95 is not None
+        assert 0.0 <= p50 <= p95 <= float(HISTOGRAM_SAMPLE_CAP - 1)
+
     def test_kind_collision_raises(self):
         reg = MetricsRegistry()
         reg.counter("x")
