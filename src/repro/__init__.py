@@ -6,3 +6,7 @@ runtime, and the simulated/process DOALL backends.
 Start at :mod:`repro.bench.pipeline` (``prepare`` / ``execute``) or the
 CLI (``python -m repro``); docs/ARCHITECTURE.md maps the packages.
 """
+
+#: Package version, stamped into trace headers and forensics dumps so
+#: artifacts are self-describing.
+__version__ = "0.5.0"

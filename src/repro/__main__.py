@@ -5,6 +5,7 @@ Usage::
     python -m repro analyze prog.c --args 64
     python -m repro run prog.c --args 64 --workers 24 --timeline
     python -m repro trace dijkstra --out-dir traces/
+    python -m repro explain dijkstra --misspec-period 7 --misspec-burst 30
     python -m repro baselines prog.c --args 64
     python -m repro workloads
     python -m repro report > EXPERIMENTS.md
@@ -15,6 +16,14 @@ tracing/metrics layer on and emits a JSONL event stream plus a Chrome
 ``run``/``analyze``/``perf`` accept ``--trace``/``--trace-out``/
 ``--metrics`` for the same artifacts; ``REPRO_LOG=debug`` turns on
 runtime logging.
+
+Forensics: ``explain`` runs a workload with the flight recorder armed
+and prints a root-cause diagnosis for every misspeculation (offending
+site, object, logical heap, conflicting iteration pair, shadow-code
+transition).  ``run``/``trace``/``explain`` accept ``--report out.html``
+for a self-contained HTML run report; ``$REPRO_FLIGHT_DIR`` makes any
+run dump a flight record on misspeculation or crash.  See
+docs/FORENSICS.md.
 """
 
 from __future__ import annotations
@@ -132,6 +141,39 @@ def _obs_finish(args: argparse.Namespace, default_prefix: str,
     obs.disable()
 
 
+def _resolve_workload(args: argparse.Namespace):
+    """Resolve a positional workload argument — a registered workload name
+    or a MiniC source path — into ``(source, name, train_args, ref_args)``;
+    prints an error and returns None if it is neither."""
+    from .workloads import BY_NAME
+
+    path = Path(args.workload)
+    explicit_args = _parse_args_list(args.args) if args.args else None
+    if args.workload in BY_NAME:
+        w = BY_NAME[args.workload]
+        ref = explicit_args or (w.train if args.small else w.ref)
+        return w.source, w.name, w.train, ref
+    if path.is_file():
+        train = ref = explicit_args or ()
+        return path.read_text(), path.stem, train, ref
+    print(f"error: {args.workload!r} is neither a workload "
+          f"({', '.join(sorted(BY_NAME))}) nor a MiniC source file",
+          file=sys.stderr)
+    return None
+
+
+def _write_report(path: str, snapshot, title: str) -> None:
+    """Render the forensics snapshot as a self-contained HTML report."""
+    from .forensics import explain_snapshot, render_html
+
+    diagnoses = explain_snapshot(snapshot)
+    out = Path(path)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_html(snapshot, diagnoses, title=title))
+    print(f"report: {len(diagnoses)} diagnosis(es) -> {out}")
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .bench.pipeline import prepare
     from .transform.plan import SelectionError
@@ -195,6 +237,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.timeline and result.timeline is not None:
         print()
         print(result.timeline.render())
+    if args.report:
+        _write_report(args.report,
+                      result.forensics,  # type: ignore[attr-defined]
+                      f"{Path(args.source).stem} · "
+                      f"{resolve_backend_name(args.backend)}")
     _obs_finish(args, Path(args.source).stem, timeline=result.timeline)
     return 0 if ok else 1
 
@@ -267,26 +314,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from . import obs
     from .bench.pipeline import prepare
     from .transform.plan import SelectionError
-    from .workloads import BY_NAME
 
-    path = Path(args.workload)
-    explicit_args = _parse_args_list(args.args) if args.args else None
-    if args.workload in BY_NAME:
-        w = BY_NAME[args.workload]
-        source, name = w.source, w.name
-        train = w.train
-        ref = explicit_args or (w.train if args.small else w.ref)
-    elif path.is_file():
-        source, name = path.read_text(), path.stem
-        train = ref = explicit_args or ()
-    else:
-        print(f"error: {args.workload!r} is neither a workload "
-              f"({', '.join(sorted(BY_NAME))}) nor a MiniC source file",
-              file=sys.stderr)
+    resolved = _resolve_workload(args)
+    if resolved is None:
         return 2
+    source, name, train, ref = resolved
 
     obs.enable()
     out_dir = Path(args.out_dir)
+    # Stream events to the JSONL sink as they are recorded, so a crash
+    # mid-run still leaves a partial trace on disk; the final
+    # write_jsonl() below rewrites the complete file with a real header.
+    out_dir.mkdir(parents=True, exist_ok=True)
+    obs.TRACER.open_sink(out_dir / f"{name}.trace.jsonl")
     try:
         # The inspector observes the *full* pipeline: skip the profile
         # cache unless the user opts back in, so the profiling phases and
@@ -328,8 +368,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(obs.METRICS.render_table())
     print()
     _write_trace_artifacts(out_dir / name, timeline=result.timeline)
+    if args.report:
+        _write_report(args.report,
+                      result.forensics,  # type: ignore[attr-defined]
+                      f"{name} · {resolve_backend_name(args.backend)}")
     obs.disable()
     return 0 if ok else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .bench.pipeline import prepare
+    from .forensics import explain_snapshot, load_dump, render_text
+    from .forensics.explain import to_json
+    from .parallel.backend import resolve_backend_name
+    from .transform.plan import SelectionError
+
+    resolved = _resolve_workload(args)
+    if resolved is None:
+        return 2
+    source, name, train, ref = resolved
+    # Without an explicit --flight-dir the dump goes to a temp dir: the
+    # diagnosis is still derived by round-tripping through the on-disk
+    # artifact, but nothing is left behind.
+    tmp = None
+    flight_dir = args.flight_dir
+    if flight_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-flight-")
+        flight_dir = tmp.name
+    try:
+        try:
+            program = prepare(source, name, args=train, ref_args=ref,
+                              use_cache=not args.no_cache, adapt=args.adapt)
+        except SelectionError as e:
+            print("no parallelizable loop found:")
+            for reason in e.reasons:
+                print(f"  - {reason}")
+            return 1
+        result = program.execute(
+            workers=args.workers,
+            checkpoint_period=args.checkpoint_period,
+            misspec_period=args.misspec_period,
+            misspec_burst=args.misspec_burst,
+            backend=args.backend,
+            adapt=args.adapt,
+            flight_dir=flight_dir,
+        )
+        dump_path = result.flight_dump  # type: ignore[attr-defined]
+        snapshot = (load_dump(dump_path) if dump_path
+                    else result.forensics)  # type: ignore[attr-defined]
+        diagnoses = explain_snapshot(snapshot)
+        shown = dump_path if args.flight_dir else None
+        print(render_text(snapshot, diagnoses, dump_path=shown))
+        if args.json:
+            out = Path(args.json)
+            if out.parent != Path("."):
+                out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(to_json(snapshot, diagnoses),
+                                      indent=2, sort_keys=True) + "\n")
+            print(f"explain: JSON -> {out}")
+        if args.report:
+            _write_report(args.report, snapshot,
+                          f"{name} · {resolve_backend_name(args.backend)}")
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return 0
+
+
+def _add_report_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--report", default=None, metavar="OUT.html",
+                   help="write a self-contained HTML run report (heap "
+                        "map, epoch outcome strip, conflict table, "
+                        "controller decision log)")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -374,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the Figure 5 execution timeline")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk profile cache")
+    _add_report_flag(p)
     _add_backend_flag(p)
     _add_adapt_flag(p)
     _add_obs_flags(p)
@@ -402,9 +516,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", action="store_true",
                    help="allow the on-disk profile cache (default: off, so "
                         "the trace covers the whole pipeline)")
+    _add_report_flag(p)
     _add_backend_flag(p)
     _add_adapt_flag(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("explain", help="run a workload with the flight "
+                                       "recorder armed and diagnose every "
+                                       "misspeculation (root cause, site, "
+                                       "heap, iteration pair)")
+    p.add_argument("workload", help="workload name (see `repro workloads`) "
+                                    "or a MiniC source file")
+    p.add_argument("--args", nargs="*",
+                   help="integer arguments for main (overrides the "
+                        "workload's input set)")
+    p.add_argument("--small", action="store_true",
+                   help="use the train input instead of ref (CI smoke)")
+    p.add_argument("--workers", type=_positive_int, default=24)
+    p.add_argument("--checkpoint-period", type=_epoch_size, default=None)
+    p.add_argument("--misspec-period", type=int, default=0,
+                   help="inject a misspeculation every N iterations")
+    p.add_argument("--misspec-burst", type=int, default=0,
+                   help="limit injection to the first N iterations "
+                        "(0 = no limit)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="keep the flight dump under DIR (default: a "
+                        "temporary directory, discarded after the "
+                        "diagnosis; $REPRO_FLIGHT_DIR does NOT apply — "
+                        "explain always records)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the structured diagnosis as JSON "
+                        "(validated by `python -m repro.obs.schema "
+                        "--explain`)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk profile cache")
+    _add_report_flag(p)
+    _add_backend_flag(p)
+    _add_adapt_flag(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("baselines", help="judge the program under the "
                                          "comparison systems")

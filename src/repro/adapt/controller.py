@@ -107,8 +107,15 @@ class SpeculationController:
 
         #: Misspeculation strike counts per attributed object site.
         self.site_strikes: Dict[str, int] = {}
+        #: Latest forensic diagnosis per attributed site (so demotion
+        #: decisions carry a root cause, not just a strike count).
+        self.site_diagnoses: Dict[str, str] = {}
         #: Demotions decided during *this* run.
         self.new_demotions: Set[str] = set()
+        #: Flight recorder that decisions are mirrored into
+        #: (:class:`repro.forensics.recorder.FlightRecorder`); installed
+        #: by the executor alongside ``RuntimeSystem.controller``.
+        self.recorder = None
 
         # Warm start: reload the persisted policy for this loop.
         self.warm_start = False
@@ -125,6 +132,12 @@ class SpeculationController:
 
     # -- executor-facing decisions -------------------------------------------
 
+    def _record_decision(self, action: str, **fields: object) -> None:
+        """Mirror one controller decision into the flight recorder."""
+        if self.recorder is not None and self.recorder.enabled:
+            self.recorder.record("decision", action=action, loop=self.loop,
+                                 **fields)
+
     def begin_invocation(self, default_epoch: int) -> None:
         """Seed the epoch size on the first invocation: warm-started from
         the policy store when available, the executor's default otherwise.
@@ -136,6 +149,8 @@ class SpeculationController:
         self.initial_epoch = self.epoch_size
         self.min_epoch_seen = self.epoch_size
         self.max_epoch_seen = self.epoch_size
+        self._record_decision("seed", epoch_size=self.epoch_size,
+                              warm_start=self.warm_start)
         if TRACER.enabled:
             METRICS.gauge("adapt.epoch_size").set(self.epoch_size)
             TRACER.instant("adapt.seed", cat="adapt", loop=self.loop,
@@ -164,6 +179,7 @@ class SpeculationController:
         self.consecutive_squashes = self.config.fallback_after - 1
         log.info("adapt: sequential fallback for %d iteration(s) "
                  "(next backoff %d)", span, self.backoff)
+        self._record_decision("fallback", span=span, next_backoff=self.backoff)
         if TRACER.enabled:
             METRICS.counter("adapt.fallbacks").inc()
             TRACER.instant("adapt.fallback", cat="adapt", loop=self.loop,
@@ -172,6 +188,8 @@ class SpeculationController:
 
     def end_fallback(self, iterations: int) -> None:
         self.sequential_iterations += iterations
+        self._record_decision("reenable", sequential_iterations=iterations,
+                              epoch_size=self.epoch_size)
         if TRACER.enabled:
             TRACER.instant("adapt.reenable", cat="adapt", loop=self.loop,
                            sequential_iterations=iterations,
@@ -192,6 +210,9 @@ class SpeculationController:
                      "(%d iteration(s) lost)", old, self.epoch_size, kind,
                      squashed_iterations)
         self.min_epoch_seen = min(self.min_epoch_seen, self.epoch_size)
+        if self.epoch_size < old:
+            self._record_decision("shrink", from_size=old,
+                                  to_size=self.epoch_size, cause=kind)
         if TRACER.enabled:
             if self.epoch_size < old:
                 METRICS.counter("adapt.epoch.shrinks").inc()
@@ -215,6 +236,9 @@ class SpeculationController:
         if self.epoch_size > old:
             self.grows += 1
         self.max_epoch_seen = max(self.max_epoch_seen, self.epoch_size)
+        if self.epoch_size > old:
+            self._record_decision("grow", from_size=old,
+                                  to_size=self.epoch_size)
         if TRACER.enabled:
             if self.epoch_size > old:
                 METRICS.counter("adapt.epoch.grows").inc()
@@ -225,22 +249,30 @@ class SpeculationController:
             METRICS.gauge("adapt.misspec_rate").set(self.monitor.rate())
 
     def note_misspec(self, kind: str, iteration: int,
-                     site: Optional[str]) -> None:
+                     site: Optional[str],
+                     diagnosis: Optional[str] = None) -> None:
         """One misspeculation event, attributed (when possible) to the
         object site whose classification caused it.  ``demote_after``
-        strikes against one site record a demotion decision."""
+        strikes against one site record a demotion decision; the latest
+        forensic ``diagnosis`` string rides along so the decision names
+        the root cause, not just a count."""
         self.monitor.record_misspec(kind)
         if site is None or site in self.new_demotions \
                 or site in self.persisted_demotions:
             return
         strikes = self.site_strikes.get(site, 0) + 1
         self.site_strikes[site] = strikes
+        if diagnosis is not None:
+            self.site_diagnoses[site] = diagnosis
         if strikes < self.config.demote_after:
             return
         self.new_demotions.add(site)
+        cause = self.site_diagnoses.get(site, kind)
         log.warning("adapt: demoting %s to unrestricted after %d "
                     "misspeculation(s) (%s); takes effect on the next "
-                    "run's re-plan", site, strikes, kind)
+                    "run's re-plan", site, strikes, cause)
+        self._record_decision("demote", site=site, strikes=strikes,
+                              cause=kind, diagnosis=self.site_diagnoses.get(site))
         if TRACER.enabled:
             METRICS.counter("adapt.demotions").inc()
             TRACER.instant("adapt.demote", cat="adapt", loop=self.loop,
@@ -288,6 +320,11 @@ class SpeculationController:
             "final_epoch": self.epoch_size,
             "sequential_iterations": self.sequential_iterations,
             "demotions": sorted(self.new_demotions),
+            "demotion_diagnoses": {
+                site: self.site_diagnoses[site]
+                for site in sorted(self.new_demotions)
+                if site in self.site_diagnoses
+            },
             "persisted_demotions": sorted(self.persisted_demotions),
             "converged": self.converged(),
             "monitor": self.monitor.snapshot(),

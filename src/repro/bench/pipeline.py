@@ -10,6 +10,7 @@ at a scratch directory.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -103,6 +104,8 @@ class PreparedProgram:
         backend: Optional[str] = None,
         adapt: Optional[bool] = None,
         adapt_config: Optional[AdaptConfig] = None,
+        flight_dir: Optional[str] = None,
+        flight: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run the transformed program under the speculative DOALL
         executor on the ref input; each call uses a fresh machine.
@@ -111,7 +114,10 @@ class PreparedProgram:
         ``"process"``); None defers to ``REPRO_BACKEND`` and then the
         simulated default.  ``adapt`` enables the adaptive speculation
         controller (None inherits :func:`prepare`'s resolution; False
-        fully bypasses the subsystem).
+        fully bypasses the subsystem).  ``flight_dir`` overrides
+        ``$REPRO_FLIGHT_DIR`` as the destination for flight-recorder
+        dumps; ``flight=False`` disables the recorder entirely (for
+        overhead measurement).
         """
         enabled = adapt if adapt is not None else self.adapt_enabled
         controller = self.make_controller(adapt_config) if enabled else None
@@ -126,7 +132,24 @@ class PreparedProgram:
             costs=costs,
             record_timeline=record_timeline,
             controller=controller,
+            flight_dir=flight_dir,
         )
+        if flight is False:
+            executor.runtime.recorder.enabled = False
+        else:
+            from .. import __version__
+
+            run_meta = {
+                "repro_version": __version__,
+                "workload": self.name,
+                "fingerprint": self.fingerprint,
+                "adapt": enabled,
+                "argv": list(sys.argv),
+            }
+            executor.runtime.recorder.set_metadata(**run_meta)
+            if TRACER.enabled:
+                TRACER.set_run_metadata(
+                    **run_meta, backend=executor.backend_name)
         with TRACER.span("pipeline.execute", cat="pipeline",
                          program=self.name, workers=workers,
                          backend=executor.backend_name) as sp:
@@ -139,6 +162,10 @@ class PreparedProgram:
                        checkpoints=stats.checkpoints,
                        misspeculations=stats.misspec_count())
         result.timeline = executor.timeline  # type: ignore[attr-defined]
+        result.forensics = (  # type: ignore[attr-defined]
+            executor.flight_snapshot())
+        result.flight_dump = (  # type: ignore[attr-defined]
+            executor.flight_dump_path)
         return result
 
     def speedup(self, result: ExecutionResult) -> float:

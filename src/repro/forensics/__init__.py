@@ -1,0 +1,31 @@
+"""Misspeculation forensics: flight recorder, explain engine, HTML reports.
+
+The package answers "*why* did that epoch squash?" after the fact:
+
+- :mod:`repro.forensics.recorder` — a bounded in-memory flight recorder
+  fed by :class:`repro.runtime.system.RuntimeSystem`, both DOALL
+  backends, and the adaptive controller; dumped as JSONL only when a
+  misspeculation or crash occurs.
+- :mod:`repro.forensics.explain` — replays a dump (or live snapshot)
+  against the classifier verdicts and produces one structured
+  :class:`~repro.forensics.explain.Diagnosis` per misspeculation.
+- :mod:`repro.forensics.report` — renders a self-contained HTML run
+  report (heap map, epoch strip, conflict table, decision log).
+"""
+
+from .recorder import FLIGHT_DIR_ENV, FLIGHT_FORMAT, FlightRecorder, write_dump
+from .explain import Diagnosis, explain_snapshot, load_dump, render_text, summarize_context
+from .report import render_html
+
+__all__ = [
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
+    "write_dump",
+    "Diagnosis",
+    "explain_snapshot",
+    "load_dump",
+    "render_text",
+    "summarize_context",
+    "render_html",
+]

@@ -1,0 +1,261 @@
+"""Root-cause engine: turn a flight dump into per-misspec diagnoses.
+
+Works purely on the snapshot dict produced by
+:meth:`repro.forensics.recorder.FlightRecorder.snapshot` (or re-loaded
+from a JSONL dump via :func:`load_dump`), so a diagnosis can be computed
+live at the end of a run or offline from a dump file.  Every field is
+derived from backend-independent data (conflict context, classifier
+verdicts, heap map), which is what makes simulated/process diagnoses
+bit-identical — the parity tests rely on that.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .recorder import heap_name
+
+#: Version stamp for ``explain --json`` output (validated by repro.obs.schema).
+EXPLAIN_FORMAT = 1
+
+_EXPECTED_HEAP_RE = re.compile(r"is not in heap (\w+)")
+
+
+@dataclass
+class Diagnosis:
+    """Structured root cause for one misspeculation.
+
+    All fields are plain JSON types; ``address`` is a hex string and
+    ``heap_tag`` the raw 3-bit tag from address bits 44-46.
+    """
+
+    kind: str
+    iteration: int
+    injected: bool
+    site: Optional[str]
+    object_name: Optional[str]
+    heap: Optional[str]
+    heap_tag: Optional[int]
+    predicted_class: Optional[str]
+    observed_class: Optional[str]
+    offset: Optional[int]
+    address: Optional[str]
+    writer_iteration: Optional[int]
+    reader_iteration: Optional[int]
+    transition: Optional[str]
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON output."""
+        return asdict(self)
+
+
+def transition_of(kind: str, detail: str, ctx: Dict[str, object]) -> Optional[str]:
+    """Render the shadow-code transition (e.g. ``old-write@i=17 read at i=21``)."""
+    if not ctx:
+        return None
+    writer = ctx.get("writer_iteration")
+    reader = ctx.get("reader_iteration")
+    writer_wid = ctx.get("writer_wid")
+    reader_wid = ctx.get("reader_wid")
+    offset = ctx.get("offset")
+    if ctx.get("source") == "injected":
+        return f"injected conflict at private+{offset}"
+    if writer_wid is not None and reader_wid is not None:
+        who = f"worker {writer_wid} wrote"
+        if writer is not None:
+            who += f"@i={writer}"
+        return f"{who}, worker {reader_wid} read live-in"
+    if writer is not None and reader is not None:
+        return f"old-write@i={writer} read at i={reader}"
+    if writer is not None:
+        return f"write@i={writer} overwrote read-live-in byte"
+    if reader is not None:
+        if "before the last checkpoint" in detail:
+            return f"pre-checkpoint old-write read at i={reader}"
+        return f"live-in read at i={reader}"
+    if "earlier checkpoint epoch" in detail:
+        return "live-in read of byte defined in an earlier checkpoint epoch"
+    return None
+
+
+def _observed_class(kind: str, detail: str, heap: Optional[str], predicted: Optional[str]) -> Optional[str]:
+    """What the runtime actually observed, versus the classifier's bet."""
+    if kind == "privacy":
+        return "shared (cross-iteration flow)"
+    if kind == "separation":
+        return heap
+    if kind == "lifetime":
+        return "outlives iteration"
+    if kind == "value":
+        return "unpredictable value"
+    if kind == "injected":
+        return f"{predicted} (injected)" if predicted else "injected"
+    return None
+
+
+def diagnose_event(
+    event: Dict[str, object], verdicts: Dict[str, str]
+) -> Diagnosis:
+    """Build a :class:`Diagnosis` from one ``misspec`` recorder event."""
+    ctx = event.get("context") or {}
+    kind = str(event.get("kind", ""))
+    detail = str(event.get("detail", ""))
+    site = ctx.get("site")
+    heap_tag = ctx.get("heap_tag")
+    heap = heap_name(heap_tag) if heap_tag is not None else None
+    predicted = verdicts.get(site) if site else None
+    if kind == "separation":
+        m = _EXPECTED_HEAP_RE.search(detail)
+        if m:
+            predicted = m.group(1)
+    if predicted is None and heap is not None:
+        predicted = heap
+    address = ctx.get("address")
+    return Diagnosis(
+        kind=kind,
+        iteration=int(event.get("iteration", -1)),
+        injected=bool(event.get("injected", False)),
+        site=site,
+        object_name=ctx.get("object"),
+        heap=heap,
+        heap_tag=heap_tag,
+        predicted_class=predicted,
+        observed_class=_observed_class(kind, detail, heap, predicted),
+        offset=ctx.get("offset"),
+        address=f"0x{address:x}" if isinstance(address, int) else None,
+        writer_iteration=ctx.get("writer_iteration"),
+        reader_iteration=ctx.get("reader_iteration"),
+        transition=transition_of(kind, detail, ctx),
+        detail=detail,
+    )
+
+
+def explain_snapshot(snapshot: Dict[str, object]) -> List[Diagnosis]:
+    """Diagnose every misspeculation event in a flight snapshot, in order."""
+    verdicts = snapshot.get("verdicts") or {}
+    diagnoses = []
+    for event in snapshot.get("events", []):
+        if event.get("event") == "misspec":
+            diagnoses.append(diagnose_event(event, verdicts))
+    return diagnoses
+
+
+def summarize_context(kind: str, detail: str, ctx: Optional[Dict[str, object]]) -> str:
+    """One-line diagnosis string for controller strikes/demotions."""
+    if not ctx:
+        return f"{kind}: {detail}"
+    where = ctx.get("object") or "?"
+    offset = ctx.get("offset")
+    if offset is not None:
+        where += f"+{offset}"
+    tag = ctx.get("heap_tag")
+    heap = heap_name(tag) if tag is not None else "?"
+    transition = transition_of(kind, detail, ctx) or detail
+    site = ctx.get("site") or "?"
+    return f"{kind} at {where} [site {site}, heap {heap}]: {transition}"
+
+
+def to_json(snapshot: Dict[str, object], diagnoses: List[Diagnosis]) -> Dict[str, object]:
+    """Machine-readable ``explain`` payload (validated by repro.obs.schema)."""
+    return {
+        "explain_format": EXPLAIN_FORMAT,
+        "meta": snapshot.get("meta", {}),
+        "diagnoses": [d.to_dict() for d in diagnoses],
+    }
+
+
+def load_dump(path) -> Dict[str, object]:
+    """Re-load a JSONL flight dump into a snapshot dict.
+
+    Raises ``ValueError`` (with a line number) on malformed input.
+    """
+    snapshot: Dict[str, object] = {
+        "meta": {},
+        "heap_map": [],
+        "verdicts": {},
+        "site_summary": {},
+        "events": [],
+    }
+    saw_meta = False
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(rec, dict) or "kind" not in rec:
+            raise ValueError(f"{path}:{lineno}: expected an object with a 'kind' field")
+        kind = rec["kind"]
+        if kind == "meta":
+            meta = dict(rec)
+            meta.pop("kind")
+            snapshot["meta"] = meta
+            saw_meta = True
+        elif kind == "heap_map":
+            snapshot["heap_map"] = rec.get("objects", [])
+        elif kind == "verdicts":
+            snapshot["verdicts"] = rec.get("site_heaps", {})
+        elif kind == "site_summary":
+            snapshot["site_summary"] = rec.get("sites", {})
+        elif kind == "event":
+            data = rec.get("data")
+            if not isinstance(data, dict):
+                raise ValueError(f"{path}:{lineno}: event record missing 'data' object")
+            snapshot["events"].append(data)
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if not saw_meta:
+        raise ValueError(f"{path}: flight dump has no meta record")
+    return snapshot
+
+
+def render_text(
+    snapshot: Dict[str, object],
+    diagnoses: List[Diagnosis],
+    dump_path: Optional[str] = None,
+) -> str:
+    """Human-readable ``explain`` output."""
+    meta = snapshot.get("meta", {})
+    lines = []
+    workload = meta.get("workload") or meta.get("module") or "?"
+    backend = meta.get("backend", "?")
+    lines.append(
+        f"workload {workload} · backend {backend} · "
+        f"{meta.get('events_recorded', len(snapshot.get('events', [])))} events recorded"
+        + (f" ({meta.get('dropped')} dropped)" if meta.get("dropped") else "")
+    )
+    if dump_path:
+        lines.append(f"flight dump: {dump_path}")
+    if not diagnoses:
+        lines.append("no misspeculations recorded; nothing to explain.")
+        return "\n".join(lines)
+    lines.append(f"{len(diagnoses)} misspeculation(s) diagnosed:")
+    for n, d in enumerate(diagnoses, start=1):
+        lines.append(f"[{n}] {d.kind} at iteration {d.iteration}"
+                     + (" (injected)" if d.injected else ""))
+        if d.site is not None:
+            lines.append(f"    site:      {d.site}")
+        if d.object_name is not None:
+            where = d.object_name
+            if d.offset is not None:
+                where += f"+{d.offset}"
+            if d.address is not None:
+                where += f" ({d.address})"
+            lines.append(f"    object:    {where}")
+        if d.heap is not None:
+            lines.append(f"    heap:      {d.heap} (tag 0b{d.heap_tag:03b})")
+        if d.predicted_class is not None or d.observed_class is not None:
+            lines.append(
+                f"    predicted: {d.predicted_class or '?'} · observed: {d.observed_class or '?'}"
+            )
+        if d.transition is not None:
+            lines.append(f"    conflict:  {d.transition}")
+        lines.append(f"    detail:    {d.detail}")
+    return "\n".join(lines)

@@ -49,3 +49,8 @@ class Misspeculation(GuestError):
         self.kind = kind
         self.detail = detail
         self.iteration = iteration
+        #: Forensic conflict context (a plain picklable dict built by
+        #: :meth:`repro.runtime.system.RuntimeSystem.capture_conflict_context`)
+        #: or None when the flight recorder is disabled / nothing could be
+        #: recovered from the detail string.
+        self.context = None

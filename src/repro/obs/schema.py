@@ -1,11 +1,15 @@
-"""Schema validation for the JSONL trace stream (and the Chrome export).
+"""Schema validation for the JSONL trace stream (and the Chrome export),
+plus the forensics artifacts (flight-recorder dumps, ``explain`` JSON).
 
-Usable as a library (:func:`validate_event`, :func:`validate_jsonl`) and
-as a script — CI runs it against the artifact emitted by
-``python -m repro trace``::
+Usable as a library (:func:`validate_event`, :func:`validate_jsonl`,
+:func:`validate_flight`, :func:`validate_explain`) and as a script — CI
+runs it against the artifacts emitted by ``python -m repro trace`` and
+``python -m repro explain``::
 
     PYTHONPATH=src python -m repro.obs.schema out/dijkstra.trace.jsonl
     PYTHONPATH=src python -m repro.obs.schema --chrome out/dijkstra.chrome.json
+    PYTHONPATH=src python -m repro.obs.schema --flight out/dijkstra.simulated.flight.jsonl
+    PYTHONPATH=src python -m repro.obs.schema --explain out/dijkstra.explain.json
 """
 
 from __future__ import annotations
@@ -125,23 +129,174 @@ def validate_chrome(path: str) -> Dict[str, object]:
     return {"events": len(events), "errors": errors}
 
 
+#: Record kinds in a flight-recorder JSONL dump.
+FLIGHT_KINDS = {"meta", "heap_map", "verdicts", "site_summary", "event"}
+
+#: Event types the flight recorder emits.
+FLIGHT_EVENTS = {"invocation", "epoch", "misspec", "decision"}
+
+
+def _flight_record_errors(rec: Dict[str, object], where: str) -> List[str]:
+    """Validate one parsed flight-dump record."""
+    errors: List[str] = []
+    kind = rec.get("kind")
+    if kind == "meta":
+        if not isinstance(rec.get("flight_format"), int) \
+                or isinstance(rec.get("flight_format"), bool):
+            errors.append(f"{where}meta missing integer flight_format")
+        if not isinstance(rec.get("crash"), bool):
+            errors.append(f"{where}meta missing boolean crash")
+    elif kind == "heap_map":
+        objects = rec.get("objects")
+        if not isinstance(objects, list):
+            errors.append(f"{where}heap_map missing objects list")
+        else:
+            for i, obj in enumerate(objects):
+                if not isinstance(obj, dict) or "base" not in obj \
+                        or "heap" not in obj:
+                    errors.append(f"{where}heap_map objects[{i}] missing "
+                                  f"base/heap")
+                    break
+    elif kind == "verdicts":
+        if not isinstance(rec.get("site_heaps"), dict):
+            errors.append(f"{where}verdicts missing site_heaps object")
+    elif kind == "site_summary":
+        if not isinstance(rec.get("sites"), dict):
+            errors.append(f"{where}site_summary missing sites object")
+    elif kind == "event":
+        data = rec.get("data")
+        if not isinstance(data, dict):
+            errors.append(f"{where}event missing data object")
+        else:
+            event = data.get("event")
+            if event not in FLIGHT_EVENTS:
+                errors.append(f"{where}unknown event type {event!r}")
+            seq = data.get("seq")
+            if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+                errors.append(f"{where}event missing non-negative seq")
+            if event == "misspec":
+                if not isinstance(data.get("kind"), str):
+                    errors.append(f"{where}misspec event missing kind")
+                if not isinstance(data.get("iteration"), int):
+                    errors.append(f"{where}misspec event missing iteration")
+    else:
+        errors.append(f"{where}unknown record kind {kind!r}")
+    return errors
+
+
+def validate_flight(path: str, max_errors: int = 20) -> Dict[str, object]:
+    """Validate a flight-recorder JSONL dump; returns
+    ``{"records": n, "kinds": {...}, "errors": [...]}``."""
+    errors: List[str] = []
+    records = 0
+    kinds: Dict[str, int] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"line {lineno}: "
+            try:
+                rec = json.loads(line)
+            except ValueError as e:
+                errors.append(f"{where}invalid JSON ({e})")
+                continue
+            records += 1
+            if not isinstance(rec, dict):
+                errors.append(f"{where}record is not a JSON object")
+                continue
+            kinds[str(rec.get("kind"))] = kinds.get(str(rec.get("kind")), 0) + 1
+            if records == 1 and rec.get("kind") != "meta":
+                errors.append(f"{where}first record must be the meta header")
+            errors.extend(_flight_record_errors(rec, where))
+            if len(errors) >= max_errors:
+                errors.append("(stopping after too many errors)")
+                break
+    if records == 0:
+        errors.append("flight dump contains no records")
+    elif kinds.get("meta", 0) != 1:
+        errors.append(f"expected exactly one meta record, got "
+                      f"{kinds.get('meta', 0)}")
+    return {"records": records, "kinds": kinds, "errors": errors}
+
+
+def validate_explain(path: str) -> Dict[str, object]:
+    """Validate an ``explain --json`` payload; returns
+    ``{"diagnoses": n, "errors": [...]}``."""
+    errors: List[str] = []
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as e:
+            return {"diagnoses": 0, "errors": [f"invalid JSON ({e})"]}
+    if not isinstance(data, dict):
+        return {"diagnoses": 0, "errors": ["payload is not a JSON object"]}
+    if not isinstance(data.get("explain_format"), int) \
+            or isinstance(data.get("explain_format"), bool):
+        errors.append("missing integer explain_format")
+    if not isinstance(data.get("meta"), dict):
+        errors.append("missing meta object")
+    diagnoses = data.get("diagnoses")
+    if not isinstance(diagnoses, list):
+        errors.append("missing diagnoses list")
+        diagnoses = []
+    for i, d in enumerate(diagnoses):
+        if not isinstance(d, dict):
+            errors.append(f"diagnoses[{i}] is not an object")
+            continue
+        if not isinstance(d.get("kind"), str):
+            errors.append(f"diagnoses[{i}] missing kind")
+        if not isinstance(d.get("iteration"), int) \
+                or isinstance(d.get("iteration"), bool):
+            errors.append(f"diagnoses[{i}] missing integer iteration")
+        if not isinstance(d.get("injected"), bool):
+            errors.append(f"diagnoses[{i}] missing boolean injected")
+        site = d.get("site")
+        if site is not None and not isinstance(site, str):
+            errors.append(f"diagnoses[{i}] site must be string or null")
+        tag = d.get("heap_tag")
+        if tag is not None and (not isinstance(tag, int)
+                                or isinstance(tag, bool)):
+            errors.append(f"diagnoses[{i}] heap_tag must be int or null")
+        if len(errors) >= 20:
+            errors.append("(stopping after too many errors)")
+            break
+    return {"diagnoses": len(diagnoses), "errors": errors}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.schema",
-        description="validate a repro trace file (JSONL or Chrome JSON)")
-    parser.add_argument("path", help="trace file to validate")
-    parser.add_argument("--chrome", action="store_true",
-                        help="validate as Chrome trace_event JSON instead "
-                             "of the JSONL event stream")
+        description="validate a repro observability artifact (JSONL trace, "
+                    "Chrome JSON, flight dump, or explain JSON)")
+    parser.add_argument("path", help="file to validate")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--chrome", action="store_true",
+                      help="validate as Chrome trace_event JSON instead "
+                           "of the JSONL event stream")
+    mode.add_argument("--flight", action="store_true",
+                      help="validate as a flight-recorder JSONL dump")
+    mode.add_argument("--explain", action="store_true",
+                      help="validate as 'repro explain --json' output")
     args = parser.parse_args(argv)
-    report = (validate_chrome if args.chrome else validate_jsonl)(args.path)
+    if args.chrome:
+        validator = validate_chrome
+    elif args.flight:
+        validator = validate_flight
+    elif args.explain:
+        validator = validate_explain
+    else:
+        validator = validate_jsonl
+    report = validator(args.path)
     for err in report["errors"]:
         print(f"error: {err}", file=sys.stderr)
+    count = report.get("events",
+                       report.get("records", report.get("diagnoses", 0)))
     if report["errors"]:
         print(f"FAIL: {args.path}: {len(report['errors'])} error(s) in "
-              f"{report['events']} event(s)")
+              f"{count} record(s)")
         return 1
-    print(f"ok: {args.path}: {report['events']} event(s) valid")
+    print(f"ok: {args.path}: {count} record(s) valid")
     return 0
 
 

@@ -34,10 +34,12 @@ Export formats
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import threading
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TextIO
 
 #: Trace format version stamped into the JSONL meta header.
 TRACE_FORMAT = 1
@@ -129,6 +131,16 @@ class Tracer:
         self.events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._epoch = clock()
+        #: Run-identifying fields merged into the JSONL meta header
+        #: (version, argv, backend ... — see Tracer.set_run_metadata).
+        self.run_metadata: Dict[str, object] = {}
+        # Optional streaming JSONL sink: events are appended as they are
+        # recorded so a crash mid-run loses at most the unflushed tail
+        # instead of the whole buffer.  Guarded by the opening pid so
+        # forked workers (which exit via os._exit) never write to it.
+        self._sink: Optional[TextIO] = None
+        self._sink_pid = 0
+        self._atexit_registered = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -138,11 +150,62 @@ class Tracer:
 
     def disable(self) -> None:
         self.enabled = False
+        self.close_sink()
 
     def reset(self) -> None:
+        self.close_sink()
         with self._lock:
             self.events = []
+            self.run_metadata = {}
             self._epoch = self.clock()
+
+    def set_run_metadata(self, **fields: object) -> None:
+        """Merge run-identifying fields into the JSONL meta header."""
+        self.run_metadata.update(fields)
+
+    # -- streaming sink ----------------------------------------------------
+
+    def open_sink(self, path) -> None:
+        """Stream events to ``path`` as they are recorded.
+
+        The meta header is written immediately (its event count is -1,
+        meaning "streaming; count unknown"); a clean completion rewrites
+        the file via :meth:`write_jsonl` with the final count.  The sink
+        is flushed and closed via ``atexit`` so partial traces survive an
+        unhandled exception mid-run."""
+        self.close_sink()
+        self._sink = open(path, "w")
+        self._sink_pid = os.getpid()
+        self._sink.write(
+            json.dumps(self._meta_header(-1), sort_keys=True, default=str)
+            + "\n")
+        if not self._atexit_registered:
+            self._atexit_registered = True
+            atexit.register(self.close_sink)
+
+    def close_sink(self) -> None:
+        """Flush and close the streaming sink (idempotent, fork-safe)."""
+        sink = self._sink
+        if sink is None:
+            return
+        self._sink = None
+        if os.getpid() != self._sink_pid:
+            return
+        try:
+            sink.flush()
+            sink.close()
+        except (OSError, ValueError):
+            pass
+
+    def _sink_write(self, event: Dict[str, object]) -> None:
+        """Append one event to the sink (call with the lock held)."""
+        if self._sink is None or os.getpid() != self._sink_pid:
+            return
+        try:
+            self._sink.write(json.dumps(event, sort_keys=True, default=str)
+                             + "\n")
+        except (OSError, ValueError):
+            self._sink = None
 
     def _now_us(self, t: Optional[float] = None) -> float:
         return ((self.clock() if t is None else t) - self._epoch) * 1e6
@@ -162,7 +225,7 @@ class Tracer:
         if not self.enabled:
             return
         with self._lock:
-            self.events.append({
+            event = {
                 "kind": "span",
                 "name": span.name,
                 "cat": span.cat,
@@ -172,14 +235,16 @@ class Tracer:
                 "tid": span.tid,
                 "thread": threading.get_ident(),
                 "attrs": span.attrs,
-            })
+            }
+            self.events.append(event)
+            self._sink_write(event)
 
     def instant(self, name: str, cat: str = "event", tid: int = 0,
                 **attrs: object) -> None:
         if not self.enabled:
             return
         with self._lock:
-            self.events.append({
+            event = {
                 "kind": "instant",
                 "name": name,
                 "cat": cat,
@@ -188,7 +253,9 @@ class Tracer:
                 "tid": tid,
                 "thread": threading.get_ident(),
                 "attrs": attrs,
-            })
+            }
+            self.events.append(event)
+            self._sink_write(event)
 
     def absorb_worker_events(self, wid: int,
                              events: List[Dict[str, object]]) -> None:
@@ -206,25 +273,38 @@ class Tracer:
                 ev = dict(ev)
                 ev["pid"] = pid
                 self.events.append(ev)
+                self._sink_write(ev)
 
     # -- export ------------------------------------------------------------
 
-    def jsonl_lines(self) -> Iterator[str]:
-        header = {
+    def _meta_header(self, event_count: int) -> Dict[str, object]:
+        """The JSONL meta line; ``event_count`` is -1 while streaming."""
+        attrs: Dict[str, object] = {
+            "trace_format": TRACE_FORMAT,
+            "events": event_count,
+        }
+        if self.run_metadata:
+            attrs["run"] = dict(self.run_metadata)
+        return {
             "kind": "meta",
             "name": "repro-trace",
             "cat": "meta",
             "ts_us": 0.0,
             "pid": WALL_PID,
             "tid": 0,
-            "attrs": {"trace_format": TRACE_FORMAT, "events": len(self.events)},
+            "attrs": attrs,
         }
-        yield json.dumps(header, sort_keys=True, default=str)
+
+    def jsonl_lines(self) -> Iterator[str]:
+        yield json.dumps(self._meta_header(len(self.events)), sort_keys=True,
+                         default=str)
         for ev in self.events:
             yield json.dumps(ev, sort_keys=True, default=str)
 
     def write_jsonl(self, path) -> int:
-        """Write one event per line; returns the number of events."""
+        """Write one event per line; returns the number of events.  Closes
+        the streaming sink first (it may be the same file)."""
+        self.close_sink()
         with open(path, "w") as fh:
             for line in self.jsonl_lines():
                 fh.write(line + "\n")

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..forensics.recorder import FLIGHT_DIR_ENV, heap_map_of, write_dump
 from ..interp.errors import GuestExit, GuestFault, GuestTimeout, Misspeculation
 from ..interp.interpreter import BlockBreakpoint, Frame, Hook, Interpreter
 from ..ir.instructions import CmpPred, Phi
@@ -143,6 +145,10 @@ class IterationRecord:
     #: guest faults/timeouts (no timeline event, mirroring the simulated
     #: backend).
     misspec: Optional[Tuple[str, str, int, bool, bool]] = None
+    #: Forensic conflict context captured in the worker at the point of
+    #: misspeculation (plain dict; see
+    #: :meth:`repro.runtime.system.RuntimeSystem.capture_conflict_context`).
+    misspec_context: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -181,6 +187,7 @@ class BaseDOALLExecutor:
         record_timeline: bool = False,
         max_steps: int = 2_000_000_000,
         controller=None,
+        flight_dir: Optional[str] = None,
     ):
         self.module = module
         self.plan = plan
@@ -211,6 +218,14 @@ class BaseDOALLExecutor:
         self.runtime = RuntimeSystem(module, plan, self.interp)
         self.interp.block_breakpoints.add(plan.loop.header)
         self.runtime.controller = controller
+        if controller is not None:
+            controller.recorder = self.runtime.recorder
+        #: Directory for flight-recorder dumps; None (and no
+        #: ``REPRO_FLIGHT_DIR`` in the environment) disables dumping.
+        self.flight_dir = (flight_dir if flight_dir is not None
+                           else os.environ.get(FLIGHT_DIR_ENV))
+        #: Path of the dump written by the last :meth:`run`, if any.
+        self.flight_dump_path: Optional[str] = None
         self._invocations: List[InvocationResult] = []
         self._cycles_in_invocations = 0
         self._header_phi_count = sum(
@@ -219,7 +234,46 @@ class BaseDOALLExecutor:
 
     # -- whole-program run ----------------------------------------------------
 
+    def flight_snapshot(self, crash: bool = False) -> Dict[str, object]:
+        """Materialise the flight recorder plus heap map and classifier
+        verdicts as one snapshot dict (the explain engine's input)."""
+        runtime = self.runtime
+        heap_map = (heap_map_of(runtime.main_space)
+                    if runtime.recorder.enabled else [])
+        return runtime.recorder.snapshot(
+            heap_map=heap_map,
+            site_heaps=self.plan.assignment.site_heaps,
+            crash=crash)
+
+    def _dump_flight(self, crash: bool) -> Optional[Path]:
+        """Write the flight dump, if a dump directory is configured."""
+        if not self.flight_dir or not self.runtime.recorder.enabled:
+            return None
+        name = f"{self.module.name}.{self.backend_name}.flight.jsonl"
+        path = write_dump(self.flight_snapshot(crash=crash),
+                          Path(self.flight_dir) / name)
+        self.flight_dump_path = str(path)
+        log.info("flight dump written: %s", path)
+        return path
+
     def run(self, entry: str = "main", args: Sequence[object] = ()) -> ExecutionResult:
+        """Execute the whole guest program; on misspeculation or crash,
+        dump the flight recorder before returning/re-raising."""
+        recorder = self.runtime.recorder
+        if recorder.enabled:
+            recorder.set_metadata(backend=self.backend_name,
+                                  module=self.module.name,
+                                  workers=self.workers)
+        try:
+            result = self._run_guest(entry, args)
+        except BaseException:
+            self._dump_flight(crash=True)
+            raise
+        if self.runtime.stats.misspec_count() > 0:
+            self._dump_flight(crash=False)
+        return result
+
+    def _run_guest(self, entry: str, args: Sequence[object]) -> ExecutionResult:
         interp = self.interp
         fn = self.module.function_named(entry)
         interp.push_function(fn, args)
@@ -422,6 +476,15 @@ class BaseDOALLExecutor:
             return False
         return not self.misspec_burst or i < self.misspec_burst
 
+    def _injected_misspec(self, worker: WorkerState, i: int) -> Misspeculation:
+        """Build the injected misspeculation for iteration ``i``, with a
+        deterministic forensic context attached (the detail string stays
+        exactly ``artificially injected`` so site attribution — and hence
+        the controller's demotion policy — is unaffected by injection)."""
+        exc = Misspeculation("injected", "artificially injected", i)
+        exc.context = self.runtime.injected_conflict_context(worker, i)
+        return exc
+
     def _execute_iteration(self, worker: WorkerState, i: int, init: int) -> None:
         """Run one loop iteration to the next header entry in the worker's
         context, with full speculation support."""
@@ -504,6 +567,10 @@ class BaseDOALLExecutor:
                               f"iters [{start},{end})")
         log.info("adaptive fallback: ran iterations [%d,%d) sequentially "
                  "in %d cycles", start, end, cycles)
+        if runtime.recorder.enabled:
+            runtime.recorder.record("epoch", outcome="sequential",
+                                    epoch_start=start, epoch_end=end,
+                                    cycles=cycles)
         if TRACER.enabled:
             METRICS.counter("adapt.sequential_iterations").inc(end - start)
             TRACER.instant("executor.sequential_span", cat="executor",
@@ -543,6 +610,12 @@ class BaseDOALLExecutor:
                               f"iters [{epoch_start},{m}]")
         log.info("recovery: re-executed iterations [%d,%d] in %d cycles",
                  epoch_start, m, recovery_cycles)
+        if runtime.recorder.enabled:
+            runtime.recorder.record("epoch", outcome="squash",
+                                    epoch_start=epoch_start, epoch_end=m + 1,
+                                    misspec_iteration=m,
+                                    recovered=m + 1 - epoch_start,
+                                    cycles=recovery_cycles)
         if TRACER.enabled:
             METRICS.counter("executor.recoveries").inc()
             METRICS.histogram("executor.recovery.cycles").observe(

@@ -63,9 +63,9 @@ class DOALLExecutor(BaseDOALLExecutor):
                 try:
                     self._execute_iteration(worker, i, init)
                     if self._inject_misspec(i):
-                        raise Misspeculation(
-                            "injected", "artificially injected", i)
+                        raise self._injected_misspec(worker, i)
                 except Misspeculation as exc:
+                    runtime.capture_conflict_context(worker, exc)
                     runtime.record_misspeculation(
                         exc, injected=(exc.kind == "injected"))
                     worker.clock += interp.cycles - c0

@@ -279,14 +279,16 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
             v0 = stats.validation_cycles()
             k0 = stats.counter_snapshot()
             misspec: Optional[Tuple[str, str, int, bool, bool]] = None
+            misspec_context: Optional[Dict[str, object]] = None
             try:
                 self._execute_iteration(worker, i, init)
                 if self._inject_misspec(i):
-                    raise Misspeculation(
-                        "injected", "artificially injected", i)
+                    raise self._injected_misspec(worker, i)
             except Misspeculation as exc:
+                runtime.capture_conflict_context(worker, exc)
                 misspec = (exc.kind, exc.detail, exc.iteration,
                            exc.kind == "injected", False)
+                misspec_context = exc.context
             except (GuestFault, GuestTimeout) as fault:
                 misspec = ("fault", str(fault), i, False, True)
             records.append(IterationRecord(
@@ -297,6 +299,7 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
                 stats_delta=stats.counter_delta(k0),
                 io=runtime.deferred.records_for(i),
                 misspec=misspec,
+                misspec_context=misspec_context,
             ))
             if misspec is not None:
                 misspeculated = True
@@ -337,6 +340,7 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
                 if rec.misspec is not None:
                     kind, detail, exc_iter, injected, from_fault = rec.misspec
                     exc = Misspeculation(kind, detail, exc_iter)
+                    exc.context = rec.misspec_context
                     runtime.record_misspeculation(exc, injected=injected)
                     if earliest is None or rec.iteration < earliest[0]:
                         earliest = (rec.iteration, exc)

@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import re
 import struct as _struct
+from bisect import bisect_right
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.reduction import apply_operator
 from ..classify.heaps import HeapKind, tag_matches
+from ..forensics.explain import summarize_context
+from ..forensics.recorder import FlightRecorder
 from ..interp.errors import Misspeculation
 from ..interp.interpreter import Interpreter
 from ..interp.memory import AddressSpace, MemoryObject, PAGE_SIZE, heap_tag_of
@@ -38,7 +41,7 @@ from .fragments import (
     ReduxElement,
 )
 from .iodefer import DeferredOutput
-from .shadow import ShadowHeap, timestamp_for
+from .shadow import TS_BASE, ShadowHeap, timestamp_for
 from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
 
 log = get_logger("runtime")
@@ -104,6 +107,9 @@ class RuntimeSystem:
         #: fixed policy.  Installed by the executor, fed from
         #: :meth:`record_misspeculation` and :meth:`checkpoint`.
         self.controller = None
+        #: Forensic flight recorder (bounded ring; dumped by the executor
+        #: only when a misspeculation or crash occurs).
+        self.recorder = FlightRecorder()
         self.committed_meta = bytearray()
         self._protected: List[MemoryObject] = []
         self._default_printf = None
@@ -294,6 +300,9 @@ class RuntimeSystem:
         self.deferred = DeferredOutput()
         self.epoch_start = 0
         self.speculating = True
+        if self.recorder.enabled:
+            self.recorder.record("invocation", index=self.invocation_index,
+                                 workers=worker_count, private_extent=extent)
         log.info("invocation %d: %d worker(s), private extent %d bytes",
                  self.invocation_index, worker_count, extent)
 
@@ -487,17 +496,33 @@ class RuntimeSystem:
         for frag in fragments:
             for b in sorted(frag.read_live_in):
                 if b < len(self.committed_meta) and self.committed_meta[b] == 1:
-                    raise Misspeculation(
+                    exc = Misspeculation(
                         "privacy",
                         f"live-in read of byte private+{b} defined in an "
                         f"earlier checkpoint epoch", epoch_start)
+                    if self.recorder.enabled:
+                        ctx = self._base_context(None, self.private_base + b,
+                                                 b, "phase2")
+                        ctx["reader_wid"] = frag.wid
+                        exc.context = ctx
+                    raise exc
                 for other in fragments:
                     if other.wid != frag.wid and b in other.epoch_written:
-                        raise Misspeculation(
+                        exc = Misspeculation(
                             "privacy",
                             f"cross-worker flow: worker {other.wid} wrote "
                             f"private+{b}, worker {frag.wid} read it "
                             f"live-in", epoch_start)
+                        if self.recorder.enabled:
+                            ctx = self._base_context(
+                                None, self.private_base + b, b, "phase2")
+                            ctx["writer_wid"] = other.wid
+                            ctx["reader_wid"] = frag.wid
+                            ctx["writer_iteration"] = next(
+                                (it for bb, it, _k, _v in other.writes
+                                 if bb == b), None)
+                            exc.context = ctx
+                        raise exc
 
         # Merge private state: per byte, latest iteration wins.
         best: Dict[int, Tuple[int, int, int]] = {}
@@ -580,6 +605,16 @@ class RuntimeSystem:
                 private_bytes=merged, redux_bytes=redux_bytes,
                 dirty_pages=record.dirty_pages,
                 io_records=record.io_records_committed, cycles=cost)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "epoch", outcome="commit", invocation=self.invocation_index,
+                epoch_start=epoch_start, epoch_end=epoch_end,
+                private_bytes=merged, redux_bytes=redux_bytes,
+                dirty_pages=record.dirty_pages, cycles=cost)
+            self.recorder.note_site_accesses(
+                self._site_byte_counts(best.keys()),
+                self._site_byte_counts(
+                    {b for frag in fragments for b in frag.read_live_in}))
         if self.controller is not None:
             self.controller.note_commit(epoch_start, epoch_end)
         return record
@@ -617,9 +652,16 @@ class RuntimeSystem:
             TRACER.instant("runtime.misspec", cat="runtime", kind=exc.kind,
                            iteration=exc.iteration, detail=exc.detail,
                            injected=injected)
+        if self.recorder.enabled:
+            self.recorder.record("misspec", kind=exc.kind,
+                                 iteration=exc.iteration, detail=exc.detail,
+                                 injected=injected, context=exc.context)
         if self.controller is not None:
+            diagnosis = (summarize_context(exc.kind, exc.detail, exc.context)
+                         if exc.context is not None else None)
             self.controller.note_misspec(exc.kind, exc.iteration,
-                                         self._attribute_site(exc.detail))
+                                         self._attribute_site(exc.detail),
+                                         diagnosis)
 
     def _attribute_site(self, detail: str) -> Optional[str]:
         """Allocation site of the object a misspeculation detail string
@@ -636,6 +678,125 @@ class RuntimeSystem:
             addr = int(match.group(1), 16)
         found = self.main_space.try_find(addr)
         return found[0].site if found else None
+
+    # -- conflict forensics ----------------------------------------------------------
+
+    def _base_context(self, worker: Optional[WorkerState], addr: int,
+                      offset: Optional[int], source: str) -> Dict[str, object]:
+        """Common conflict-context fields: named object, heap tag, and the
+        raw shadow bytes around the conflict (phase-1 only: a worker's
+        shadow replica is what detected the conflict)."""
+        ctx: Dict[str, object] = {
+            "source": source,
+            "address": addr,
+            "offset": offset,
+            "heap_tag": heap_tag_of(addr),
+            "epoch_start": self.epoch_start,
+            "object": None, "site": None,
+            "object_base": None, "object_size": None,
+            "shadow_code": None, "shadow_window": None, "window_start": None,
+            "writer_iteration": None, "reader_iteration": None,
+            "writer_wid": None, "reader_wid": None,
+        }
+        space = worker.space if worker is not None else self.main_space
+        found = space.try_find(addr)
+        if found is None and space is not self.main_space:
+            found = self.main_space.try_find(addr)
+        if found is not None:
+            obj, _off = found
+            ctx["object"] = obj.name
+            ctx["site"] = obj.site
+            ctx["object_base"] = f"0x{obj.base:x}"
+            ctx["object_size"] = obj.size
+        if (worker is not None and offset is not None
+                and 0 <= offset < worker.shadow.size):
+            meta = worker.shadow.meta
+            lo = max(0, offset - 16)
+            hi = min(len(meta), offset + 17)
+            ctx["shadow_code"] = meta[offset]
+            ctx["shadow_window"] = bytes(meta[lo:hi]).hex()
+            ctx["window_start"] = lo
+        return ctx
+
+    def capture_conflict_context(self, worker: Optional[WorkerState],
+                                 exc: Misspeculation) -> Misspeculation:
+        """Attach a forensic context dict to a phase-1 misspeculation.
+
+        Idempotent and cheap: a no-op when the flight recorder is off,
+        when a context is already attached (process-backend replay of a
+        child-captured context), or when the detail string names no
+        address.  The context is a plain picklable dict so the process
+        backend can ship it over the report pipe unchanged.
+        """
+        if exc.context is not None or not self.recorder.enabled:
+            return exc
+        match = re.search(r"private\+(\d+)", exc.detail)
+        offset = None
+        addr = None
+        if match:
+            offset = int(match.group(1))
+            addr = self.private_base + offset
+        else:
+            match = re.search(r"0x([0-9a-f]+)", exc.detail)
+            if match:
+                addr = int(match.group(1), 16)
+                if heap_tag_of(addr) == int(HeapKind.PRIVATE):
+                    offset = addr - self.private_base
+        if addr is None:
+            return exc
+        ctx = self._base_context(worker, addr, offset, "phase1")
+        ts = re.search(r"written ts=(\d+), read ts=(\d+)", exc.detail)
+        if ts:
+            ctx["writer_iteration"] = self.epoch_start + int(ts.group(1)) - TS_BASE
+            ctx["reader_iteration"] = self.epoch_start + int(ts.group(2)) - TS_BASE
+        elif "before the last checkpoint" in exc.detail:
+            ctx["reader_iteration"] = exc.iteration
+        elif "read-live-in" in exc.detail:
+            ctx["writer_iteration"] = exc.iteration
+        exc.context = ctx
+        return exc
+
+    def injected_conflict_context(self, worker: WorkerState,
+                                  iteration: int) -> Optional[Dict[str, object]]:
+        """Deterministic conflict context for an injected misspeculation.
+
+        Anchored at the lowest private-heap byte the worker has written
+        this epoch (prediction restores count), so both backends name the
+        same site/object/tag for the same injection point — the forensics
+        parity tests rely on that.
+        """
+        if not self.recorder.enabled:
+            return None
+        offset = (min(worker.epoch_written_offsets)
+                  if worker.epoch_written_offsets else 0)
+        ctx = self._base_context(worker, self.private_base + offset,
+                                 offset, "injected")
+        ctx["writer_iteration"] = iteration
+        ctx["reader_iteration"] = iteration
+        return ctx
+
+    def _site_byte_counts(self, offsets) -> Dict[str, int]:
+        """Bytes-per-allocation-site histogram for a set of private-heap
+        offsets.  Attribution is per object extent, not per byte: one
+        address-space lookup plus one bisect per object touched, so the
+        per-checkpoint recording cost stays well under the flight
+        recorder's 2% clean-run budget as dirty bytes grow."""
+        ordered = sorted(offsets)
+        counts: Dict[str, int] = {}
+        i, n = 0, len(ordered)
+        while i < n:
+            b = ordered[i]
+            found = self.main_space.try_find(self.private_base + b)
+            if found is None:
+                i += 1
+                continue
+            obj, off = found
+            extent_end = b - off + obj.size
+            j = bisect_right(ordered, extent_end - 1, i)
+            site = obj.site or obj.name
+            counts[site] = counts.get(site, 0) + (j - i)
+            i = j
+        return counts
 
     def squash_to_recovery(self, misspec_iteration: int) -> None:
         """Discard all speculative state newer than the last checkpoint."""
