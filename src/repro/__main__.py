@@ -305,6 +305,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         min_speedup=args.min_speedup,
         backend=args.backend,
         adapt=args.adapt,
+        stress=args.stress,
     )
     _obs_finish(args, "perf")
     return rc
@@ -574,6 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
                                     "BENCH_interp.json")
     p.add_argument("--quick", action="store_true",
                    help="train inputs, dijkstra only, 1.5x gate (CI smoke)")
+    p.add_argument("--stress", action="store_true",
+                   help="add the large-footprint shadow configuration "
+                        "(multi-KB ops, multi-MB checkpoint merge)")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--workloads", nargs="*",
                    help="restrict to these workloads (default: all, or "

@@ -42,6 +42,39 @@ def heap_tag_of(addr: int) -> int:
     return (addr >> TAG_SHIFT) & TAG_MASK
 
 
+def _merge_runs(runs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and coalesce half-open (start, end) runs."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(runs):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract_runs(start: int, end: int,
+                   covered: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Pieces of ``[start, end)`` not inside any of the sorted coalesced
+    ``covered`` runs."""
+    out: List[Tuple[int, int]] = []
+    cursor = start
+    for c_start, c_end in covered:
+        if c_end <= cursor:
+            continue
+        if c_start >= end:
+            break
+        if c_start > cursor:
+            out.append((cursor, c_start))
+        cursor = max(cursor, c_end)
+        if cursor >= end:
+            return out
+    if cursor < end:
+        out.append((cursor, end))
+    return out
+
+
 def heap_base_for_tag(tag: int) -> int:
     if not 1 <= tag <= 7:
         raise ValueError(f"heap tag must be 1..7, got {tag}")
@@ -197,6 +230,54 @@ class AddressSpace:
 
     def object_for(self, addr: int) -> MemoryObject:
         return self.find(addr)[0]
+
+    def covering_pieces(
+        self, addr: int, size: int
+    ) -> List[Tuple[int, int, MemoryObject]]:
+        """Resolve the range ``[addr, addr+size)`` to maximal pieces
+        ``(start, end, object)`` such that :meth:`find` would return
+        ``object`` for every address in the piece; addresses where
+        ``find`` would fault are simply absent.  Sorted by start.
+
+        This is the bulk counterpart of :meth:`find` for the vectorized
+        checkpoint paths: one page-map intersection per object touched
+        instead of one lookup per byte.  The same precedence rules apply
+        — live objects only, nearer spaces shadow ancestors, and a local
+        COW copy substitutes for its parent object.
+        """
+        end = addr + size
+        if size <= 0:
+            return []
+        pieces: List[Tuple[int, int, MemoryObject]] = []
+        covered: List[Tuple[int, int]] = []  # claimed by nearer spaces
+        space: Optional[AddressSpace] = self
+        while space is not None:
+            seen: Set[int] = set()
+            candidates: List[Tuple[int, int, MemoryObject]] = []
+            for page in range(addr >> PAGE_SHIFT,
+                              ((end - 1) >> PAGE_SHIFT) + 1):
+                for obj in space._pages.get(page, ()):
+                    if not obj.alive or id(obj) in seen:
+                        continue
+                    seen.add(id(obj))
+                    lo = max(addr, obj.base)
+                    hi = min(end, obj.end)
+                    if lo >= hi:
+                        continue
+                    if space is not self:
+                        copy = self._cow_copies.get(obj.base)
+                        if copy is not None:
+                            obj = copy
+                    candidates.append((lo, hi, obj))
+            for lo, hi, obj in candidates:
+                for sub_lo, sub_hi in _subtract_runs(lo, hi, covered):
+                    pieces.append((sub_lo, sub_hi, obj))
+            if candidates:
+                covered = _merge_runs(
+                    covered + [(lo, hi) for lo, hi, _obj in candidates])
+            space = space.parent
+        pieces.sort(key=lambda piece: piece[0])
+        return pieces
 
     # -- copy-on-write -------------------------------------------------------------
 

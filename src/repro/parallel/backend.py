@@ -11,8 +11,9 @@ one checkpoint epoch executes*:
   fully observable, the reference semantics;
 * the **process** backend (:mod:`repro.parallel.process_backend`) forks
   one OS process per worker per epoch and executes the worker slices
-  concurrently, shipping per-iteration records and an
-  :class:`~repro.runtime.fragments.EpochFragment` back over a pipe.
+  concurrently, shipping per-iteration records and a packed
+  :class:`~repro.runtime.fragments.EpochFragment` (interval-run format,
+  with an explicit version field checked at commit) back over a pipe.
 
 Both feed the same :meth:`RuntimeSystem.checkpoint` commit path with
 fragments, so committed memory state, ``RuntimeStats`` and

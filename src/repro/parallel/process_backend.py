@@ -12,7 +12,9 @@ its own private/reduction heap replicas, then pickles back over a pipe:
   iteration (cycle/step deltas, validation attribution, RuntimeStats
   counter deltas, deferred output, misspeculation terms);
 * an :class:`~repro.runtime.fragments.EpochFragment` — the serialized
-  shadow-memory state — iff the slice completed cleanly;
+  shadow-memory state, run-length packed (format 2: write-interval runs
+  plus kind/value payload blobs, a fraction of the per-byte pickle
+  size) — iff the slice completed cleanly;
 * any trace events it recorded (re-homed to a per-worker trace process
   in the Chrome export).
 

@@ -373,12 +373,19 @@ def run_bench(quick: bool = False, repeats: int = 3,
               out: Optional[str] = DEFAULT_OUT,
               min_speedup: Optional[float] = None,
               backend: Optional[str] = None,
-              adapt: Optional[bool] = None) -> int:
+              adapt: Optional[bool] = None,
+              stress: bool = False) -> int:
     """Run the benchmark; returns a process exit code.
 
     ``quick`` uses train inputs, one pipeline workload, and a 1.5× floor
     on the dijkstra interp speedup (the CI smoke gate).  The full run
     uses ref inputs across all workloads.
+
+    The ``shadow`` section benchmarks Table 2 validation and the
+    checkpoint merge against the per-byte reference oracle; the merge
+    must clear :data:`~repro.perf.shadowbench.SHADOW_MERGE_GATE` on
+    every configuration.  ``stress`` adds a large-footprint
+    configuration (multi-KB operations, multi-MB merge).
 
     ``backend="process"`` adds a real-wall-clock section: a per-worker-
     count speedup curve of the process backend on each selected
@@ -484,6 +491,19 @@ def run_bench(quick: bool = False, repeats: int = 3,
                   f"warm={'yes' if res['warm_start'] else 'no'} "
                   f"converged={'yes' if res['converged'] else 'no'}")
 
+    from .shadowbench import SHADOW_MERGE_GATE, measure_shadow, shadow_configs
+
+    shadow_results = []
+    for config in shadow_configs(quick=quick, stress=stress):
+        res = measure_shadow(**config)
+        shadow_results.append(res)
+        p1, mg = res["phase1"], res["merge"]
+        print(f"shadow   {res['label']:12s} "
+              f"validate {p1['ref_mbps']:>8.1f} -> {p1['vec_mbps']:>8.1f} MB/s "
+              f"({p1['speedup']:.1f}x)  "
+              f"merge {mg['ref_mbps']:>8.1f} -> {mg['vec_mbps']:>8.1f} MB/s "
+              f"({mg['speedup']:.1f}x)")
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -491,6 +511,7 @@ def run_bench(quick: bool = False, repeats: int = 3,
         "pipeline": pipeline_results,
         "trace": trace_res,
         "flight": flight_res,
+        "shadow": shadow_results,
     }
     if scaling_results:
         entry["process_backend"] = scaling_results
@@ -517,6 +538,14 @@ def run_bench(quick: bool = False, repeats: int = 3,
               f"{trace_res['tracing_off_overhead_pct']:.2f}% exceeds the "
               f"{100 * TRACE_OFF_BUDGET:.0f}% budget")
         return 1
+
+    for res in shadow_results:
+        merge_speedup = res["merge"]["speedup"]
+        if merge_speedup < SHADOW_MERGE_GATE:
+            print(f"FAIL: shadow {res['label']}: checkpoint-merge speedup "
+                  f"{merge_speedup:.2f}x < required "
+                  f"{SHADOW_MERGE_GATE:.1f}x over the per-byte oracle")
+            return 1
 
     if flight_res["overhead_pct"] > 100 * FLIGHT_BUDGET:
         print(f"FAIL: flight-recorder overhead "

@@ -1,21 +1,28 @@
 """Privateer runtime support system: logical heaps, speculative
 validation, checkpoints, and recovery (§5)."""
 
+from .intervals import IntervalSet
 from .iodefer import DeferredOutput
 from .shadow import (
     LIVE_IN,
     MAX_TIMESTAMP,
     OLD_WRITE,
     READ_LIVE_IN,
+    SHADOW_ENV,
     TS_BASE,
+    ReferenceShadowHeap,
     ShadowHeap,
+    make_shadow,
     timestamp_for,
+    use_reference,
 )
 from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
 from .system import RuntimeSystem, WorkerState
 
 __all__ = [
-    "CheckpointRecord", "DeferredOutput", "LIVE_IN", "MAX_TIMESTAMP",
-    "MisspecEvent", "OLD_WRITE", "READ_LIVE_IN", "RuntimeStats",
-    "RuntimeSystem", "ShadowHeap", "TS_BASE", "WorkerState", "timestamp_for",
+    "CheckpointRecord", "DeferredOutput", "IntervalSet", "LIVE_IN",
+    "MAX_TIMESTAMP", "MisspecEvent", "OLD_WRITE", "READ_LIVE_IN",
+    "ReferenceShadowHeap", "RuntimeStats", "RuntimeSystem", "SHADOW_ENV",
+    "ShadowHeap", "TS_BASE", "WorkerState", "make_shadow", "timestamp_for",
+    "use_reference",
 ]

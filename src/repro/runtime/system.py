@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import re
 import struct as _struct
-from bisect import bisect_right
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.reduction import apply_operator
@@ -34,14 +33,22 @@ from ..obs.metrics import METRICS
 from ..obs.trace import TRACER
 from ..transform.plan import ParallelPlan, ReduxObjectPlan
 from .fragments import (
+    FRAGMENT_FORMAT,
     WRITE_FREED,
     WRITE_LOCAL,
     WRITE_VALUE,
     EpochFragment,
     ReduxElement,
 )
+from .intervals import IntervalSet, union_runs
 from .iodefer import DeferredOutput
-from .shadow import TS_BASE, ShadowHeap, timestamp_for
+from .merge import (
+    find_phase2_violation,
+    find_phase2_violation_ref,
+    merge_fragments,
+    merge_fragments_ref,
+)
+from .shadow import TS_BASE, make_shadow, timestamp_for, use_reference
 from .stats import CheckpointRecord, MisspecEvent, RuntimeStats
 
 log = get_logger("runtime")
@@ -64,14 +71,14 @@ class WorkerState:
     def __init__(self, wid: int, parent_space: AddressSpace, shadow_size: int):
         self.wid = wid
         self.space = AddressSpace(parent=parent_space)
-        self.shadow = ShadowHeap(shadow_size)
+        self.shadow = make_shadow(shadow_size)
         self.frame = None  # interpreter Frame, installed by the executor
         self.clock = 0     # simulated cycles, relative to region start
         self.iterations = 0
         self.shortlived_live = 0
         self.redux_written: Set[Tuple[int, int]] = set()  # (addr, size)
         self.redux_copies: Dict[int, Tuple[MemoryObject, ReduxObjectPlan]] = {}
-        self.epoch_written_offsets: Set[int] = set()
+        self.epoch_written_offsets = IntervalSet()
 
     def reset_epoch_tracking(self) -> None:
         self.redux_written.clear()
@@ -223,7 +230,7 @@ class RuntimeSystem:
             METRICS.counter("runtime.shadow.bytes_written").inc(size)
         worker = self.current_worker
         worker.shadow.on_write(offset, size, self._ts(), self.current_iteration)
-        worker.epoch_written_offsets.update(range(offset, offset + size))
+        worker.epoch_written_offsets.add_range(offset, offset + size)
         return None
 
     def _i_redux_update(self, interp, inst, args):
@@ -398,8 +405,8 @@ class RuntimeSystem:
             offset = addr - self.private_base
             if offset >= 0:
                 worker.shadow.on_write(offset, vp.size, self._ts(), iteration)
-                worker.epoch_written_offsets.update(
-                    range(offset, offset + vp.size))
+                worker.epoch_written_offsets.add_range(
+                    offset, offset + vp.size)
             worker.space.write_int(addr, vp.value, vp.size)
             self.stats.misc_validation_cycles += 4
 
@@ -427,24 +434,91 @@ class RuntimeSystem:
         simulated backend can extract in-process right before the commit
         and a forked worker can extract and pickle the result without
         perturbing its parent.
+
+        The default path works run-at-a-time: constant-timestamp runs
+        come straight off the shadow, and each run is classified
+        (freed / worker-local / value) by intersecting it with the
+        worker-space and main-space object extents, with byte values
+        copied out as slices.  ``REPRO_SHADOW=ref`` routes through the
+        per-byte oracle instead; both produce the identical canonical
+        packed fragment.
         """
-        frag = EpochFragment(
+        if use_reference():
+            return self._extract_fragment_ref(worker, epoch_start)
+        pb = self.private_base
+        write_runs: List[Tuple[int, int, int]] = []
+        kinds = bytearray()
+        values = bytearray()
+        freed_fill = bytes((WRITE_FREED,))
+        local_fill = bytes((WRITE_LOCAL,))
+        value_fill = bytes((WRITE_VALUE,))
+        for start, end, code in worker.shadow.write_ts_runs():
+            write_runs.append((start, end, code - TS_BASE))
+            addr, addr_end = pb + start, pb + end
+            cursor = addr
+            for s, e, obj in worker.space.covering_pieces(addr, end - start):
+                if s > cursor:
+                    # written then freed within the epoch
+                    kinds.extend(freed_fill * (s - cursor))
+                    values.extend(bytes(s - cursor))
+                piece_cursor = s
+                for ms, me, _mobj in self.main_space.covering_pieces(s, e - s):
+                    if ms > piece_cursor:
+                        # worker-local private allocation
+                        kinds.extend(local_fill * (ms - piece_cursor))
+                        values.extend(bytes(ms - piece_cursor))
+                    off = ms - obj.base
+                    kinds.extend(value_fill * (me - ms))
+                    values.extend(obj.data[off:off + (me - ms)])
+                    piece_cursor = me
+                if piece_cursor < e:
+                    kinds.extend(local_fill * (e - piece_cursor))
+                    values.extend(bytes(e - piece_cursor))
+                cursor = e
+            if cursor < addr_end:
+                kinds.extend(freed_fill * (addr_end - cursor))
+                values.extend(bytes(addr_end - cursor))
+        redux_elements, dirty_pages = self._extract_redux(worker)
+        return EpochFragment(
             wid=worker.wid, epoch_start=epoch_start,
-            read_live_in=set(worker.shadow.read_live_in_offsets()),
-            epoch_written=set(worker.epoch_written_offsets))
-        for b, iteration in worker.shadow.write_iterations(epoch_start):
+            read_live_in_runs=tuple(worker.shadow.read_live_in_runs()),
+            write_runs=tuple(write_runs),
+            write_kinds=bytes(kinds), write_values=bytes(values),
+            epoch_written_runs=tuple(worker.epoch_written_offsets.runs()),
+            redux_elements=redux_elements, dirty_private_pages=dirty_pages)
+
+    def _extract_fragment_ref(self, worker: WorkerState,
+                              epoch_start: int) -> EpochFragment:
+        """Per-byte oracle extraction (``REPRO_SHADOW=ref``): the
+        historical one-lookup-per-byte loop, packed into the same
+        canonical fragment form."""
+        writes: List[Tuple[int, int, int, int]] = []
+        for b, iteration in sorted(worker.shadow.write_iterations(epoch_start)):
             addr = self.private_base + b
             found = worker.space.try_find(addr)
             if found is None:
                 # written then freed within the epoch
-                frag.writes.append((b, iteration, WRITE_FREED, 0))
+                writes.append((b, iteration, WRITE_FREED, 0))
                 continue
             obj, off = found
             if self.main_space.try_find(addr) is None:
                 # worker-local private allocation
-                frag.writes.append((b, iteration, WRITE_LOCAL, 0))
+                writes.append((b, iteration, WRITE_LOCAL, 0))
             else:
-                frag.writes.append((b, iteration, WRITE_VALUE, obj.data[off]))
+                writes.append((b, iteration, WRITE_VALUE, obj.data[off]))
+        redux_elements, dirty_pages = self._extract_redux(worker)
+        return EpochFragment.pack(
+            wid=worker.wid, epoch_start=epoch_start,
+            read_live_in=worker.shadow.read_live_in_offsets(),
+            writes=writes,
+            epoch_written=worker.epoch_written_offsets.offsets(),
+            redux_elements=redux_elements, dirty_private_pages=dirty_pages)
+
+    def _extract_redux(self, worker: WorkerState
+                       ) -> Tuple[List[ReduxElement], int]:
+        """Reduction partial results and dirty-page count for a fragment
+        (shared by both extraction paths)."""
+        redux_elements: List[ReduxElement] = []
         elements: Set[Tuple[int, int]] = set()
         for addr, size in worker.redux_written:
             base_entry = worker.redux_copies.get(self._redux_object_base(addr))
@@ -454,8 +528,7 @@ class RuntimeSystem:
         for addr, es in sorted(elements):
             entry = worker.redux_copies.get(self._redux_object_base(addr))
             if entry is None:
-                frag.redux_elements.append(
-                    ReduxElement(addr, es, None, False, 0))
+                redux_elements.append(ReduxElement(addr, es, None, False, 0))
                 continue
             _copy, rplan = entry
             if rplan.is_float:
@@ -463,14 +536,14 @@ class RuntimeSystem:
             else:
                 signed = rplan.operator in ("ADD", "MUL")
                 delta = worker.space.read_int(addr, es, signed)
-            frag.redux_elements.append(
+            redux_elements.append(
                 ReduxElement(addr, es, rplan.operator, rplan.is_float, delta))
-        frag.dirty_private_pages = len({
+        dirty_pages = len({
             p for p in worker.space.dirty_pages
             if (p << 12) >= self.private_base
             and (p << 12) < self.private_base + (1 << 44)
         })
-        return frag
+        return redux_elements, dirty_pages
 
     def checkpoint(self, epoch_start: int, epoch_end: int,
                    fragments: Optional[List[EpochFragment]] = None
@@ -487,68 +560,69 @@ class RuntimeSystem:
         if fragments is None:
             fragments = [self.extract_fragment(w, epoch_start)
                          for w in self.workers]
+        for frag in fragments:
+            if frag.format != FRAGMENT_FORMAT:
+                raise ValueError(
+                    f"fragment format {frag.format} from worker {frag.wid} "
+                    f"does not match this runtime's format "
+                    f"{FRAGMENT_FORMAT}")
         record = CheckpointRecord(self.invocation_index, epoch_start, epoch_end)
 
         # Phase 2 privacy: a byte that some worker read as live-in must not
         # have been defined since the invocation began (committed old-write)
         # nor written by any other worker during this epoch.  Without a
         # read-iteration timestamp this is conservative, as in the paper.
-        for frag in fragments:
-            for b in sorted(frag.read_live_in):
-                if b < len(self.committed_meta) and self.committed_meta[b] == 1:
-                    exc = Misspeculation(
-                        "privacy",
-                        f"live-in read of byte private+{b} defined in an "
-                        f"earlier checkpoint epoch", epoch_start)
-                    if self.recorder.enabled:
-                        ctx = self._base_context(None, self.private_base + b,
-                                                 b, "phase2")
-                        ctx["reader_wid"] = frag.wid
-                        exc.context = ctx
-                    raise exc
-                for other in fragments:
-                    if other.wid != frag.wid and b in other.epoch_written:
-                        exc = Misspeculation(
-                            "privacy",
-                            f"cross-worker flow: worker {other.wid} wrote "
-                            f"private+{b}, worker {frag.wid} read it "
-                            f"live-in", epoch_start)
-                        if self.recorder.enabled:
-                            ctx = self._base_context(
-                                None, self.private_base + b, b, "phase2")
-                            ctx["writer_wid"] = other.wid
-                            ctx["reader_wid"] = frag.wid
-                            ctx["writer_iteration"] = next(
-                                (it for bb, it, _k, _v in other.writes
-                                 if bb == b), None)
-                            exc.context = ctx
-                        raise exc
+        ref_mode = use_reference()
+        violation = (find_phase2_violation_ref if ref_mode
+                     else find_phase2_violation)(fragments, self.committed_meta)
+        if violation is not None:
+            b = violation.offset
+            if violation.kind == "committed":
+                exc = Misspeculation(
+                    "privacy",
+                    f"live-in read of byte private+{b} defined in an "
+                    f"earlier checkpoint epoch", epoch_start)
+            else:
+                exc = Misspeculation(
+                    "privacy",
+                    f"cross-worker flow: worker {violation.writer_wid} wrote "
+                    f"private+{b}, worker {violation.reader_wid} read it "
+                    f"live-in", epoch_start)
+            if self.recorder.enabled:
+                ctx = self._base_context(None, self.private_base + b,
+                                         b, "phase2")
+                ctx["reader_wid"] = violation.reader_wid
+                if violation.kind == "cross-worker":
+                    ctx["writer_wid"] = violation.writer_wid
+                    ctx["writer_iteration"] = violation.writer_iteration
+                exc.context = ctx
+            raise exc
 
-        # Merge private state: per byte, latest iteration wins.
-        best: Dict[int, Tuple[int, int, int]] = {}
-        for frag in fragments:
-            for b, iteration, kind, value in frag.writes:
-                cur = best.get(b)
-                if cur is None or iteration > cur[0]:
-                    best[b] = (iteration, kind, value)
-        merged = 0
-        freed_bytes = 0
-        local_bytes = 0
-        for b, (_iteration, kind, value) in best.items():
-            if kind == WRITE_FREED:
-                freed_bytes += 1
-                continue
-            if kind == WRITE_LOCAL:
-                local_bytes += 1
-                continue
-            tobj, toff = self.main_space.find(self.private_base + b)
-            tobj.data[toff] = value
-            if b < len(self.committed_meta):
-                self.committed_meta[b] = 1
-            merged += 1
-        if freed_bytes or local_bytes:
+        # Merge private state: per byte, latest iteration wins.  The
+        # outcome buffers cover the written extent; winning WRITE_VALUE
+        # runs commit as slice stores, walking main-memory object
+        # extents instead of resolving each byte.
+        outcome = (merge_fragments_ref if ref_mode
+                   else merge_fragments)(fragments)
+        merged = outcome.merged_bytes
+        committed_limit = len(self.committed_meta)
+        for start, end in outcome.value_runs():
+            pos = start
+            while pos < end:
+                tobj, toff = self.main_space.find(self.private_base + pos)
+                length = min(end - pos, tobj.size - toff)
+                src = pos - outcome.base
+                tobj.data[toff:toff + length] = \
+                    outcome.values[src:src + length]
+                pos += length
+            clamped = min(end, committed_limit)
+            if start < clamped:
+                self.committed_meta[start:clamped] = \
+                    b"\x01" * (clamped - start)
+        if outcome.freed_bytes or outcome.local_bytes:
             log.debug("checkpoint: skipped %d freed and %d worker-local "
-                      "private byte(s) during merge", freed_bytes, local_bytes)
+                      "private byte(s) during merge",
+                      outcome.freed_bytes, outcome.local_bytes)
         record.private_bytes_copied = merged
 
         # Merge reduction partial results, in worker order (float merge
@@ -577,7 +651,7 @@ class RuntimeSystem:
             dirty_total += frag.dirty_private_pages
             record.dirty_pages += frag.dirty_private_pages
             worker.shadow.reset_after_checkpoint()
-            worker.shadow.mark_old_writes(frag.write_offsets())
+            worker.shadow.mark_old_write_runs(frag.write_spans())
             worker.reset_epoch_tracking()
             self._reset_worker_redux(worker)
 
@@ -612,9 +686,11 @@ class RuntimeSystem:
                 private_bytes=merged, redux_bytes=redux_bytes,
                 dirty_pages=record.dirty_pages, cycles=cost)
             self.recorder.note_site_accesses(
-                self._site_byte_counts(best.keys()),
                 self._site_byte_counts(
-                    {b for frag in fragments for b in frag.read_live_in}))
+                    union_runs(frag.write_spans() for frag in fragments)),
+                self._site_byte_counts(
+                    union_runs(frag.read_live_in_runs
+                               for frag in fragments)))
         if self.controller is not None:
             self.controller.note_commit(epoch_start, epoch_end)
         return record
@@ -767,7 +843,7 @@ class RuntimeSystem:
         """
         if not self.recorder.enabled:
             return None
-        offset = (min(worker.epoch_written_offsets)
+        offset = (worker.epoch_written_offsets.min_offset()
                   if worker.epoch_written_offsets else 0)
         ctx = self._base_context(worker, self.private_base + offset,
                                  offset, "injected")
@@ -775,27 +851,19 @@ class RuntimeSystem:
         ctx["reader_iteration"] = iteration
         return ctx
 
-    def _site_byte_counts(self, offsets) -> Dict[str, int]:
-        """Bytes-per-allocation-site histogram for a set of private-heap
-        offsets.  Attribution is per object extent, not per byte: one
-        address-space lookup plus one bisect per object touched, so the
+    def _site_byte_counts(self, runs) -> Dict[str, int]:
+        """Bytes-per-allocation-site histogram for coalesced runs of
+        private-heap offsets.  Attribution is per object extent, not per
+        byte: one address-space intersection per run, so the
         per-checkpoint recording cost stays well under the flight
         recorder's 2% clean-run budget as dirty bytes grow."""
-        ordered = sorted(offsets)
         counts: Dict[str, int] = {}
-        i, n = 0, len(ordered)
-        while i < n:
-            b = ordered[i]
-            found = self.main_space.try_find(self.private_base + b)
-            if found is None:
-                i += 1
-                continue
-            obj, off = found
-            extent_end = b - off + obj.size
-            j = bisect_right(ordered, extent_end - 1, i)
-            site = obj.site or obj.name
-            counts[site] = counts.get(site, 0) + (j - i)
-            i = j
+        pb = self.private_base
+        for start, end in runs:
+            for s, e, obj in self.main_space.covering_pieces(
+                    pb + start, end - start):
+                site = obj.site or obj.name
+                counts[site] = counts.get(site, 0) + (e - s)
         return counts
 
     def squash_to_recovery(self, misspec_iteration: int) -> None:
@@ -841,5 +909,4 @@ class RuntimeSystem:
         end = offset + size
         if end > len(self.committed_meta):
             self.committed_meta.extend(b"\x00" * (end - len(self.committed_meta)))
-        for b in range(offset, end):
-            self.committed_meta[b] = 1
+        self.committed_meta[offset:end] = b"\x01" * size

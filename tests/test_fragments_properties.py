@@ -7,6 +7,12 @@ writes into the parent-side replica shadow via ``mark_old_writes`` is
 idempotent and equivalent to the in-process ``reset_after_checkpoint``
 path.  Hypothesis generates arbitrary fragments and write patterns so
 these invariants hold beyond the shapes the workloads happen to hit.
+
+Fragments are format 2 (packed interval runs, see
+:mod:`repro.runtime.fragments`): strategies build them through
+:meth:`EpochFragment.pack` from per-byte inputs, and the round-trip
+tests additionally pin the explicit format-version field and the
+pack/iter_writes inverse.
 """
 
 import pickle
@@ -14,12 +20,14 @@ import pickle
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime.fragments import (
-    EpochFragment, ReduxElement, WRITE_FREED, WRITE_LOCAL, WRITE_VALUE)
+    EpochFragment, FRAGMENT_FORMAT, ReduxElement,
+    WRITE_FREED, WRITE_LOCAL, WRITE_VALUE)
 from repro.runtime.shadow import (
     LIVE_IN, OLD_WRITE, READ_LIVE_IN, ShadowHeap, timestamp_for)
 
 offsets = st.integers(min_value=0, max_value=4095)
 iterations = st.integers(min_value=0, max_value=10_000)
+rel_iters = st.integers(min_value=0, max_value=252)
 
 redux_elements = st.builds(
     ReduxElement,
@@ -33,36 +41,45 @@ redux_elements = st.builds(
     ),
 )
 
-writes = st.tuples(
-    offsets, iterations,
-    st.sampled_from([WRITE_VALUE, WRITE_FREED, WRITE_LOCAL]),
-    st.integers(min_value=0, max_value=255),
-)
+# Per-byte write entries for EpochFragment.pack: at most one per offset.
+write_entries = st.dictionaries(
+    offsets,
+    st.tuples(rel_iters,
+              st.sampled_from([WRITE_VALUE, WRITE_FREED, WRITE_LOCAL]),
+              st.integers(min_value=0, max_value=255)),
+    max_size=64)
 
-fragments = st.builds(
-    EpochFragment,
-    wid=st.integers(min_value=0, max_value=63),
-    epoch_start=iterations,
-    read_live_in=st.sets(offsets, max_size=64),
-    writes=st.lists(writes, max_size=64),
-    epoch_written=st.sets(offsets, max_size=64),
-    redux_elements=st.lists(redux_elements, max_size=16),
-    dirty_private_pages=st.integers(min_value=0, max_value=1024),
-)
+
+@st.composite
+def fragments(draw):
+    epoch_start = draw(iterations)
+    entries = draw(write_entries)
+    return EpochFragment.pack(
+        wid=draw(st.integers(min_value=0, max_value=63)),
+        epoch_start=epoch_start,
+        read_live_in=draw(st.sets(offsets, max_size=64)),
+        writes=[(b, epoch_start + rel, kind, value)
+                for b, (rel, kind, value) in entries.items()],
+        epoch_written=draw(st.sets(offsets, max_size=64)),
+        redux_elements=draw(st.lists(redux_elements, max_size=16)),
+        dirty_private_pages=draw(st.integers(min_value=0, max_value=1024)),
+    )
 
 
 class TestFragmentPickleRoundTrip:
-    @given(frag=fragments)
+    @given(frag=fragments())
     @settings(max_examples=200, deadline=None)
     def test_round_trip_preserves_every_field(self, frag):
         clone = pickle.loads(pickle.dumps(frag))
         assert clone == frag
+        assert clone.format == FRAGMENT_FORMAT
         assert clone.write_offsets() == frag.write_offsets()
-        # Container identity must not be shared — a worker-side mutation
-        # after pickling cannot alias the parent's copy.
-        assert clone.read_live_in is not frag.read_live_in
-        assert clone.writes is not frag.writes
-        assert clone.epoch_written is not frag.epoch_written
+        assert clone.read_live_in_offsets() == frag.read_live_in_offsets()
+        assert clone.epoch_written_offsets() == frag.epoch_written_offsets()
+        assert list(clone.iter_writes()) == list(frag.iter_writes())
+        # Mutable container identity must not be shared — a worker-side
+        # mutation after pickling cannot alias the parent's copy.
+        assert clone.redux_elements is not frag.redux_elements
 
     @given(elem=redux_elements)
     @settings(max_examples=200, deadline=None)
@@ -71,11 +88,57 @@ class TestFragmentPickleRoundTrip:
         assert clone == elem
         assert type(clone.delta) is type(elem.delta)
 
-    @given(frag=fragments)
+    @given(frag=fragments())
     @settings(max_examples=100, deadline=None)
     def test_highest_protocol_round_trip(self, frag):
         data = pickle.dumps(frag, protocol=pickle.HIGHEST_PROTOCOL)
         assert pickle.loads(data) == frag
+
+
+class TestPackedForm:
+    @given(entries=write_entries, epoch_start=iterations)
+    @settings(max_examples=200, deadline=None)
+    def test_pack_iter_writes_inverse(self, entries, epoch_start):
+        """pack() then iter_writes() returns exactly the per-byte input,
+        sorted by offset — the packed runs lose no information."""
+        writes = sorted((b, epoch_start + rel, kind, value)
+                        for b, (rel, kind, value) in entries.items())
+        frag = EpochFragment.pack(wid=0, epoch_start=epoch_start,
+                                  writes=writes)
+        assert list(frag.iter_writes()) == writes
+        assert frag.write_byte_count() == len(writes)
+        for b, iteration, _kind, _value in writes:
+            assert frag.iteration_of(b) == iteration
+
+    @given(entries=write_entries, epoch_start=iterations)
+    @settings(max_examples=200, deadline=None)
+    def test_runs_are_canonical(self, entries, epoch_start):
+        """Runs are sorted, non-overlapping, maximal (no two adjacent
+        runs share an iteration), and sized to the payload blobs."""
+        writes = [(b, epoch_start + rel, kind, value)
+                  for b, (rel, kind, value) in entries.items()]
+        frag = EpochFragment.pack(wid=0, epoch_start=epoch_start,
+                                  writes=writes)
+        total = 0
+        prev_end = None
+        prev_rel = None
+        for start, end, rel in frag.write_runs:
+            assert start < end
+            if prev_end is not None:
+                assert start >= prev_end
+                if start == prev_end:
+                    assert rel != prev_rel  # maximality
+            total += end - start
+            prev_end, prev_rel = end, rel
+        assert total == len(frag.write_kinds) == len(frag.write_values)
+
+    def test_duplicate_offsets_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EpochFragment.pack(wid=0, epoch_start=0,
+                               writes=[(3, 0, WRITE_VALUE, 1),
+                                       (3, 1, WRITE_VALUE, 2)])
 
 
 # Write patterns as (offset, size, relative-iteration) triples against a
@@ -118,15 +181,33 @@ class TestMarkOldWritesMerge:
         executed the writes and checkpointed."""
         live = ShadowHeap(128)
         _apply_writes(live, ops, epoch_start=0)
-        frag = EpochFragment(wid=0, epoch_start=0)
-        frag.writes = [(b, it, WRITE_VALUE, 0)
-                       for b, it in live.write_iterations(0)]
+        frag = EpochFragment.pack(
+            wid=0, epoch_start=0,
+            writes=[(b, it, WRITE_VALUE, 0)
+                    for b, it in live.write_iterations(0)])
         live.reset_after_checkpoint()
 
         replica = ShadowHeap(128)
         replica.mark_old_writes(frag.write_offsets())
         assert bytes(replica.meta) == bytes(live.meta)
         assert not live.written and not live.read_live_in
+
+    @given(ops=write_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_replica_run_path_matches_offset_path(self, ops):
+        """mark_old_write_runs(frag.write_spans()) — the checkpoint's
+        bulk path — is equivalent to per-offset mark_old_writes."""
+        live = ShadowHeap(128)
+        _apply_writes(live, ops, epoch_start=0)
+        frag = EpochFragment.pack(
+            wid=0, epoch_start=0,
+            writes=[(b, it, WRITE_VALUE, 0)
+                    for b, it in live.write_iterations(0)])
+        by_offset = ShadowHeap(128)
+        by_offset.mark_old_writes(frag.write_offsets())
+        by_runs = ShadowHeap(128)
+        by_runs.mark_old_write_runs(frag.write_spans())
+        assert bytes(by_runs.meta) == bytes(by_offset.meta)
 
     @given(ops=write_ops, extra=st.sets(
         st.integers(min_value=0, max_value=200), max_size=16))

@@ -1,0 +1,351 @@
+"""Differential tests: the vectorized shadow/checkpoint layers vs the
+per-byte reference oracle (``REPRO_SHADOW=ref``).
+
+Four layers of comparison, each driven by hypothesis where state space
+matters:
+
+* random read/write/checkpoint/mark sequences through
+  :class:`ShadowHeap` and :class:`ReferenceShadowHeap`, asserting
+  identical metadata bytes, identical misspeculation
+  kind/detail/iteration, and identical written/read-live-in offsets
+  after every operation;
+* the run accessors (``write_ts_runs``/``read_live_in_runs``) against
+  the oracle's per-byte views;
+* phase-two validation and latest-iteration-wins merge over random
+  packed fragments (:mod:`repro.runtime.merge`, vectorized vs ``_ref``);
+* whole pipeline runs with ``REPRO_SHADOW=ref`` vs the default,
+  asserting identical output, stats, checkpoint records, and
+  misspeculation events on clean, injected, and genuine-violation
+  programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.pipeline import prepare
+from repro.interp.errors import Misspeculation
+from repro.runtime.fragments import (
+    EpochFragment, WRITE_FREED, WRITE_LOCAL, WRITE_VALUE)
+from repro.runtime.intervals import (
+    IntervalSet, coalesce, constant_runs, first_overlap, runs_from_offsets,
+    value_runs)
+from repro.runtime.merge import (
+    find_phase2_violation, find_phase2_violation_ref,
+    merge_fragments, merge_fragments_ref)
+from repro.runtime.shadow import (
+    ReferenceShadowHeap, SHADOW_ENV, ShadowHeap, TS_BASE, make_shadow,
+    timestamp_for)
+
+from helpers import prepared_counter_program
+
+# -- operation-sequence differential ------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "checkpoint", "mark"]),
+              st.integers(min_value=0, max_value=180),   # offset
+              st.integers(min_value=1, max_value=24),    # size
+              st.integers(min_value=0, max_value=6)),    # relative iter
+    min_size=1, max_size=40)
+
+
+def _apply(shadow, op):
+    kind, offset, size, rel = op
+    if kind == "checkpoint":
+        shadow.reset_after_checkpoint()
+    elif kind == "mark":
+        shadow.mark_old_writes(set(range(offset, offset + size)))
+    else:
+        ts = timestamp_for(rel, 0)
+        if kind == "read":
+            shadow.on_read(offset, size, ts, rel)
+        else:
+            shadow.on_write(offset, size, ts, rel)
+
+
+def _assert_same_state(ref, vec):
+    assert ref.size == vec.size
+    assert bytes(ref.meta) == bytes(vec.meta)
+    assert ref.written_offsets() == vec.written_offsets()
+    assert ref.read_live_in_offsets() == vec.read_live_in_offsets()
+
+
+class TestOperationDifferential:
+    @given(sequence=ops)
+    @settings(max_examples=400, deadline=None)
+    def test_metadata_and_misspecs_identical(self, sequence):
+        ref = ReferenceShadowHeap(32)
+        vec = ShadowHeap(32)
+        for op in sequence:
+            ref_exc = vec_exc = None
+            try:
+                _apply(ref, op)
+            except Misspeculation as exc:
+                ref_exc = exc
+            try:
+                _apply(vec, op)
+            except Misspeculation as exc:
+                vec_exc = exc
+            assert (ref_exc is None) == (vec_exc is None), op
+            if ref_exc is not None:
+                assert (ref_exc.kind, ref_exc.detail, ref_exc.iteration) == \
+                    (vec_exc.kind, vec_exc.detail, vec_exc.iteration)
+            _assert_same_state(ref, vec)
+
+    @given(sequence=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_run_accessors_match_per_byte_views(self, sequence):
+        ref = ReferenceShadowHeap(32)
+        vec = ShadowHeap(32)
+        for op in sequence:
+            try:
+                _apply(ref, op)
+            except Misspeculation:
+                pass
+            try:
+                _apply(vec, op)
+            except Misspeculation:
+                pass
+        assert sorted(ref.write_iterations(0)) == \
+            sorted(vec.write_iterations(0))
+        read_runs = vec.read_live_in_runs()
+        covered = set()
+        for start, end in read_runs:
+            covered.update(range(start, end))
+        assert covered == ref.read_live_in_offsets()
+        assert read_runs == coalesce(read_runs)  # canonical form
+        for start, end, ts in vec.write_ts_runs():
+            assert start < end and ts >= TS_BASE
+
+
+class TestMakeShadow:
+    def test_env_selects_implementation(self, monkeypatch):
+        monkeypatch.delenv(SHADOW_ENV, raising=False)
+        assert isinstance(make_shadow(8), ShadowHeap)
+        monkeypatch.setenv(SHADOW_ENV, "ref")
+        assert isinstance(make_shadow(8), ReferenceShadowHeap)
+
+
+# -- interval primitives -------------------------------------------------
+
+run_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=300),
+              st.integers(min_value=1, max_value=20)).map(
+                  lambda p: (p[0], p[0] + p[1])),
+    max_size=20)
+
+
+class TestIntervalPrimitives:
+    @given(runs=run_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_interval_set_matches_plain_set(self, runs):
+        iset = IntervalSet()
+        plain = set()
+        for start, end in runs:
+            iset.add_range(start, end)
+            plain.update(range(start, end))
+        assert iset.offsets() == plain
+        assert bool(iset) == bool(plain)
+        assert iset.min_offset() == (min(plain) if plain else None)
+        for probe in (0, 5, 150, 321):
+            assert (probe in iset) == (probe in plain)
+
+    @given(a=run_lists, b=run_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_first_overlap_matches_set_intersection(self, a, b):
+        ca, cb = coalesce(a), coalesce(b)
+        sa = {x for s, e in ca for x in range(s, e)}
+        sb = {x for s, e in cb for x in range(s, e)}
+        expected = min(sa & sb) if sa & sb else None
+        assert first_overlap(ca, cb) == expected
+
+    @given(data=st.binary(max_size=200),
+           value=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=200, deadline=None)
+    def test_value_runs_and_constant_runs(self, data, value):
+        expected = {i for i, byte in enumerate(data) if byte == value}
+        got = {x for s, e in value_runs(data, value) for x in range(s, e)}
+        assert got == expected
+        reconstructed = bytearray(len(data))
+        for start, end, code in constant_runs(data):
+            reconstructed[start:end] = bytes((code,)) * (end - start)
+        assert bytes(reconstructed) == data
+
+    @given(offs=st.sets(st.integers(min_value=0, max_value=100),
+                        max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_runs_from_offsets_round_trip(self, offs):
+        runs = runs_from_offsets(offs)
+        assert {x for s, e in runs for x in range(s, e)} == offs
+        assert runs == coalesce(runs)
+
+
+# -- phase-2 validation and merge differential ---------------------------
+
+write_entries = st.dictionaries(
+    st.integers(min_value=0, max_value=160),
+    st.tuples(st.integers(min_value=0, max_value=6),
+              st.sampled_from([WRITE_VALUE, WRITE_FREED, WRITE_LOCAL]),
+              st.integers(min_value=0, max_value=255)),
+    max_size=48)
+
+
+@st.composite
+def fragment_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    frags = []
+    for wid in range(count):
+        entries = draw(write_entries)
+        reads = draw(st.sets(st.integers(min_value=0, max_value=160),
+                             max_size=32))
+        extra_written = draw(st.sets(
+            st.integers(min_value=0, max_value=160), max_size=32))
+        frags.append(EpochFragment.pack(
+            wid=wid, epoch_start=0,
+            read_live_in=reads,
+            writes=[(b, rel, kind, value)
+                    for b, (rel, kind, value) in entries.items()],
+            epoch_written=set(entries) | extra_written))
+    return frags
+
+
+committed_sets = st.sets(st.integers(min_value=0, max_value=160),
+                         max_size=24)
+
+
+def _committed_meta(offsets):
+    meta = bytearray(192)
+    for b in offsets:
+        meta[b] = 1
+    return meta
+
+
+class TestPhase2Differential:
+    @given(frags=fragment_lists(), committed=committed_sets)
+    @settings(max_examples=400, deadline=None)
+    def test_same_violation(self, frags, committed):
+        meta = _committed_meta(committed)
+        assert find_phase2_violation(frags, meta) == \
+            find_phase2_violation_ref(frags, meta)
+
+    def test_committed_check_outranks_cross_worker_at_same_offset(self):
+        frags = [
+            EpochFragment.pack(wid=0, epoch_start=0, read_live_in={5}),
+            EpochFragment.pack(wid=1, epoch_start=0,
+                               writes=[(5, 0, WRITE_VALUE, 7)],
+                               epoch_written={5}),
+        ]
+        meta = _committed_meta({5})
+        for finder in (find_phase2_violation, find_phase2_violation_ref):
+            violation = finder(frags, meta)
+            assert violation.kind == "committed"
+            assert violation.offset == 5 and violation.reader_wid == 0
+
+
+class TestMergeDifferential:
+    @given(frags=fragment_lists())
+    @settings(max_examples=400, deadline=None)
+    def test_same_outcome(self, frags):
+        assert merge_fragments(frags) == merge_fragments_ref(frags)
+
+    def test_first_fragment_keeps_iteration_ties(self):
+        frags = [
+            EpochFragment.pack(wid=0, epoch_start=0,
+                               writes=[(3, 2, WRITE_VALUE, 11)],
+                               epoch_written={3}),
+            EpochFragment.pack(wid=1, epoch_start=0,
+                               writes=[(3, 2, WRITE_VALUE, 99)],
+                               epoch_written={3}),
+        ]
+        for merger in (merge_fragments, merge_fragments_ref):
+            outcome = merger(frags)
+            assert outcome.values[3 - outcome.base] == 11
+
+    def test_strictly_later_iteration_wins(self):
+        frags = [
+            EpochFragment.pack(wid=0, epoch_start=0,
+                               writes=[(3, 2, WRITE_VALUE, 11)],
+                               epoch_written={3}),
+            EpochFragment.pack(wid=1, epoch_start=0,
+                               writes=[(3, 4, WRITE_VALUE, 99)],
+                               epoch_written={3}),
+        ]
+        for merger in (merge_fragments, merge_fragments_ref):
+            outcome = merger(frags)
+            assert outcome.values[3 - outcome.base] == 99
+            assert outcome.merged_bytes == 1
+
+
+# -- end-to-end pipeline differential ------------------------------------
+
+def _run_counter(monkeypatch, mode, **kwargs):
+    if mode == "ref":
+        monkeypatch.setenv(SHADOW_ENV, "ref")
+    else:
+        monkeypatch.delenv(SHADOW_ENV, raising=False)
+    prog = prepared_counter_program(24)
+    return prog.execute(workers=3, **kwargs)
+
+
+def _assert_results_match(a, b):
+    assert a.output == b.output
+    assert a.return_value == b.return_value
+    assert a.total_wall_cycles == b.total_wall_cycles
+    sa, sb = a.runtime_stats, b.runtime_stats
+    assert sa.counter_snapshot() == sb.counter_snapshot()
+    assert [(m.kind, m.iteration, m.detail, m.injected)
+            for m in sa.misspeculations] == \
+        [(m.kind, m.iteration, m.detail, m.injected)
+         for m in sb.misspeculations]
+    assert [(r.start_iteration, r.end_iteration, r.private_bytes_copied,
+             r.redux_bytes_merged, r.dirty_pages)
+            for r in sa.checkpoint_records] == \
+        [(r.start_iteration, r.end_iteration, r.private_bytes_copied,
+          r.redux_bytes_merged, r.dirty_pages)
+         for r in sb.checkpoint_records]
+
+
+class TestEndToEndOracleParity:
+    def test_clean_run(self, monkeypatch):
+        ref = _run_counter(monkeypatch, "ref", checkpoint_period=5)
+        vec = _run_counter(monkeypatch, "vec", checkpoint_period=5)
+        _assert_results_match(ref, vec)
+        assert vec.runtime_stats.misspec_count() == 0
+
+    def test_injected_misspeculation(self, monkeypatch):
+        ref = _run_counter(monkeypatch, "ref", misspec_period=7,
+                           checkpoint_period=4)
+        vec = _run_counter(monkeypatch, "vec", misspec_period=7,
+                           checkpoint_period=4)
+        _assert_results_match(ref, vec)
+        assert vec.runtime_stats.misspec_count() > 0
+
+    GENUINE_SRC = """
+    int state[8];
+    int out[128];
+    int main(int n, int carry) {
+        for (int i = 0; i < n; i++) {
+            if (carry && i > 0) {
+                out[i] = state[0];
+            } else {
+                out[i] = i;
+            }
+            state[0] = i * 7;
+            for (int j = 0; j < 25; j++) { out[i] += j; }
+        }
+        printf("%d %d %d\\n", out[1], out[5], out[n-1]);
+        return 0;
+    }
+    """
+
+    def test_genuine_privacy_violation(self, monkeypatch):
+        results = {}
+        for mode in ("ref", "vec"):
+            if mode == "ref":
+                monkeypatch.setenv(SHADOW_ENV, "ref")
+            else:
+                monkeypatch.delenv(SHADOW_ENV, raising=False)
+            prog = prepare(self.GENUINE_SRC, "oracle_privacy",
+                           args=(24, 0), ref_args=(24, 1))
+            results[mode] = prog.execute(workers=4)
+        _assert_results_match(results["ref"], results["vec"])
+        assert results["vec"].runtime_stats.misspec_count() > 0
+        assert results["vec"].runtime_stats.recoveries > 0
