@@ -113,6 +113,33 @@ def _obs_enable_if_requested(args: argparse.Namespace) -> bool:
     return False
 
 
+def _start_status_server(args: argparse.Namespace):
+    """Start the live status endpoint when ``--status-port`` (or
+    ``$REPRO_STATUS_PORT``) is configured; returns the running server or
+    None.  Arms observability if it isn't already — in-worker telemetry
+    only flows while tracing is enabled, and a status endpoint over an
+    empty registry is useless."""
+    from .obs.server import StatusServer, resolve_status_port
+
+    if not hasattr(args, "status_port"):
+        return None  # consumer commands (top, bench-check, ...) never serve
+    try:
+        port = resolve_status_port(args.status_port)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if port is None:
+        return None
+    from . import obs
+
+    if not obs.enabled():
+        obs.enable()
+    server = StatusServer(port=port).start()
+    print(f"status: {server.url}/metrics · /metrics.prom · /health "
+          f"(poll with: python -m repro top --port {server.port})")
+    return server
+
+
 def _write_trace_artifacts(prefix: Path, timeline=None) -> None:
     from . import obs
 
@@ -455,6 +482,15 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                         "(implies --trace)")
     p.add_argument("--metrics", action="store_true",
                    help="print the metrics table after the command")
+    _add_status_flag(p)
+
+
+def _add_status_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                   help="serve a live status endpoint on 127.0.0.1:PORT "
+                        "(/metrics, /metrics.prom, /health) while the "
+                        "command runs; 0 picks an ephemeral port; "
+                        "defaults to $REPRO_STATUS_PORT")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report_flag(p)
     _add_backend_flag(p)
     _add_adapt_flag(p)
+    _add_status_flag(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("explain", help="run a workload with the flight "
@@ -590,16 +627,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_adapt_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("top", add_help=False,
+                       help="live terminal dashboard polling a run's "
+                            "status endpoint (see --status-port)")
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("bench-check", add_help=False,
+                       help="fail if the latest BENCH_interp.json entry "
+                            "regressed against the trajectory median")
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_bench_check)
     return parser
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import main as top_main
+
+    return top_main(args.rest)
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    from .bench.check import main as check_main
+
+    return check_main(args.rest)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from .obs.log import configure_from_env
 
     configure_from_env()  # honour REPRO_LOG=debug|info|... for every command
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Delegated subcommands own their argument parsing; hand over before
+    # argparse (REMAINDER refuses leading optionals, bpo-17050).
+    if argv[:1] == ["top"]:
+        from .obs.top import main as top_main
+
+        return top_main(argv[1:])
+    if argv[:1] == ["bench-check"]:
+        from .bench.check import main as check_main
+
+        return check_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    status = _start_status_server(args)
+    try:
+        return args.func(args)
+    finally:
+        if status is not None:
+            status.stop()
+            from . import obs
+
+            obs.disable()  # the endpoint armed obs; don't leak the state
 
 
 if __name__ == "__main__":

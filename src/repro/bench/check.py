@@ -1,0 +1,195 @@
+"""``python -m repro bench-check`` — the bench regression sentinel.
+
+Compares the *latest* entry of the ``BENCH_interp.json`` trajectory
+against the median of the prior entries, per gated metric, and fails on
+a >15% regression — so perf drift becomes a red build instead of a
+silent trend in the trajectory file.
+
+Gated metrics are the throughput numbers the perf harness already
+gates point-in-time (``python -m repro perf``), now held against their
+own history:
+
+* ``interp.<workload>.fast_ips`` — compiled fast-path instructions/s;
+* ``trace.tracing_off_ips`` — fast path with observability disarmed
+  (the ≤2% tracing-off budget's absolute side);
+* ``shadow.<label>.phase1_mbps`` / ``shadow.<label>.merge_mbps`` —
+  vectorized shadow validation and checkpoint-merge throughput.
+
+All are higher-is-better; entries are only compared against history
+recorded under the same ``quick`` flag (train vs ref inputs are not
+comparable).  Metrics with fewer than ``--min-history`` prior samples
+are reported but not gated, so a freshly added section never fails its
+first run.
+
+The gate is ``latest >= min(median * (1 - threshold), min(history))``:
+a run only fails when it is both >15% below the trajectory median *and*
+worse than every sample ever recorded — single-machine trajectories are
+noisy, and a value inside the historical range is not a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Sequence
+
+#: Fail when latest/median drops below 1 - threshold.
+DEFAULT_THRESHOLD = 0.15
+
+#: Prior samples required before a metric is gated.
+DEFAULT_MIN_HISTORY = 3
+
+
+def extract_metrics(run: Dict[str, object]) -> Dict[str, float]:
+    """Flatten one trajectory entry into gated scalar metrics (all
+    higher-is-better throughputs).  Sections absent from the entry are
+    simply skipped, so old entries remain comparable."""
+    out: Dict[str, float] = {}
+    for rec in run.get("interp") or []:
+        if isinstance(rec, dict) and rec.get("fast_ips"):
+            out[f"interp.{rec.get('workload')}.fast_ips"] = \
+                float(rec["fast_ips"])
+    trace = run.get("trace")
+    if isinstance(trace, dict) and trace.get("tracing_off_ips"):
+        out["trace.tracing_off_ips"] = float(trace["tracing_off_ips"])
+    for rec in run.get("shadow") or []:
+        if not isinstance(rec, dict):
+            continue
+        label = rec.get("label", "?")
+        for section, key in (("phase1", "phase1_mbps"),
+                             ("merge", "merge_mbps")):
+            data = rec.get(section)
+            if isinstance(data, dict) and data.get("vec_mbps"):
+                out[f"shadow.{label}.{key}"] = float(data["vec_mbps"])
+    return out
+
+
+def check_trajectory(data: Dict[str, object],
+                     threshold: float = DEFAULT_THRESHOLD,
+                     min_history: int = DEFAULT_MIN_HISTORY
+                     ) -> Dict[str, object]:
+    """Compare the last run against the median of the prior runs.
+
+    Returns ``{"ok": bool, "rows": [...], "skipped": [...]}`` where each
+    row is ``{metric, latest, median, samples, ratio, ok}``.  ``ok`` is
+    False iff some gated metric regressed by more than ``threshold``.
+    """
+    runs = data.get("runs") or []
+    if not isinstance(runs, list) or not runs:
+        return {"ok": False, "rows": [],
+                "error": "trajectory has no runs"}
+    latest = runs[-1]
+    if not isinstance(latest, dict):
+        return {"ok": False, "rows": [],
+                "error": "latest trajectory entry is not an object"}
+    quick = bool(latest.get("quick"))
+    history = [r for r in runs[:-1]
+               if isinstance(r, dict) and bool(r.get("quick")) == quick]
+    latest_metrics = extract_metrics(latest)
+    if not latest_metrics:
+        return {"ok": False, "rows": [],
+                "error": "latest entry has no gated metrics"}
+    prior: Dict[str, List[float]] = {}
+    for run in history:
+        for name, value in extract_metrics(run).items():
+            prior.setdefault(name, []).append(value)
+
+    rows: List[Dict[str, object]] = []
+    skipped: List[Dict[str, object]] = []
+    ok = True
+    for name in sorted(latest_metrics):
+        samples = prior.get(name, [])
+        if len(samples) < min_history:
+            skipped.append({"metric": name, "latest": latest_metrics[name],
+                            "samples": len(samples)})
+            continue
+        mid = median(samples)
+        ratio = latest_metrics[name] / mid if mid else float("inf")
+        gate = min(mid * (1.0 - threshold), min(samples))
+        row_ok = latest_metrics[name] >= gate
+        ok = ok and row_ok
+        rows.append({"metric": name, "latest": latest_metrics[name],
+                     "median": mid, "samples": len(samples),
+                     "ratio": ratio, "gate": gate, "ok": row_ok})
+    return {"ok": ok, "rows": rows, "skipped": skipped, "quick": quick,
+            "timestamp": latest.get("timestamp")}
+
+
+def render_report(report: Dict[str, object],
+                  threshold: float = DEFAULT_THRESHOLD) -> str:
+    if report.get("error"):
+        return f"bench-check: {report['error']}"
+    lines = [f"bench-check: latest entry "
+             f"({report.get('timestamp') or 'no timestamp'}, "
+             f"quick={report.get('quick')}) vs trajectory median, "
+             f"-{threshold:.0%} gate"]
+    rows = report["rows"]
+    if rows:
+        name_w = max(len(r["metric"]) for r in rows)
+        lines.append(f"{'metric':<{name_w}}  {'latest':>14}  {'median':>14}"
+                     f"  {'n':>3}  {'ratio':>7}  status")
+        for r in rows:
+            lines.append(
+                f"{r['metric']:<{name_w}}  {r['latest']:>14,.0f}  "
+                f"{r['median']:>14,.0f}  {r['samples']:>3}  "
+                f"{r['ratio']:>6.2f}x  "
+                f"{'ok' if r['ok'] else 'REGRESSION'}")
+    for s in report.get("skipped") or []:
+        lines.append(f"{s['metric']}: skipped "
+                     f"({s['samples']} prior sample(s), gate needs more)")
+    if not rows:
+        lines.append("(no metric has enough history to gate)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-check",
+        description="fail if the latest BENCH_interp.json entry regressed "
+                    "more than the threshold against the trajectory median")
+    parser.add_argument("--bench", default="BENCH_interp.json",
+                        help="trajectory file (default: BENCH_interp.json)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional regression "
+                             "(default: 0.15 = 15%%)")
+    parser.add_argument("--min-history", type=int,
+                        default=DEFAULT_MIN_HISTORY,
+                        help="prior samples required before gating a "
+                             "metric (default: 3)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the structured report as JSON")
+    args = parser.parse_args(argv)
+
+    path = Path(args.bench)
+    if not path.exists():
+        print(f"bench-check: {path} does not exist", file=sys.stderr)
+        return 2
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as e:
+        print(f"bench-check: {path} is not valid JSON ({e})",
+              file=sys.stderr)
+        return 2
+    report = check_trajectory(data, threshold=args.threshold,
+                              min_history=args.min_history)
+    print(render_report(report, threshold=args.threshold))
+    if args.json:
+        out = Path(args.json)
+        if out.parent != Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if report.get("error"):
+        return 2
+    if not report["ok"]:
+        print("FAIL: bench trajectory regression (see rows above)")
+        return 1
+    print("ok: no gated metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

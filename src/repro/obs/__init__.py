@@ -13,7 +13,20 @@ See DESIGN.md ("Observability") for the event taxonomy and file formats.
 from __future__ import annotations
 
 from .log import configure_from_env, get_logger
-from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .server import (
+    STATUS_PORT_ENV,
+    StatusServer,
+    resolve_status_port,
+    start_status_server,
+)
 from .trace import (
     CYCLES_PER_US,
     NULL_SPAN,
@@ -26,9 +39,11 @@ from .trace import (
 
 __all__ = [
     "CYCLES_PER_US", "Counter", "Gauge", "Histogram", "METRICS",
-    "MetricsRegistry", "NULL_SPAN", "Span", "TRACE_FORMAT", "TRACER",
-    "Tracer", "configure_from_env", "disable", "enable", "enabled",
-    "get_logger", "timeline_to_chrome",
+    "MetricsRegistry", "NULL_SPAN", "STATUS_PORT_ENV", "Span",
+    "StatusServer", "TRACE_FORMAT", "TRACER", "Tracer",
+    "configure_from_env", "disable", "enable", "enabled", "get_logger",
+    "render_prometheus", "resolve_status_port", "start_status_server",
+    "timeline_to_chrome",
 ]
 
 

@@ -8,11 +8,24 @@ surface (PAPER.md §5): separation-check counts, shadow-memory byte
 transitions, per-class heap tallies, checkpoint latencies,
 misspeculation causes, and interpreter instructions/second on both
 execution paths.
+
+Cross-process shipping: a forked process-backend worker records into its
+own (copy-on-write) registry, then ships :meth:`MetricsRegistry.dump`
+back to the parent piggybacked on the epoch-result pipe; the parent
+absorbs it with :meth:`MetricsRegistry.merge` under a ``worker.N.``
+prefix, so the live registry (and the ``/metrics`` status endpoint)
+shows real in-worker tallies alongside the parent's own.
+
+Export: :meth:`MetricsRegistry.snapshot` is the JSON form served on
+``/metrics``; :func:`render_prometheus` renders the same snapshot in the
+Prometheus text exposition format (``worker.N.`` prefixes become a
+``worker="N"`` label) for ``/metrics.prom``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import re
+from typing import Dict, List, Optional, Tuple
 
 #: Cap on raw samples retained per histogram; count/sum/min/max stay
 #: exact beyond it, percentiles become estimates over the first N.
@@ -34,6 +47,12 @@ class Counter:
     def snapshot(self) -> Dict[str, object]:
         return {"type": "counter", "value": self.value}
 
+    def dump(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+    def merge(self, data: Dict[str, object]) -> None:
+        self.value += int(data.get("value") or 0)
+
 
 class Gauge:
     """Last-written value."""
@@ -49,6 +68,13 @@ class Gauge:
 
     def snapshot(self) -> Dict[str, object]:
         return {"type": "gauge", "value": self.value}
+
+    def dump(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+    def merge(self, data: Dict[str, object]) -> None:
+        if data.get("value") is not None:
+            self.value = data["value"]
 
 
 class Histogram:
@@ -90,6 +116,28 @@ class Histogram:
             "p50": self.percentile(50), "p95": self.percentile(95),
         }
 
+    def dump(self) -> Dict[str, object]:
+        """Shipping form: exact aggregates plus the retained raw samples,
+        so a merge on the receiving side keeps percentiles meaningful."""
+        return {
+            "type": "histogram", "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max,
+            "samples": list(self.samples),
+        }
+
+    def merge(self, data: Dict[str, object]) -> None:
+        self.count += int(data.get("count") or 0)
+        self.total += float(data.get("sum") or 0.0)
+        for bound, pick in (("min", min), ("max", max)):
+            other = data.get(bound)
+            if other is not None:
+                ours = getattr(self, bound)
+                setattr(self, bound,
+                        other if ours is None else pick(ours, other))
+        room = HISTOGRAM_SAMPLE_CAP - len(self.samples)
+        if room > 0:
+            self.samples.extend(list(data.get("samples") or ())[:room])
+
 
 class MetricsRegistry:
     """Name -> metric map with lazy creation and stable iteration order."""
@@ -122,11 +170,41 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        """Name -> snapshot dict, in grouped namespace order (see
+        :func:`metric_sort_key`); ``prefix`` keeps only metrics whose
+        name starts with it (e.g. ``"worker."``)."""
+        names = sorted((n for n in self._metrics
+                        if not prefix or n.startswith(prefix)),
+                       key=metric_sort_key)
+        return {name: self._metrics[name].snapshot() for name in names}
 
-    def render_table(self) -> str:
-        snap = self.snapshot()
+    def dump(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        """The cross-process shipping form (histograms keep their raw
+        samples); same filtering/ordering as :meth:`snapshot`."""
+        names = sorted((n for n in self._metrics
+                        if not prefix or n.startswith(prefix)),
+                       key=metric_sort_key)
+        return {name: self._metrics[name].dump() for name in names}
+
+    _MERGE_CLASSES = {"counter": Counter, "gauge": Gauge,
+                      "histogram": Histogram}
+
+    def merge(self, dump: Dict[str, Dict[str, object]],
+              prefix: str = "") -> None:
+        """Absorb a :meth:`dump` from another registry (typically shipped
+        from a forked worker), registering each metric as
+        ``prefix + name``: counters add, gauges take the shipped value,
+        histograms pool aggregates and samples.  Entries with an unknown
+        type are skipped rather than corrupting the registry."""
+        for name, data in dump.items():
+            cls = self._MERGE_CLASSES.get(str(data.get("type")))
+            if cls is None:
+                continue
+            self._get(prefix + name, cls).merge(data)
+
+    def render_table(self, prefix: str = "") -> str:
+        snap = self.snapshot(prefix=prefix)
         if not snap:
             return "(no metrics recorded)"
         name_w = max(len(n) for n in snap)
@@ -147,6 +225,108 @@ def _fmt(v) -> str:
     if isinstance(v, float):
         return f"{v:,.2f}" if abs(v) < 1e6 else f"{v:,.0f}"
     return f"{v:,}"
+
+
+def metric_sort_key(name: str) -> Tuple:
+    """Sort key grouping metric names by dotted namespace, with numeric
+    components compared as integers — so ``worker.2.*`` sorts before
+    ``worker.10.*`` and each worker's metrics render as one contiguous
+    block instead of interleaving lexicographically."""
+    return tuple((0, int(part), "") if part.isdigit() else (1, 0, part)
+                 for part in name.split("."))
+
+
+#: Registry-name shape of a worker-shipped metric: ``worker.<N>.<rest>``.
+_WORKER_NAME = re.compile(r"^worker\.(\d+)\.(.+)$")
+
+
+def split_worker_metric(name: str) -> Tuple[str, Optional[str]]:
+    """Split ``worker.N.rest`` into ``(rest, "N")``; any other name maps
+    to ``(name, None)``.  This is how per-worker registry entries become
+    one Prometheus metric family with a ``worker`` label."""
+    m = _WORKER_NAME.match(name)
+    if m is None:
+        return name, None
+    return m.group(2), m.group(1)
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix for every exported Prometheus metric family.
+PROM_NAMESPACE = "repro"
+
+
+def prometheus_name(name: str, namespace: str = PROM_NAMESPACE) -> str:
+    """Sanitize a dotted registry name into a legal Prometheus metric
+    name under ``namespace`` (dots and other invalid characters become
+    underscores)."""
+    flat = _PROM_INVALID.sub("_", name.strip("."))
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_value(v) -> str:
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    return repr(float(v))
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, object]],
+                      namespace: str = PROM_NAMESPACE) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus text
+    exposition format (version 0.0.4).
+
+    ``worker.N.`` prefixes are folded into a ``worker="N"`` label so all
+    workers share one metric family; histograms render as summaries
+    (``quantile`` samples plus ``_count``/``_sum``), and gauges that were
+    never set are omitted.  One ``# TYPE`` line is emitted per family,
+    before its first sample.
+    """
+    families: Dict[str, List[Tuple[Optional[str], Dict[str, object]]]] = {}
+    types: Dict[str, str] = {}
+    for name, snap in snapshot.items():
+        base, worker = split_worker_metric(name)
+        fam = prometheus_name(base, namespace)
+        kind = str(snap.get("type"))
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary"}.get(kind)
+        if prom_type is None:
+            continue
+        if types.setdefault(fam, prom_type) != prom_type:
+            # Same sanitized family from two metric types: keep the first
+            # declaration and skip the clashing sample.
+            continue
+        families.setdefault(fam, []).append((worker, snap))
+
+    def label(worker: Optional[str], extra: str = "") -> str:
+        parts = [p for p in
+                 ([f'worker="{worker}"'] if worker is not None else [])
+                 + ([extra] if extra else [])]
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    lines: List[str] = []
+    for fam in sorted(families, key=metric_sort_key):
+        lines.append(f"# TYPE {fam} {types[fam]}")
+        for worker, snap in families[fam]:
+            if types[fam] in ("counter", "gauge"):
+                value = snap.get("value")
+                if value is None:
+                    continue
+                lines.append(f"{fam}{label(worker)} {_prom_value(value)}")
+                continue
+            for q, key in (("0.5", "p50"), ("0.95", "p95")):
+                if snap.get(key) is not None:
+                    quantile = 'quantile="%s"' % q
+                    lines.append(f"{fam}{label(worker, quantile)} "
+                                 f"{_prom_value(snap[key])}")
+            lines.append(f"{fam}_count{label(worker)} "
+                         f"{_prom_value(snap.get('count', 0))}")
+            lines.append(f"{fam}_sum{label(worker)} "
+                         f"{_prom_value(snap.get('sum', 0.0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-wide registry; cleared by ``obs.enable()``.

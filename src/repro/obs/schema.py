@@ -1,21 +1,26 @@
 """Schema validation for the JSONL trace stream (and the Chrome export),
-plus the forensics artifacts (flight-recorder dumps, ``explain`` JSON).
+the forensics artifacts (flight-recorder dumps, ``explain`` JSON), and
+the live status endpoint (``/metrics`` JSON, ``/metrics.prom`` text).
 
 Usable as a library (:func:`validate_event`, :func:`validate_jsonl`,
-:func:`validate_flight`, :func:`validate_explain`) and as a script — CI
+:func:`validate_flight`, :func:`validate_explain`,
+:func:`validate_metrics`, :func:`validate_prom`) and as a script — CI
 runs it against the artifacts emitted by ``python -m repro trace`` and
-``python -m repro explain``::
+``python -m repro explain``, and against live endpoint responses::
 
     PYTHONPATH=src python -m repro.obs.schema out/dijkstra.trace.jsonl
     PYTHONPATH=src python -m repro.obs.schema --chrome out/dijkstra.chrome.json
     PYTHONPATH=src python -m repro.obs.schema --flight out/dijkstra.simulated.flight.jsonl
     PYTHONPATH=src python -m repro.obs.schema --explain out/dijkstra.explain.json
+    PYTHONPATH=src python -m repro.obs.schema --metrics /tmp/metrics.json
+    PYTHONPATH=src python -m repro.obs.schema --prom /tmp/metrics.prom
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -264,6 +269,148 @@ def validate_explain(path: str) -> Dict[str, object]:
     return {"diagnoses": len(diagnoses), "errors": errors}
 
 
+#: Per-type required numeric fields in a ``/metrics`` snapshot entry.
+_METRIC_FIELDS = {
+    "counter": ("value",),
+    "gauge": (),          # a never-set gauge reports value: null
+    "histogram": ("count", "sum"),
+}
+
+_WORKER_PREFIX = re.compile(r"^worker\.([^.]+)\.")
+
+#: Prometheus text exposition 0.0.4 line grammar (the subset we emit).
+_PROM_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$")
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+_PROM_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def validate_metrics(path: str) -> Dict[str, object]:
+    """Validate a ``/metrics`` JSON payload from the status endpoint;
+    returns ``{"metrics": n, "errors": [...]}``.  Checks the envelope
+    (``status_format``, ``generated_unix``, ``run``, ``metrics``), each
+    snapshot entry's per-type required fields, and that worker-labeled
+    names use the ``worker.<int>.<rest>`` shape the exporters fold into
+    ``worker="N"`` labels."""
+    errors: List[str] = []
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as e:
+            return {"metrics": 0, "errors": [f"invalid JSON ({e})"]}
+    if not isinstance(data, dict):
+        return {"metrics": 0, "errors": ["payload is not a JSON object"]}
+    if not isinstance(data.get("status_format"), int) \
+            or isinstance(data.get("status_format"), bool):
+        errors.append("missing integer status_format")
+    if not isinstance(data.get("generated_unix"), (int, float)) \
+            or isinstance(data.get("generated_unix"), bool):
+        errors.append("missing numeric generated_unix")
+    if not isinstance(data.get("run"), dict):
+        errors.append("missing run metadata object")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("missing metrics object")
+        metrics = {}
+    for name in sorted(metrics):
+        entry = metrics[name]
+        where = f"metrics[{name!r}]: "
+        if not isinstance(entry, dict):
+            errors.append(f"{where}entry is not an object")
+            continue
+        mtype = entry.get("type")
+        if mtype not in _METRIC_FIELDS:
+            errors.append(f"{where}unknown type {mtype!r}")
+            continue
+        for field in _METRIC_FIELDS[mtype]:
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                errors.append(f"{where}missing numeric {field!r}")
+        m = _WORKER_PREFIX.match(name)
+        if m and not m.group(1).isdigit():
+            errors.append(f"{where}worker label {m.group(1)!r} is not an "
+                          f"integer (expected worker.<N>.<metric>)")
+        if name.startswith("worker.") and m is None:
+            errors.append(f"{where}worker-prefixed name has no metric "
+                          f"suffix (expected worker.<N>.<metric>)")
+        if len(errors) >= 20:
+            errors.append("(stopping after too many errors)")
+            break
+    return {"metrics": len(metrics), "errors": errors}
+
+
+def validate_prom(path: str, max_errors: int = 20) -> Dict[str, object]:
+    """Line-lint a ``/metrics.prom`` Prometheus text exposition body;
+    returns ``{"samples": n, "families": {...}, "errors": [...]}``.
+    Checks ``# TYPE`` declarations, sample-line grammar, label syntax,
+    float-parsable values, and that every sample belongs to a declared
+    family (allowing the ``_count``/``_sum`` summary suffixes)."""
+    errors: List[str] = []
+    families: Dict[str, str] = {}
+    samples = 0
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            where = f"line {lineno}: "
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        errors.append(f"{where}malformed TYPE comment")
+                    elif not _PROM_METRIC_NAME.match(parts[2]):
+                        errors.append(f"{where}bad family name "
+                                      f"{parts[2]!r}")
+                    elif parts[3] not in _PROM_TYPES:
+                        errors.append(f"{where}unknown family type "
+                                      f"{parts[3]!r}")
+                    elif parts[2] in families:
+                        errors.append(f"{where}duplicate TYPE for "
+                                      f"{parts[2]!r}")
+                    else:
+                        families[parts[2]] = parts[3]
+                elif len(parts) >= 2 and parts[1] not in ("HELP", "EOF"):
+                    errors.append(f"{where}unknown comment form "
+                                  f"{parts[1]!r}")
+                continue
+            m = _PROM_SAMPLE.match(line)
+            if not m:
+                errors.append(f"{where}unparseable sample line {line!r}")
+                continue
+            samples += 1
+            name = m.group("name")
+            base = name
+            for suffix in ("_count", "_sum", "_bucket"):
+                if name.endswith(suffix) and name[:-len(suffix)] in families:
+                    base = name[:-len(suffix)]
+                    break
+            if base not in families:
+                errors.append(f"{where}sample {name!r} has no preceding "
+                              f"TYPE declaration")
+            labels = m.group("labels")
+            if labels:
+                for pair in labels.split(","):
+                    if not _PROM_LABEL.match(pair):
+                        errors.append(f"{where}bad label pair {pair!r}")
+                        break
+            try:
+                float(m.group("value"))
+            except ValueError:
+                errors.append(f"{where}non-numeric value "
+                              f"{m.group('value')!r}")
+            if len(errors) >= max_errors:
+                errors.append("(stopping after too many errors)")
+                break
+    if samples == 0:
+        errors.append("exposition contains no samples")
+    return {"samples": samples, "families": families, "errors": errors}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.schema",
@@ -278,6 +425,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="validate as a flight-recorder JSONL dump")
     mode.add_argument("--explain", action="store_true",
                       help="validate as 'repro explain --json' output")
+    mode.add_argument("--metrics", action="store_true",
+                      help="validate as a status-endpoint /metrics JSON "
+                           "payload")
+    mode.add_argument("--prom", action="store_true",
+                      help="validate as Prometheus text exposition "
+                           "(/metrics.prom)")
     args = parser.parse_args(argv)
     if args.chrome:
         validator = validate_chrome
@@ -285,13 +438,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         validator = validate_flight
     elif args.explain:
         validator = validate_explain
+    elif args.metrics:
+        validator = validate_metrics
+    elif args.prom:
+        validator = validate_prom
     else:
         validator = validate_jsonl
     report = validator(args.path)
     for err in report["errors"]:
         print(f"error: {err}", file=sys.stderr)
     count = report.get("events",
-                       report.get("records", report.get("diagnoses", 0)))
+                       report.get("records",
+                                  report.get("diagnoses",
+                                             report.get("metrics",
+                                                        report.get("samples",
+                                                                   0)))))
     if report["errors"]:
         print(f"FAIL: {args.path}: {len(report['errors'])} error(s) in "
               f"{count} record(s)")

@@ -131,6 +131,12 @@ class Tracer:
         self.events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._epoch = clock()
+        #: Wall-clock (UNIX) time of the tracer epoch.  Event ``ts_us``
+        #: values are process-local monotonic offsets; this anchor maps
+        #: them back onto the wall clock, so traces captured in different
+        #: processes (parent vs shipped worker streams, or two separate
+        #: runs) can be aligned after a merge.
+        self.epoch_unix = time.time()
         #: Run-identifying fields merged into the JSONL meta header
         #: (version, argv, backend ... — see Tracer.set_run_metadata).
         self.run_metadata: Dict[str, object] = {}
@@ -158,6 +164,7 @@ class Tracer:
             self.events = []
             self.run_metadata = {}
             self._epoch = self.clock()
+            self.epoch_unix = time.time()
 
     def set_run_metadata(self, **fields: object) -> None:
         """Merge run-identifying fields into the JSONL meta header."""
@@ -282,6 +289,9 @@ class Tracer:
         attrs: Dict[str, object] = {
             "trace_format": TRACE_FORMAT,
             "events": event_count,
+            # Wall-clock anchor: ts_us 0 on this stream's monotonic axis
+            # corresponds to this UNIX time (see Tracer.epoch_unix).
+            "epoch_unix": self.epoch_unix,
         }
         if self.run_metadata:
             attrs["run"] = dict(self.run_metadata)
@@ -356,7 +366,8 @@ class Tracer:
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {"producer": "repro.obs", "format": TRACE_FORMAT},
+            "otherData": {"producer": "repro.obs", "format": TRACE_FORMAT,
+                          "epoch_unix": self.epoch_unix},
         }
 
     def write_chrome(self, path, timeline=None,

@@ -162,6 +162,9 @@ class WorkerEpochReport:
     fragment: Optional[EpochFragment] = None
     #: Trace events recorded in the worker (empty unless tracing is on).
     trace_events: List[Dict[str, object]] = field(default_factory=list)
+    #: In-worker :meth:`MetricsRegistry.dump` for the slice (empty unless
+    #: tracing is on); the parent merges it under ``worker.<wid>.*``.
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 class BaseDOALLExecutor:
@@ -363,6 +366,12 @@ class BaseDOALLExecutor:
                            invocation=runtime.invocation_index,
                            backend=self.backend_name,
                            trips=trips, workers=workers)
+        if TRACER.enabled:
+            # Progress gauges polled live by the status endpoint / `top`.
+            METRICS.counter("executor.invocations").inc()
+            METRICS.gauge("executor.progress.trips").set(trips)
+            METRICS.gauge("executor.progress.iteration").set(0)
+            METRICS.gauge("executor.workers").set(workers)
         costs = self.costs
         spawn = costs.spawn_time(workers)
         inv = InvocationResult(index=runtime.invocation_index, trips=trips,
@@ -416,6 +425,12 @@ class BaseDOALLExecutor:
                     for worker in runtime.workers:
                         worker.clock += share
                     inv.checkpoints += 1
+                    if TRACER.enabled:
+                        METRICS.counter("executor.epochs").inc()
+                        METRICS.counter("executor.iterations.committed").inc(
+                            epoch_end - next_iter)
+                        METRICS.gauge("executor.progress.iteration").set(
+                            epoch_end)
                     if self.timeline is not None:
                         t = max(w.clock for w in runtime.workers)
                         self.timeline.add("checkpoint", None, t - share, t,

@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 from ..interp.errors import GuestFault, GuestTimeout, Misspeculation
 from ..interp.interpreter import Frame
 from ..obs.log import get_logger
+from ..obs.metrics import METRICS
 from ..obs.trace import TRACER
 from ..runtime.fragments import EpochFragment
 from ..runtime.system import WorkerState
@@ -110,13 +111,30 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
     ) -> Tuple[Optional[Tuple[int, Misspeculation]],
                Optional[List[EpochFragment]]]:
         reports = self._fork_epoch(frame, epoch_start, epoch_end, init)
-        for report in reports:
-            if report.trace_events and TRACER.enabled:
-                TRACER.absorb_worker_events(report.wid, report.trace_events)
         earliest = self._replay_reports(reports, inv)
         if earliest is not None:
             return earliest, None
         return None, [r.fragment for r in reports]
+
+    def _absorb_telemetry(self, payloads: Dict[int, object]) -> None:
+        """Merge the telemetry shipped by completed workers into the
+        parent tracer and metrics registry: trace events re-homed to the
+        per-worker trace process, metrics under ``worker.<wid>.*``.
+
+        Called for every received payload — including when the epoch is
+        about to fail because another worker died mid-epoch: telemetry
+        that already crossed the pipe must survive the failure, so the
+        Chrome export still shows the partial epoch."""
+        if not TRACER.enabled:
+            return
+        for wid in sorted(payloads):
+            report = payloads[wid]
+            if not isinstance(report, WorkerEpochReport):
+                continue
+            if report.trace_events:
+                TRACER.absorb_worker_events(report.wid, report.trace_events)
+            if report.metrics:
+                METRICS.merge(report.metrics, prefix=f"worker.{report.wid}.")
 
     def _fork_epoch(self, frame: Frame, epoch_start: int, epoch_end: int,
                     init: int) -> List[WorkerEpochReport]:
@@ -157,12 +175,17 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
             os.close(wfd)
             pids[worker.wid] = pid
             fds[rfd] = worker.wid
+        payloads: Dict[int, object] = {}
         try:
-            payloads = self._drain(fds)
+            self._drain(fds, payloads)
         except BaseException:
             self._kill_pool(pids)
+            # Telemetry from workers that did report survives the
+            # failure (partial-epoch forensics).
+            self._absorb_telemetry(payloads)
             raise
         self._reap(pids)
+        self._absorb_telemetry(payloads)
         reports: List[WorkerEpochReport] = []
         for wid in sorted(payloads):
             payload = payloads[wid]
@@ -173,12 +196,14 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
             reports.append(payload)
         return reports
 
-    def _drain(self, fds: Dict[int, int]) -> Dict[int, object]:
+    def _drain(self, fds: Dict[int, int],
+               payloads: Dict[int, object]) -> Dict[int, object]:
         """Read one length-prefixed pickle frame from every pipe,
-        concurrently, within the epoch deadline."""
+        concurrently, within the epoch deadline.  Completed frames are
+        recorded into the caller-owned ``payloads`` dict as they arrive,
+        so reports received before a failure remain available."""
         deadline = time.monotonic() + self.epoch_timeout
         buffers: Dict[int, bytearray] = {fd: bytearray() for fd in fds}
-        payloads: Dict[int, object] = {}
         sel = selectors.DefaultSelector()
         for fd in fds:
             os.set_blocking(fd, False)
@@ -262,7 +287,15 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
         interp = self.interp
         runtime = self.runtime
         stats = runtime.stats
-        trace_mark = len(TRACER.events) if TRACER.enabled else 0
+        telemetry = TRACER.enabled
+        trace_mark = len(TRACER.events) if telemetry else 0
+        if telemetry:
+            # Fresh worker-local registry: the fork inherited the
+            # parent's tallies by COW; this slice ships only what it
+            # records itself, and the parent re-homes the shipped dump
+            # under ``worker.<wid>.*``.
+            METRICS.reset()
+        t_begin = time.perf_counter()
         span = TRACER.span("backend.worker_epoch", cat="backend",
                            tid=worker.wid + 1, worker=worker.wid,
                            epoch_start=epoch_start, epoch_end=epoch_end)
@@ -309,10 +342,23 @@ class ProcessDOALLExecutor(BaseDOALLExecutor):
         fragment = (None if misspeculated
                     else runtime.extract_fragment(worker, epoch_start))
         span.end(iterations=len(records), misspeculated=misspeculated)
+        metrics: Dict[str, Dict[str, object]] = {}
+        if telemetry:
+            # Per-worker utilization counters for the live dashboard,
+            # alongside whatever the slice itself recorded (shadow
+            # traffic, separation checks, interpreter tallies ...).
+            METRICS.counter("epoch.slices").inc()
+            METRICS.counter("epoch.iterations").inc(len(records))
+            METRICS.counter("epoch.busy_us").inc(
+                round((time.perf_counter() - t_begin) * 1e6))
+            if misspeculated:
+                METRICS.counter("epoch.misspeculations").inc()
+            metrics = METRICS.dump()
         events = ([dict(ev) for ev in TRACER.events[trace_mark:]]
-                  if TRACER.enabled else [])
+                  if telemetry else [])
         return WorkerEpochReport(wid=worker.wid, records=records,
-                                 fragment=fragment, trace_events=events)
+                                 fragment=fragment, trace_events=events,
+                                 metrics=metrics)
 
     # -- parent-side replay ---------------------------------------------------
 

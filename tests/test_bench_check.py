@@ -1,0 +1,143 @@
+"""The bench regression sentinel (`python -m repro bench-check`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.check import (
+    check_trajectory,
+    extract_metrics,
+    main as check_main,
+    render_report,
+)
+
+REPO_BENCH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+
+def _run(fast_ips, quick=False, **extra):
+    entry = {"quick": quick,
+             "interp": [{"workload": "w", "fast_ips": fast_ips}]}
+    entry.update(extra)
+    return entry
+
+
+def _trajectory(*fast_ips, quick=False):
+    return {"benchmark": "interp",
+            "runs": [_run(v, quick=quick) for v in fast_ips]}
+
+
+class TestExtractMetrics:
+    def test_flattens_all_sections(self):
+        run = {
+            "interp": [{"workload": "dijkstra", "fast_ips": 100.0}],
+            "trace": {"tracing_off_ips": 200.0},
+            "shadow": [{"label": "default",
+                        "phase1": {"vec_mbps": 300.0},
+                        "merge": {"vec_mbps": 400.0}}],
+        }
+        assert extract_metrics(run) == {
+            "interp.dijkstra.fast_ips": 100.0,
+            "trace.tracing_off_ips": 200.0,
+            "shadow.default.phase1_mbps": 300.0,
+            "shadow.default.merge_mbps": 400.0,
+        }
+
+    def test_tolerates_missing_sections(self):
+        assert extract_metrics({}) == {}
+        assert extract_metrics({"interp": None, "trace": None}) == {}
+
+
+class TestCheckTrajectory:
+    def test_synthetic_20pct_regression_fails(self):
+        report = check_trajectory(_trajectory(100.0, 101.0, 99.0, 80.0))
+        assert report["ok"] is False
+        (row,) = report["rows"]
+        assert row["ok"] is False
+        assert row["ratio"] == pytest.approx(0.8)
+
+    def test_steady_trajectory_passes(self):
+        report = check_trajectory(_trajectory(100.0, 101.0, 99.0, 98.0))
+        assert report["ok"] is True
+
+    def test_noise_floor_within_historical_range(self):
+        # 80 is >15% below the median (100) but not below the worst
+        # sample ever recorded (75): machine noise, not a regression.
+        report = check_trajectory(_trajectory(100.0, 75.0, 102.0, 80.0))
+        assert report["ok"] is True
+
+    def test_below_floor_and_median_fails(self):
+        report = check_trajectory(_trajectory(100.0, 95.0, 102.0, 70.0))
+        assert report["ok"] is False
+
+    def test_min_history_skips_young_metrics(self):
+        report = check_trajectory(_trajectory(100.0, 99.0, 80.0))
+        assert report["ok"] is True  # only 2 prior samples: not gated
+        assert report["rows"] == []
+        (skip,) = report["skipped"]
+        assert skip["samples"] == 2
+
+    def test_quick_and_full_histories_are_separate(self):
+        runs = ([_run(50.0, quick=True)] * 3
+                + [_run(100.0), _run(101.0), _run(99.0), _run(98.0)])
+        report = check_trajectory({"runs": runs})
+        assert report["ok"] is True
+        (row,) = report["rows"]
+        assert row["samples"] == 3  # the quick=True runs were excluded
+
+    def test_empty_trajectory_is_an_error(self):
+        assert check_trajectory({"runs": []})["error"]
+        assert check_trajectory({})["error"]
+
+    def test_threshold_is_configurable(self):
+        traj = _trajectory(100.0, 100.0, 100.0, 89.0)
+        assert check_trajectory(traj, threshold=0.10)["ok"] is False
+        assert check_trajectory(traj, threshold=0.15)["ok"] is True
+
+
+class TestRenderReport:
+    def test_report_lists_rows_and_skips(self):
+        report = check_trajectory(_trajectory(100.0, 101.0, 99.0, 80.0))
+        text = render_report(report)
+        assert "interp.w.fast_ips" in text
+        assert "REGRESSION" in text
+
+    def test_report_surfaces_errors(self):
+        assert "no runs" in render_report({"error": "trajectory has no runs",
+                                           "rows": []})
+
+
+class TestCli:
+    def test_passes_on_committed_trajectory(self, capsys):
+        assert REPO_BENCH.exists()
+        assert check_main(["--bench", str(REPO_BENCH)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_fails_on_synthetic_regression_fixture(self, tmp_path, capsys):
+        fixture = tmp_path / "bench.json"
+        fixture.write_text(json.dumps(_trajectory(100.0, 101.0, 99.0, 80.0)))
+        assert check_main(["--bench", str(fixture)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert check_main(["--bench", str(tmp_path / "nope.json")]) == 2
+
+    def test_invalid_json_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert check_main(["--bench", str(bad)]) == 2
+
+    def test_json_report_written(self, tmp_path):
+        fixture = tmp_path / "bench.json"
+        fixture.write_text(json.dumps(_trajectory(100.0, 99.0, 101.0, 98.0)))
+        out = tmp_path / "report.json"
+        assert check_main(["--bench", str(fixture),
+                           "--json", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+
+    def test_repro_subcommand_delegates(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        assert repro_main(["bench-check", "--bench", str(REPO_BENCH)]) == 0
+        assert "bench-check:" in capsys.readouterr().out

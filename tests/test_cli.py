@@ -267,3 +267,66 @@ class TestWorkloads:
         for name in ("alvinn", "dijkstra", "blackscholes", "swaptions",
                      "enc_md5"):
             assert name in out
+
+
+class TestStatusEndpoint:
+    def test_run_with_status_port_serves_and_stops(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "8", "--status-port", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: http://127.0.0.1:" in out
+        assert "/metrics" in out
+
+    def test_status_port_arms_observability(self, prog_file, capsys,
+                                            monkeypatch):
+        from repro import obs
+
+        seen = {}
+        orig = obs.METRICS.snapshot
+
+        def spy_execute(func):
+            def wrapper(*a, **kw):
+                result = func(*a, **kw)
+                seen["enabled"] = obs.enabled()
+                seen["epochs"] = orig().get("executor.epochs")
+                return result
+            return wrapper
+
+        from repro.bench import pipeline
+
+        monkeypatch.setattr(pipeline.PreparedProgram, "execute",
+                            spy_execute(pipeline.PreparedProgram.execute))
+        rc = main(["run", prog_file, "--args", "8", "--status-port", "0"])
+        assert rc == 0
+        assert seen["enabled"] is True
+        assert seen["epochs"]["value"] > 0
+        assert obs.enabled() is False  # disarmed on the way out
+
+    def test_env_port_honoured(self, prog_file, capsys, monkeypatch):
+        from repro.obs.server import STATUS_PORT_ENV
+
+        monkeypatch.setenv(STATUS_PORT_ENV, "0")
+        rc = main(["run", prog_file, "--args", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "status: http://127.0.0.1:" in out
+
+    def test_malformed_env_port_exits_2(self, prog_file, capsys,
+                                        monkeypatch):
+        from repro.obs.server import STATUS_PORT_ENV
+
+        monkeypatch.setenv(STATUS_PORT_ENV, "not-a-port")
+        with pytest.raises(SystemExit) as exc:
+            main(["run", prog_file, "--args", "8"])
+        assert exc.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_consumer_commands_never_serve(self, capsys, monkeypatch):
+        from repro.obs.server import STATUS_PORT_ENV
+
+        # With the env var set, `bench-check` must not try to bind the
+        # port the observed run already holds.
+        monkeypatch.setenv(STATUS_PORT_ENV, "1")  # privileged: bind fails
+        rc = main(["bench-check", "--bench", "BENCH_interp.json"])
+        assert rc == 0
+        assert "status:" not in capsys.readouterr().out

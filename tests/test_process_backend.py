@@ -169,3 +169,120 @@ class TestProcessBackendTraceIntegration:
             TRACER.reset()
         assert worker_pids == {WORKER_PID_BASE, WORKER_PID_BASE + 1}
         assert WALL_PID not in worker_pids and SIM_PID not in worker_pids
+
+
+class TestWorkerTelemetry:
+    """In-worker metrics ship back on the result pipe and merge into the
+    parent registry under worker.N.* labels."""
+
+    def test_worker_metrics_merged_after_run(self):
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
+
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        METRICS.reset()
+        try:
+            prog.execute(workers=2, backend="process")
+            snap = METRICS.snapshot()
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+            METRICS.reset()
+        for wid in (0, 1):
+            assert snap[f"worker.{wid}.epoch.slices"]["value"] > 0
+            assert snap[f"worker.{wid}.epoch.iterations"]["value"] > 0
+            assert snap[f"worker.{wid}.epoch.busy_us"]["value"] > 0
+        # Worker totals reconcile with the parent's own accounting: every
+        # committed iteration ran in exactly one worker slice.
+        shipped = sum(snap[f"worker.{w}.epoch.iterations"]["value"]
+                      for w in (0, 1))
+        assert shipped == snap["executor.iterations.committed"]["value"]
+
+    def test_no_worker_metrics_when_tracing_off(self):
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
+
+        TRACER.disable()
+        METRICS.reset()
+        prog = prepared_counter_program(8)
+        prog.execute(workers=2, backend="process")
+        assert not any(name.startswith("worker.")
+                       for name in METRICS.snapshot())
+
+    def test_double_digit_wid_pid_assignment(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("backend.worker_epoch", cat="backend"):
+                pass
+            shipped = [dict(ev) for ev in tracer.events]
+            tracer.absorb_worker_events(12, shipped)
+            pids = {ev["pid"] for ev in tracer.events
+                    if ev["name"] == "backend.worker_epoch"
+                    and ev is not tracer.events[0]}
+        finally:
+            tracer.disable()
+        assert WORKER_PID_BASE + 12 in pids
+
+    def test_absorbed_events_preserve_order(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            shipped = []
+            for i in range(3):
+                with tracer.span(f"w{i}", cat="backend"):
+                    pass
+            shipped = [dict(ev) for ev in tracer.events]
+            tracer.reset()
+            tracer.enable()
+            tracer.absorb_worker_events(0, shipped)
+            names = [ev["name"] for ev in tracer.events]
+        finally:
+            tracer.disable()
+        assert names == ["w0", "w1", "w2"]
+
+
+class TestWorkerTelemetrySurvivesSigkill:
+    def test_partial_epoch_telemetry_survives_worker_death(
+            self, monkeypatch):
+        """When one worker is SIGKILLed mid-epoch, telemetry shipped by
+        the workers that did report must survive the epoch failure."""
+        import signal
+        import time as time_mod
+
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
+
+        orig = ProcessDOALLExecutor._child_slice
+
+        def killer(self, worker, frame, epoch_start, epoch_end, init):
+            report = orig(self, worker, frame, epoch_start, epoch_end, init)
+            if worker.wid == 1:
+                # Let worker 0's frame land first, then die unreported.
+                time_mod.sleep(0.5)
+                os.kill(os.getpid(), signal.SIGKILL)
+            return report
+
+        monkeypatch.setattr(ProcessDOALLExecutor, "_child_slice", killer)
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        METRICS.reset()
+        try:
+            with pytest.raises(RuntimeError,
+                               match="exited without reporting"):
+                prog.execute(workers=2, backend="process")
+            snap = METRICS.snapshot()
+            worker_pids = {
+                ev.get("pid") for ev in TRACER.events
+                if ev.get("name") == "backend.worker_epoch"
+            }
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+            METRICS.reset()
+        # Worker 0 reported before the epoch collapsed: its spans and
+        # metrics were absorbed.  Worker 1 died unreported.
+        assert WORKER_PID_BASE in worker_pids
+        assert snap["worker.0.epoch.slices"]["value"] > 0
+        assert "worker.1.epoch.slices" not in snap
