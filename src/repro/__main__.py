@@ -72,12 +72,19 @@ PERFETTO_HINT = ("open in chrome://tracing or https://ui.perfetto.dev")
 
 
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--backend", choices=("simulated", "process"),
+    p.add_argument("--backend", choices=("simulated", "process", "pool"),
                    default=None,
                    help="execution backend: 'simulated' is the "
                         "deterministic in-process reference, 'process' "
-                        "runs real forked worker processes (default: "
+                        "runs real forked worker processes per epoch, "
+                        "'pool' keeps a persistent worker pool with "
+                        "shared-memory fragment transport (default: "
                         "$REPRO_BACKEND, then 'simulated')")
+    p.add_argument("--pool-workers", type=_positive_int, default=None,
+                   metavar="N",
+                   help="pool backend only: number of resident pool "
+                        "processes (default: one per worker; fewer "
+                        "multiplexes several worker ids per process)")
 
 
 def _add_adapt_flag(p: argparse.ArgumentParser) -> None:
@@ -240,6 +247,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         misspec_burst=args.misspec_burst,
         record_timeline=args.timeline or tracing,
         backend=args.backend,
+        pool_workers=args.pool_workers,
         adapt=args.adapt,
     )
     ok = result.output == program.sequential.output
@@ -331,6 +339,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         out=args.out,
         min_speedup=args.min_speedup,
         backend=args.backend,
+        pool_workers=args.pool_workers,
         adapt=args.adapt,
         stress=args.stress,
     )
@@ -374,6 +383,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         misspec_burst=args.misspec_burst,
         record_timeline=True,
         backend=args.backend,
+        pool_workers=args.pool_workers,
         adapt=args.adapt,
     )
     ok = result.output == program.sequential.output
@@ -441,6 +451,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
             misspec_period=args.misspec_period,
             misspec_burst=args.misspec_burst,
             backend=args.backend,
+            pool_workers=args.pool_workers,
             adapt=args.adapt,
             flight_dir=flight_dir,
         )
@@ -671,9 +682,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return check_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .parallel.backend import BackendError
+
     status = _start_status_server(args)
     try:
         return args.func(args)
+    except BackendError as e:
+        # Backend mis-configuration (--pool-workers on the wrong backend,
+        # malformed $REPRO_POOL_RING_KB, ...) is a usage error, not a bug.
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     finally:
         if status is not None:
             status.stop()

@@ -26,7 +26,7 @@ from ..frontend.lower import compile_minic
 from ..interp.interpreter import Interpreter
 from ..ir.module import Module
 from ..obs.trace import TRACER
-from ..parallel.backend import make_executor
+from ..parallel.backend import BackendError, make_executor, resolve_backend_name
 from ..parallel.costmodel import CostModelConfig
 from ..parallel.stats import ExecutionResult
 from ..profiling.data import HotLoopReport, LoopProfile, LoopRef
@@ -102,6 +102,7 @@ class PreparedProgram:
         record_timeline: bool = False,
         args: Optional[Sequence[object]] = None,
         backend: Optional[str] = None,
+        pool_workers: Optional[int] = None,
         adapt: Optional[bool] = None,
         adapt_config: Optional[AdaptConfig] = None,
         flight_dir: Optional[str] = None,
@@ -110,17 +111,25 @@ class PreparedProgram:
         """Run the transformed program under the speculative DOALL
         executor on the ref input; each call uses a fresh machine.
 
-        ``backend`` selects the execution backend (``"simulated"`` or
-        ``"process"``); None defers to ``REPRO_BACKEND`` and then the
-        simulated default.  ``adapt`` enables the adaptive speculation
-        controller (None inherits :func:`prepare`'s resolution; False
-        fully bypasses the subsystem).  ``flight_dir`` overrides
-        ``$REPRO_FLIGHT_DIR`` as the destination for flight-recorder
-        dumps; ``flight=False`` disables the recorder entirely (for
-        overhead measurement).
+        ``backend`` selects the execution backend (``"simulated"``,
+        ``"process"`` or ``"pool"``); None defers to ``REPRO_BACKEND``
+        and then the simulated default.  ``pool_workers`` sizes the
+        persistent pool (pool backend only; see docs/BACKENDS.md).
+        ``adapt`` enables the adaptive speculation controller (None
+        inherits :func:`prepare`'s resolution; False fully bypasses the
+        subsystem).  ``flight_dir`` overrides ``$REPRO_FLIGHT_DIR`` as
+        the destination for flight-recorder dumps; ``flight=False``
+        disables the recorder entirely (for overhead measurement).
         """
         enabled = adapt if adapt is not None else self.adapt_enabled
         controller = self.make_controller(adapt_config) if enabled else None
+        extra = {}
+        if pool_workers is not None:
+            if resolve_backend_name(backend) != "pool":
+                raise BackendError(
+                    "--pool-workers only applies to the pool backend "
+                    "(pass --backend pool or REPRO_BACKEND=pool)")
+            extra["pool_workers"] = pool_workers
         executor = make_executor(
             backend,
             self.module,
@@ -133,6 +142,7 @@ class PreparedProgram:
             record_timeline=record_timeline,
             controller=controller,
             flight_dir=flight_dir,
+            **extra,
         )
         if flight is False:
             executor.runtime.recorder.enabled = False

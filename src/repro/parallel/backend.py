@@ -13,7 +13,12 @@ one checkpoint epoch executes*:
   one OS process per worker per epoch and executes the worker slices
   concurrently, shipping per-iteration records and a packed
   :class:`~repro.runtime.fragments.EpochFragment` (interval-run format,
-  with an explicit version field checked at commit) back over a pipe.
+  with an explicit version field checked at commit) back over a pipe;
+* the **pool** backend (:mod:`repro.parallel.pool_backend`) keeps a
+  pool of worker processes resident across epochs (forked once per
+  invocation, commit deltas synced between epochs) and ships the
+  fragment payload through ``multiprocessing.shared_memory`` rings —
+  see docs/BACKENDS.md for the full guide.
 
 Both feed the same :meth:`RuntimeSystem.checkpoint` commit path with
 fragments, so committed memory state, ``RuntimeStats`` and
@@ -52,7 +57,7 @@ from .timeline import Timeline
 log = get_logger("executor")
 
 #: Names accepted by ``--backend`` and ``REPRO_BACKEND``.
-BACKEND_NAMES = ("simulated", "process")
+BACKEND_NAMES = ("simulated", "process", "pool")
 
 #: Environment variable that selects the default backend.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -88,6 +93,10 @@ def make_executor(backend: Optional[str], module: Module,
         from .process_backend import ProcessDOALLExecutor
 
         return ProcessDOALLExecutor(module, plan, **kwargs)
+    if resolved == "pool":
+        from .pool_backend import PoolDOALLExecutor
+
+        return PoolDOALLExecutor(module, plan, **kwargs)
     from .executor import DOALLExecutor
 
     return DOALLExecutor(module, plan, **kwargs)

@@ -1,0 +1,630 @@
+"""Persistent worker-pool DOALL backend: long-lived worker processes.
+
+The process backend (:mod:`repro.parallel.process_backend`) forks one
+OS process per worker *per checkpoint epoch*, so worker startup cost is
+paid on every epoch.  This backend instead keeps a **pool of worker
+processes alive across epochs** — the paper's actual runtime shape
+(workers are forked once per parallel invocation and persist until
+join) — and amortizes the fork tax over every epoch of the invocation.
+docs/BACKENDS.md is the end-to-end guide; section pointers below.
+
+Lifecycle (docs/BACKENDS.md §"pool lifecycle"):
+
+* Pool children are forked **lazily at the first epoch of each
+  invocation**, inheriting the whole parent image by copy-on-write —
+  worker COW overlays, replica shadows, reduction copies and the loop
+  frame — exactly the state a persistent simulated worker starts from.
+* Across *clean* epochs the children stay resident.  Each epoch plan
+  (:class:`_PoolEpoch`) arrives over a per-child task queue and carries
+  the previous epoch's **commit delta** (:class:`_CommitDelta`): the
+  private bytes the parent's checkpoint merged into main memory plus
+  the folded reduction results.  The child patches its own main-memory
+  image and performs the same per-worker post-checkpoint reset the
+  parent did (``reset_after_checkpoint`` + ``mark_old_write_runs`` +
+  epoch-tracking/redux reset), so the resident workers are
+  byte-for-byte the simulated backend's persistent workers.
+* After any squash/recovery, adaptive sequential fallback, or a new
+  invocation, the resident image is stale (recovery rewrites main
+  memory arbitrarily and the runtime re-forks fresh worker states);
+  the pool is marked stale and respawned at the next epoch — mirroring
+  :meth:`RuntimeSystem.refork_workers`, which discards and re-forks all
+  simulated worker state at exactly the same points.
+
+Fragment transport (docs/BACKENDS.md §"transport formats"): the bulk of
+every packed format-2 :class:`~repro.runtime.fragments.EpochFragment`
+(interval runs + kind/value blobs) travels through one
+``multiprocessing.shared_memory`` ring per child
+(:mod:`repro.parallel.shm_ring`) as memoryview slice writes — no pickle
+on the payload path; only a tiny ``(offset, length)`` descriptor plus
+the per-iteration records cross the control pipe.  A payload larger
+than the whole ring falls back to the pipe (counted under
+``pool.ring_overflows``).  The control pipe retains everything the
+process backend ships — iteration records, misspeculation terms,
+in-worker metrics dumps and trace events — so the telemetry plane
+(``worker.N.*`` merge, per-worker Chrome lanes, partial-epoch
+absorption) carries over unchanged, with the bonus that pool worker
+ids are stable for the whole run.
+
+Failure semantics (docs/BACKENDS.md §"failure semantics"): a child
+that dies mid-epoch (e.g. SIGKILL) is detected as EOF on its report
+pipe; the parent absorbs the surviving workers' telemetry, synthesizes
+a ``fault`` misspeculation at the dead workers' first iteration of the
+epoch, squashes the epoch through the standard recovery path, and
+respawns the pool at the next epoch.  A wedged pool still hits the
+``epoch_timeout`` deadline and fails the run loudly.  Shared-memory
+rings are created once per run and always closed **and unlinked** on
+the way out of :meth:`PoolDOALLExecutor.run`, so no ``repro-pool-*``
+segments leak into ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import selectors
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import SimpleQueue
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.errors import Misspeculation
+from ..interp.interpreter import Frame
+from ..obs.log import get_logger
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+from ..runtime.fragments import EpochFragment
+from ..runtime.intervals import union_runs
+from ..runtime.iodefer import DeferredOutput
+from .backend import BackendError, WorkerEpochReport
+from .process_backend import (
+    DEFAULT_EPOCH_TIMEOUT,
+    ProcessDOALLExecutor,
+    _ChildFailure,
+    _LEN,
+    _write_frame,
+)
+from .shm_ring import (
+    ShmRing,
+    pack_fragment_payload,
+    payload_size,
+    ring_capacity_from_env,
+    unpack_fragment_payload,
+)
+from .stats import ExecutionResult, InvocationResult
+
+log = get_logger("pool_backend")
+
+#: Monotonic suffix for shared-memory ring names (avoids collisions
+#: between executors in one process and stale segments from crashes).
+_RING_SEQ = itertools.count()
+
+
+@dataclass
+class _CommitDelta:
+    """What the parent's last checkpoint changed in main memory.
+
+    Shipped to resident children on the next epoch plan so their main
+    images stay identical to the parent's: ``private_runs`` are
+    ``(private-heap offset, committed bytes)`` read back from the
+    parent's main memory over the merged write extents; ``redux_runs``
+    are ``(absolute address, bytes)`` of every folded reduction
+    element.  Application is idempotent (plain content stores).
+    """
+
+    private_runs: List[Tuple[int, bytes]] = field(default_factory=list)
+    redux_runs: List[Tuple[int, bytes]] = field(default_factory=list)
+
+
+@dataclass
+class _PoolEpoch:
+    """One epoch plan, parent -> child over the task queue."""
+
+    epoch_start: int
+    epoch_end: int
+    init: int
+    #: Commit delta of the previous epoch; None on the first epoch after
+    #: a (re)spawn, when the fork already inherited committed state.
+    commit: Optional[_CommitDelta] = None
+
+
+@dataclass
+class _PoolReply:
+    """One epoch's results, child -> parent over the report pipe.
+
+    ``payloads`` parallels ``reports``: None for a misspeculated slice,
+    else ``(fragment header, transport descriptor)`` where the
+    descriptor is ``("ring", offset, length)`` into the child's shared
+    ring or ``("pipe", bytes)`` for the oversize fallback.
+    """
+
+    cwid: int
+    reports: List[WorkerEpochReport] = field(default_factory=list)
+    payloads: List[Optional[tuple]] = field(default_factory=list)
+
+
+@dataclass
+class _PoolChild:
+    """Parent-side handle on one resident pool process."""
+
+    cwid: int
+    pid: int
+    rfd: int
+    queue: object  # multiprocessing.SimpleQueue (task plans)
+    wids: List[int] = field(default_factory=list)
+
+
+class PoolDOALLExecutor(ProcessDOALLExecutor):
+    """DOALL backend with persistent pool workers and shm transport."""
+
+    backend_name = "pool"
+
+    def __init__(self, *args, epoch_timeout: float = DEFAULT_EPOCH_TIMEOUT,
+                 pool_workers: Optional[int] = None, **kwargs):
+        super().__init__(*args, epoch_timeout=epoch_timeout, **kwargs)
+        if pool_workers is not None and pool_workers < 1:
+            raise BackendError(
+                f"--pool-workers must be >= 1, got {pool_workers}")
+        try:
+            # Validate the ring-size knob up front: a typo'd
+            # $REPRO_POOL_RING_KB must fail loudly at construction, not
+            # halfway into the run when the pool first spawns.
+            ring_capacity_from_env()
+        except ValueError as e:
+            raise BackendError(str(e))
+        #: Requested pool size; None = one process per logical worker.
+        self.pool_workers = pool_workers
+        #: Effective pool size.  Fewer processes than logical workers
+        #: means each child hosts several worker ids and runs their
+        #: slices sequentially — precisely the simulated semantics.
+        self.pool_size = min(pool_workers or self.workers, self.workers)
+        #: Fragments shipped on the pipe because they outgrew the ring.
+        self.ring_overflows = 0
+        #: Times the pool was (re)forked — 1 per invocation when clean.
+        self.pool_spawns = 0
+        self._children: List[_PoolChild] = []
+        self._rings: Optional[List[ShmRing]] = None
+        self._pool_invocation = -2
+        self._pool_stale = False
+        #: ``(merged write spans, redux (addr, size) keys)`` of the last
+        #: clean epoch — the recipe for the next commit delta.
+        self._last_commit_meta = None
+        #: Child-side: previous epoch's write spans per hosted wid (for
+        #: ``mark_old_write_runs`` on commit notification).
+        self._child_prev_spans: Dict[int, List[Tuple[int, int]]] = {}
+
+    # -- whole-program run ----------------------------------------------------
+
+    def run(self, entry: str = "main",
+            args: Sequence[object] = ()) -> ExecutionResult:
+        """Run the guest; always tear the pool down and unlink the
+        shared-memory rings on the way out (clean or crashed)."""
+        try:
+            return super().run(entry, args)
+        finally:
+            self._shutdown_pool()
+
+    # -- epoch execution ------------------------------------------------------
+
+    def _execute_epoch(
+        self, frame: Frame, inv: InvocationResult, epoch_start: int,
+        epoch_end: int, init: int,
+    ) -> Tuple[Optional[Tuple[int, Misspeculation]],
+               Optional[List[EpochFragment]]]:
+        runtime = self.runtime
+        warm = (bool(self._children) and not self._pool_stale
+                and self._pool_invocation == runtime.invocation_index
+                and self._last_commit_meta is not None)
+        if warm:
+            commit = self._build_commit_delta()
+        else:
+            self._spawn_pool(frame)
+            commit = None
+        self._last_commit_meta = None
+
+        plan = _PoolEpoch(epoch_start, epoch_end, init, commit)
+        for child in self._children:
+            child.queue.put(plan)
+
+        payloads: Dict[int, WorkerEpochReport] = {}
+        try:
+            replies, dead = self._drain_pool(payloads)
+        except BaseException:
+            # Deadline or protocol failure: kill the pool, but keep the
+            # telemetry that already crossed the pipe.
+            self._teardown_children()
+            self._absorb_telemetry(payloads)
+            raise
+        self._absorb_telemetry(payloads)
+        for reply in replies.values():
+            if isinstance(reply, _ChildFailure):
+                self._teardown_children()
+                raise RuntimeError(
+                    f"pool worker process {reply.wid} failed during epoch "
+                    f"[{epoch_start},{epoch_end}):\n{reply.error}")
+        for reply in replies.values():
+            for report, entry in zip(reply.reports, reply.payloads):
+                if entry is not None:
+                    report.fragment = self._rebuild_fragment(
+                        reply.cwid, entry)
+
+        death = None
+        if dead:
+            self._pool_stale = True
+            dead_wids = sorted(w for child in dead for w in child.wids)
+            death = self._synthesize_death(dead, dead_wids, epoch_start,
+                                           epoch_end)
+            # Iterations a simulated scheduler would cut at the death
+            # point were executed speculatively by survivors; drop them
+            # before replay (they are squashed anyway).
+            for report in payloads.values():
+                report.records = [r for r in report.records
+                                  if r.iteration <= death[0]]
+
+        reports = [payloads[wid] for wid in sorted(payloads)]
+        earliest = self._replay_reports(reports, inv)
+        if death is not None:
+            self.runtime.record_misspeculation(death[1])
+            if earliest is None or death[0] < earliest[0]:
+                earliest = death
+        if earliest is not None:
+            return earliest, None
+
+        fragments = [r.fragment for r in reports]
+        if len(fragments) != self.workers or any(
+                f is None for f in fragments):
+            raise RuntimeError(
+                f"pool backend: clean epoch [{epoch_start},{epoch_end}) "
+                f"is missing fragments ({len(fragments)}/{self.workers} "
+                f"reports)")
+        self._last_commit_meta = (
+            union_runs([f.write_spans() for f in fragments]),
+            sorted({(el.addr, el.size)
+                    for f in fragments for el in f.redux_elements}),
+        )
+        return None, fragments
+
+    def _synthesize_death(self, dead: List[_PoolChild],
+                          dead_wids: List[int], epoch_start: int,
+                          epoch_end: int) -> Tuple[int, Misspeculation]:
+        """Turn mid-epoch child death into a standard squash: a fault
+        misspeculation at the dead workers' first iteration of the
+        epoch (the epoch cannot commit without their fragments)."""
+        log.warning("pool worker(s) %s (pid %s) died during epoch "
+                    "[%d,%d); squashing and respawning",
+                    dead_wids, [c.pid for c in dead], epoch_start,
+                    epoch_end)
+        if TRACER.enabled:
+            METRICS.counter("pool.worker_deaths").inc(len(dead))
+        wid_set = set(dead_wids)
+        death_iter = next(
+            (i for i in range(epoch_start, epoch_end)
+             if i % self.workers in wid_set), epoch_start)
+        exc = Misspeculation(
+            "fault",
+            f"pool worker process died mid-epoch (worker(s) {dead_wids})",
+            death_iter)
+        return death_iter, exc
+
+    # -- commit-delta sync ----------------------------------------------------
+
+    def _build_commit_delta(self) -> _CommitDelta:
+        """Read the last checkpoint's committed content back out of the
+        parent's main memory (freed/worker-local extents are skipped by
+        ``covering_pieces``, matching what the merge skipped)."""
+        spans, redux_keys = self._last_commit_meta
+        ms = self.runtime.main_space
+        pb = self.runtime.private_base
+        delta = _CommitDelta()
+        for start, end in spans:
+            for s, e, obj in ms.covering_pieces(pb + start, end - start):
+                delta.private_runs.append(
+                    (s - pb, bytes(obj.data[s - obj.base:e - obj.base])))
+        for addr, size in redux_keys:
+            for s, e, obj in ms.covering_pieces(addr, size):
+                delta.redux_runs.append(
+                    (s, bytes(obj.data[s - obj.base:e - obj.base])))
+        return delta
+
+    def _rebuild_fragment(self, cwid: int, entry: tuple) -> EpochFragment:
+        """Parent side: reassemble one worker's fragment from its header
+        (pipe) and bulk payload (shared ring, or pipe fallback)."""
+        header, desc = entry
+        wid, ep_start, fmt, redux_elements, dirty = header
+        if desc[0] == "ring":
+            view = self._rings[cwid].view(desc[1], desc[2])
+            try:
+                rr, wr, er, kinds, values = unpack_fragment_payload(view)
+            finally:
+                view.release()
+        else:
+            rr, wr, er, kinds, values = unpack_fragment_payload(
+                memoryview(desc[1]))
+            self.ring_overflows += 1
+            if TRACER.enabled:
+                METRICS.counter("pool.ring_overflows").inc()
+        return EpochFragment(
+            wid=wid, epoch_start=ep_start, format=fmt,
+            read_live_in_runs=rr, write_runs=wr, write_kinds=kinds,
+            write_values=values, epoch_written_runs=er,
+            redux_elements=redux_elements, dirty_private_pages=dirty)
+
+    # -- staleness ------------------------------------------------------------
+
+    def _recover(self, frame: Frame, inv: InvocationResult, epoch_start: int,
+                 earliest: Tuple[int, Misspeculation], init: int) -> int:
+        """Recovery rewrites main memory and re-forks the runtime's
+        worker states; the resident children are stale afterwards."""
+        next_iter = super()._recover(frame, inv, epoch_start, earliest, init)
+        self._pool_stale = True
+        return next_iter
+
+    def _run_sequential_span(self, frame: Frame, inv: InvocationResult,
+                             start: int, end: int, init: int) -> None:
+        """Adaptive sequential fallback commits straight to main memory
+        and re-forks worker states; resident children go stale."""
+        super()._run_sequential_span(frame, inv, start, end, init)
+        self._pool_stale = True
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _spawn_pool(self, frame: Frame) -> None:
+        """(Re)fork the pool from the current parent image.  Each child
+        inherits everything by COW: worker overlays, shadows, reduction
+        copies, the loop frame — the persistent-worker starting state."""
+        self._teardown_children()
+        if self._rings is None:
+            self._rings = self._create_rings(self.pool_size)
+        wids_of = [list(range(c, self.workers, self.pool_size))
+                   for c in range(self.pool_size)]
+        sys.stdout.flush()
+        sys.stderr.flush()
+        children: List[_PoolChild] = []
+        for cwid in range(self.pool_size):
+            queue: SimpleQueue = SimpleQueue()
+            rfd, wfd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    os.close(rfd)
+                    # fd hygiene: drop inherited ends that belong to
+                    # the parent <-> earlier-sibling channels.
+                    for prev in children:
+                        try:
+                            os.close(prev.rfd)
+                        except OSError:
+                            pass
+                        prev.queue._writer.close()
+                    self._child_main(cwid, wids_of[cwid], frame, queue, wfd)
+                    status = 0
+                except BaseException:
+                    try:
+                        _write_frame(wfd, pickle.dumps(
+                            _ChildFailure(wids_of[cwid][0],
+                                          traceback.format_exc()),
+                            protocol=pickle.HIGHEST_PROTOCOL))
+                    except BaseException:
+                        pass
+                finally:
+                    try:
+                        os.close(wfd)
+                    except OSError:
+                        pass
+                    # Never run parent atexit/flush machinery in the
+                    # forked interpreter image.
+                    os._exit(status)
+            os.close(wfd)
+            queue._reader.close()
+            os.set_blocking(rfd, False)
+            children.append(_PoolChild(cwid=cwid, pid=pid, rfd=rfd,
+                                       queue=queue, wids=wids_of[cwid]))
+        self._children = children
+        self._pool_invocation = self.runtime.invocation_index
+        self._pool_stale = False
+        self._last_commit_meta = None
+        self.pool_spawns += 1
+        if TRACER.enabled:
+            METRICS.counter("pool.spawns").inc()
+        log.info("pool spawned: %d process(es) for %d worker(s), "
+                 "invocation %d", self.pool_size, self.workers,
+                 self._pool_invocation)
+
+    def _create_rings(self, pool_size: int) -> List[ShmRing]:
+        capacity = ring_capacity_from_env()
+        rings: List[ShmRing] = []
+        for idx in range(pool_size):
+            while True:
+                name = (f"repro-pool-{os.getpid()}-{idx}-"
+                        f"{next(_RING_SEQ)}")
+                try:
+                    rings.append(ShmRing(name, capacity, create=True))
+                    break
+                except FileExistsError:
+                    continue
+        return rings
+
+    def _drain_pool(self, payloads: Dict[int, WorkerEpochReport]
+                    ) -> Tuple[Dict[int, object], List[_PoolChild]]:
+        """Read exactly one length-prefixed reply frame per live child
+        within the epoch deadline.  EOF means the child died mid-epoch;
+        the caller turns that into a squash.  Reports are recorded into
+        ``payloads`` as they arrive so telemetry survives failures."""
+        deadline = time.monotonic() + self.epoch_timeout
+        waiting = {child.rfd: child for child in self._children}
+        buffers: Dict[int, bytearray] = {fd: bytearray() for fd in waiting}
+        replies: Dict[int, object] = {}
+        dead: List[_PoolChild] = []
+        sel = selectors.DefaultSelector()
+        for fd in waiting:
+            sel.register(fd, selectors.EVENT_READ)
+        try:
+            while waiting:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    wids = sorted(w for child in waiting.values()
+                                  for w in child.wids)
+                    raise RuntimeError(
+                        f"pool backend: worker(s) {wids} did not report "
+                        f"within {self.epoch_timeout:.0f}s (deadlocked "
+                        f"or wedged pool)")
+                for key, _events in sel.select(timeout=remaining):
+                    fd = key.fd
+                    if fd not in waiting:
+                        continue
+                    try:
+                        chunk = os.read(fd, 1 << 20)
+                    except BlockingIOError:
+                        continue
+                    if not chunk:
+                        child = waiting.pop(fd)
+                        sel.unregister(fd)
+                        dead.append(child)
+                        continue
+                    buf = buffers[fd]
+                    buf.extend(chunk)
+                    if len(buf) < _LEN.size:
+                        continue
+                    (length,) = _LEN.unpack(bytes(buf[:_LEN.size]))
+                    if len(buf) < _LEN.size + length:
+                        continue
+                    child = waiting.pop(fd)
+                    sel.unregister(fd)
+                    reply = pickle.loads(
+                        bytes(buf[_LEN.size:_LEN.size + length]))
+                    replies[child.cwid] = reply
+                    if isinstance(reply, _PoolReply):
+                        for report in reply.reports:
+                            payloads[report.wid] = report
+        finally:
+            sel.close()
+        return replies, dead
+
+    def _teardown_children(self) -> None:
+        """SIGKILL and reap every resident child and release the
+        parent-side channel resources (rings stay up for respawn)."""
+        children, self._children = self._children, []
+        if not children:
+            return
+        self._kill_pool({child.cwid: child.pid for child in children})
+        for child in children:
+            try:
+                os.close(child.rfd)
+            except OSError:
+                pass
+            try:
+                child.queue.close()
+            except OSError:
+                pass
+        self._last_commit_meta = None
+
+    def _shutdown_pool(self) -> None:
+        """End-of-run cleanup: tear down the children and close *and
+        unlink* every shared-memory ring (the /dev/shm leak check in the
+        test suite greps for stragglers)."""
+        self._teardown_children()
+        rings, self._rings = self._rings, None
+        if rings:
+            for ring in rings:
+                ring.close(unlink=True)
+
+    # -- child side -----------------------------------------------------------
+
+    def _child_main(self, cwid: int, wids: List[int], frame: Frame,
+                    queue: SimpleQueue, wfd: int) -> None:
+        """Resident child loop: wait for epoch plans, run the hosted
+        worker slices, ship replies.  Runs until killed (or the queue
+        closes / a ``None`` sentinel arrives)."""
+        queue._writer.close()
+        while True:
+            try:
+                plan = queue.get()
+            except EOFError:
+                return
+            if plan is None:
+                return
+            reply = self._child_epoch(cwid, wids, frame, plan)
+            _write_frame(wfd, pickle.dumps(
+                reply, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _child_epoch(self, cwid: int, wids: List[int], frame: Frame,
+                     plan: _PoolEpoch) -> _PoolReply:
+        """Execute one epoch plan for every hosted worker id."""
+        runtime = self.runtime
+        if plan.commit is not None:
+            self._child_apply_commit(wids, plan.commit)
+        runtime.epoch_start = plan.epoch_start
+        reply = _PoolReply(cwid=cwid)
+        for w in wids:
+            worker = runtime.workers[w]
+            report = self._child_slice(worker, frame, plan.epoch_start,
+                                       plan.epoch_end, plan.init)
+            reply.payloads.append(self._child_ship_fragment(cwid, report))
+            reply.reports.append(report)
+        # Bound resident-child memory: shipped trace events and deferred
+        # output are authoritative parent-side.
+        if TRACER.enabled:
+            del TRACER.events[:]
+        runtime.deferred = DeferredOutput()
+        return reply
+
+    def _child_apply_commit(self, wids: List[int],
+                            commit: _CommitDelta) -> None:
+        """Apply the parent's checkpoint outcome to this child's image:
+        patch main memory with the committed content, then perform the
+        same per-worker reset the parent's checkpoint did, so resident
+        workers enter the next epoch exactly like simulated ones."""
+        runtime = self.runtime
+        ms = runtime.main_space
+        pb = runtime.private_base
+        for off, blob in commit.private_runs:
+            self._patch_main(ms, pb + off, blob)
+        for addr, blob in commit.redux_runs:
+            self._patch_main(ms, addr, blob)
+        for w in wids:
+            worker = runtime.workers[w]
+            worker.shadow.reset_after_checkpoint()
+            worker.shadow.mark_old_write_runs(
+                self._child_prev_spans.get(w, []))
+            worker.reset_epoch_tracking()
+            runtime._reset_worker_redux(worker)
+
+    @staticmethod
+    def _patch_main(space, addr: int, blob: bytes) -> None:
+        for s, e, obj in space.covering_pieces(addr, len(blob)):
+            obj.data[s - obj.base:e - obj.base] = blob[s - addr:e - addr]
+
+    def _child_ship_fragment(self, cwid: int,
+                             report: WorkerEpochReport) -> Optional[tuple]:
+        """Pack one slice's fragment payload into the child's ring (or
+        the pipe-fallback buffer) and strip it from the report, leaving
+        only the small header to pickle."""
+        frag = report.fragment
+        if frag is None:
+            return None
+        self._child_prev_spans[frag.wid] = frag.write_spans()
+        size = payload_size(
+            len(frag.read_live_in_runs), len(frag.write_runs),
+            len(frag.epoch_written_runs), len(frag.write_kinds),
+            len(frag.write_values))
+        ring = self._rings[cwid]
+        offset = ring.alloc(size)
+        if offset is None:
+            buf = bytearray(size)
+            pack_fragment_payload(
+                buf, 0, frag.read_live_in_runs, frag.write_runs,
+                frag.epoch_written_runs, frag.write_kinds,
+                frag.write_values)
+            desc = ("pipe", bytes(buf))
+        else:
+            pack_fragment_payload(
+                ring.shm.buf, offset, frag.read_live_in_runs,
+                frag.write_runs, frag.epoch_written_runs,
+                frag.write_kinds, frag.write_values)
+            desc = ("ring", offset, size)
+        header = (frag.wid, frag.epoch_start, frag.format,
+                  frag.redux_elements, frag.dirty_private_pages)
+        report.fragment = None
+        return (header, desc)

@@ -1,12 +1,17 @@
-"""Differential parity: the process backend must be observationally
-identical to the simulated reference backend.
+"""Differential parity: the process and pool backends must be
+observationally identical to the simulated reference backend.
 
-Both backends feed the same fragment-based checkpoint commit path, so
+All backends feed the same fragment-based checkpoint commit path, so
 parity should hold *by construction*; these tests enforce it end to end
 on every evaluated workload: identical guest output and return value,
 identical final memory state, identical ``RuntimeStats`` (including the
 Table 3 row and every additive counter), identical misspeculation
 events, and identical simulated-cycle wall clocks and timelines.
+
+Every scenario runs three fresh pipelines (simulated, process, pool)
+and compares both real backends against the simulated reference —
+including injected and genuine misspeculation, and adaptive-controller
+trajectories with sequential fallback.
 """
 
 import pytest
@@ -47,20 +52,16 @@ def _timeline_tuples(executor):
             for e in executor.timeline.events]
 
 
-def _assert_parity(source, name, train, ref=None, **kwargs):
-    """Run both backends on fresh pipelines and compare everything."""
-    sim_prog = prepare(source, name, args=train, ref_args=ref)
-    proc_prog = prepare(source, name, args=train, ref_args=ref)
-    sim_ex, sim = _execute(sim_prog, "simulated", **dict(kwargs))
-    proc_ex, proc = _execute(proc_prog, "process", **dict(kwargs))
-
-    assert sim.output == proc.output
-    assert sim.return_value == proc.return_value
-    assert sim.total_wall_cycles == proc.total_wall_cycles
+def _compare(sim_ex, sim, other_ex, other):
+    """Bit-exact comparison of one real-backend run against the
+    simulated reference run."""
+    assert sim.output == other.output
+    assert sim.return_value == other.return_value
+    assert sim.total_wall_cycles == other.total_wall_cycles
     assert _memory_digest(sim_ex.interp.space) == \
-        _memory_digest(proc_ex.interp.space)
+        _memory_digest(other_ex.interp.space)
 
-    s, p = sim.runtime_stats, proc.runtime_stats
+    s, p = sim.runtime_stats, other.runtime_stats
     assert s.table3_row() == p.table3_row()
     assert s.counter_snapshot() == p.counter_snapshot()
     assert s.misspec_count() == p.misspec_count()
@@ -75,8 +76,22 @@ def _assert_parity(source, name, train, ref=None, **kwargs):
         [(r.start_iteration, r.end_iteration, r.private_bytes_copied,
           r.redux_bytes_merged, r.io_records_committed, r.dirty_pages)
          for r in p.checkpoint_records]
-    assert _timeline_tuples(sim_ex) == _timeline_tuples(proc_ex)
-    assert sim.adapt == proc.adapt
+    assert _timeline_tuples(sim_ex) == _timeline_tuples(other_ex)
+    assert sim.adapt == other.adapt
+
+
+def _assert_parity(source, name, train, ref=None, **kwargs):
+    """Run all three backends on fresh pipelines and compare the
+    process and pool runs against the simulated reference."""
+    sim_prog = prepare(source, name, args=train, ref_args=ref)
+    proc_prog = prepare(source, name, args=train, ref_args=ref)
+    pool_prog = prepare(source, name, args=train, ref_args=ref)
+    sim_ex, sim = _execute(sim_prog, "simulated", **dict(kwargs))
+    proc_ex, proc = _execute(proc_prog, "process", **dict(kwargs))
+    pool_ex, pool = _execute(pool_prog, "pool", **dict(kwargs))
+
+    _compare(sim_ex, sim, proc_ex, proc)
+    _compare(sim_ex, sim, pool_ex, pool)
     return sim, proc
 
 

@@ -167,6 +167,80 @@ class TestAdaptFlag:
         assert "adapt:" in out
 
 
+class TestPoolBackendCLI:
+    """Every pool-backend flag and env var documented in
+    docs/BACKENDS.md, driven through the real CLI."""
+
+    def test_run_backend_pool(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--backend", "pool"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output matches sequential: True" in out
+
+    def test_run_pool_workers_flag(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "4",
+                   "--backend", "pool", "--pool-workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output matches sequential: True" in out
+
+    def test_pool_workers_zero_rejected(self, prog_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", prog_file, "--args", "24", "--backend", "pool",
+                  "--pool-workers", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_pool_workers_requires_pool_backend(self, prog_file, capsys):
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--pool-workers", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "only applies to the pool backend" in err
+
+    def test_backend_env_selects_pool(self, prog_file, capsys, monkeypatch):
+        from repro.parallel.backend import BACKEND_ENV
+
+        monkeypatch.setenv(BACKEND_ENV, "pool")
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--pool-workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output matches sequential: True" in out
+
+    def test_malformed_ring_kb_env_exits_2(self, prog_file, capsys,
+                                           monkeypatch):
+        from repro.parallel.shm_ring import RING_KB_ENV
+
+        monkeypatch.setenv(RING_KB_ENV, "banana")
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--backend", "pool"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert RING_KB_ENV in err and "banana" in err
+
+    def test_ring_kb_env_honoured(self, prog_file, capsys, monkeypatch):
+        from repro.parallel.shm_ring import RING_KB_ENV
+
+        monkeypatch.setenv(RING_KB_ENV, "8")
+        rc = main(["run", prog_file, "--args", "24", "--workers", "2",
+                   "--backend", "pool"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output matches sequential: True" in out
+
+    def test_trace_backend_pool_emits_artifacts(self, prog_file, tmp_path,
+                                                capsys):
+        rc = main(["trace", prog_file, "--args", "24", "--workers", "2",
+                   "--backend", "pool", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pool backend" in out
+        assert (tmp_path / "prog.trace.jsonl").is_file()
+        assert (tmp_path / "prog.chrome.json").is_file()
+
+
 class TestBaselines:
     def test_reports_all_baselines(self, prog_file, capsys):
         rc = main(["baselines", prog_file, "--args", "24",

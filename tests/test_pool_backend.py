@@ -1,0 +1,442 @@
+"""Unit and integration tests for the persistent worker-pool backend:
+the shared-memory ring transport (wraparound, framing round-trip,
+capacity knob), pool lifecycle (spawn-per-invocation, commit-delta
+warm epochs, SIGKILL respawn, /dev/shm hygiene), the ``--pool-workers``
+multiplexing mode, and the telemetry plane (stable worker ids in
+``worker.N.*`` merges and the ``repro top`` dashboard).
+
+Bit-exact parity against the simulated backend is enforced separately
+in ``tests/test_backend_parity.py``; these tests cover the machinery
+documented in docs/BACKENDS.md.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.backend import BACKEND_ENV, BackendError, make_executor
+from repro.parallel.pool_backend import PoolDOALLExecutor
+from repro.parallel.process_backend import ProcessDOALLExecutor
+from repro.parallel import pool_backend, shm_ring
+from repro.parallel.shm_ring import (
+    DEFAULT_RING_KB,
+    MIN_RING_BYTES,
+    RING_KB_ENV,
+    ShmRing,
+    pack_fragment_payload,
+    payload_size,
+    ring_capacity_from_env,
+    unpack_fragment_payload,
+)
+
+from helpers import prepared_counter_program
+
+
+def _shm_names():
+    """Current repro-pool-* segments visible in /dev/shm (POSIX shm
+    backing store on Linux); empty when the path doesn't exist."""
+    try:
+        return {n for n in os.listdir("/dev/shm")
+                if "repro-pool-" in n}
+    except FileNotFoundError:
+        return set()
+
+
+# -- ring capacity knob -------------------------------------------------------
+
+
+class TestRingCapacityEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(RING_KB_ENV, raising=False)
+        assert ring_capacity_from_env() == DEFAULT_RING_KB * 1024
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(RING_KB_ENV, "512")
+        assert ring_capacity_from_env() == 512 * 1024
+
+    def test_clamped_to_minimum(self):
+        assert ring_capacity_from_env("1") == MIN_RING_BYTES
+
+    def test_malformed_value_fails_loudly(self):
+        with pytest.raises(ValueError, match=RING_KB_ENV):
+            ring_capacity_from_env("lots")
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ring_capacity_from_env("0")
+        with pytest.raises(ValueError, match="positive"):
+            ring_capacity_from_env("-4")
+
+    def test_empty_means_default(self):
+        assert ring_capacity_from_env("") == DEFAULT_RING_KB * 1024
+
+
+# -- bump-allocator ring ------------------------------------------------------
+
+
+class TestShmRing:
+    def _ring(self, capacity=4096):
+        return ShmRing(f"repro-pool-test-{os.getpid()}-{time.monotonic_ns()}",
+                       capacity, create=True)
+
+    def test_alloc_advances_and_wraps(self):
+        ring = self._ring(100)
+        try:
+            assert ring.alloc(60) == 0
+            # 60 + 60 > 100: wraps back to offset 0.
+            assert ring.alloc(60) == 0
+            assert ring.alloc(30) == 60
+        finally:
+            ring.close(unlink=True)
+
+    def test_alloc_exact_capacity(self):
+        ring = self._ring(64)
+        try:
+            assert ring.alloc(64) == 0
+            assert ring.alloc(64) == 0
+        finally:
+            ring.close(unlink=True)
+
+    def test_oversize_payload_returns_none(self):
+        ring = self._ring(64)
+        try:
+            assert ring.alloc(65) is None
+            # The cursor is untouched by a refused alloc.
+            assert ring.alloc(10) == 0
+        finally:
+            ring.close(unlink=True)
+
+    def test_write_and_view_round_trip(self):
+        ring = self._ring(256)
+        try:
+            off = ring.alloc(5)
+            ring.write(off, b"hello")
+            view = ring.view(off, 5)
+            assert bytes(view) == b"hello"
+            view.release()
+        finally:
+            ring.close(unlink=True)
+
+    def test_unlink_removes_segment(self):
+        ring = self._ring(4096)
+        name = ring.name
+        ring.close(unlink=True)
+        assert not any(name in n for n in _shm_names())
+
+
+# -- fragment payload framing -------------------------------------------------
+
+
+_runs2 = st.lists(
+    st.tuples(st.integers(0, 1 << 40), st.integers(0, 1 << 40)),
+    max_size=8).map(lambda rs: tuple(tuple(r) for r in rs))
+
+
+class TestFragmentFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        read_runs=_runs2,
+        write_runs=st.lists(
+            st.tuples(st.integers(0, 1 << 40), st.integers(0, 1 << 40),
+                      st.integers(0, 250)),
+            max_size=8).map(lambda rs: tuple(tuple(r) for r in rs)),
+        epoch_runs=_runs2,
+        kinds=st.binary(max_size=64),
+        values=st.binary(max_size=64),
+    )
+    def test_round_trip(self, read_runs, write_runs, epoch_runs, kinds,
+                        values):
+        """pack -> unpack reproduces the exact EpochFragment container
+        shapes (tuples of tuples, bytes blobs), via a plain buffer."""
+        size = payload_size(len(read_runs), len(write_runs),
+                            len(epoch_runs), len(kinds), len(values))
+        buf = bytearray(size + 7)
+        n = pack_fragment_payload(buf, 3, read_runs, write_runs,
+                                  epoch_runs, kinds, values)
+        assert n == size
+        rr, wr, er, k, v = unpack_fragment_payload(
+            memoryview(buf)[3:3 + size])
+        assert rr == read_runs
+        assert wr == write_runs
+        assert er == epoch_runs
+        assert k == kinds and v == values
+        assert isinstance(k, bytes) and isinstance(v, bytes)
+
+    def test_round_trip_through_shared_memory(self):
+        """Same framing through an actual shm segment with a wrapped
+        cursor — the production transport path."""
+        ring = ShmRing(f"repro-pool-test-{os.getpid()}-frame", 4096,
+                       create=True)
+        try:
+            payload = (((0, 8), (16, 32)), ((0, 8, 2),), ((0, 32),),
+                       b"\x01" * 8, bytes(range(8)))
+            size = payload_size(2, 1, 1, 8, 8)
+            ring.cursor = 4096 - (size - 1)  # force a wrap
+            off = ring.alloc(size)
+            assert off == 0
+            pack_fragment_payload(ring.shm.buf, off, *payload)
+            view = ring.view(off, size)
+            try:
+                assert unpack_fragment_payload(view) == payload
+            finally:
+                view.release()
+        finally:
+            ring.close(unlink=True)
+
+
+# -- factory and construction -------------------------------------------------
+
+
+class TestPoolExecutorConstruction:
+    def test_factory_dispatch(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        prog = prepared_counter_program(8)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2)
+        assert isinstance(ex, PoolDOALLExecutor)
+        assert isinstance(ex, ProcessDOALLExecutor)  # inherits plumbing
+        assert ex.backend_name == "pool"
+
+    def test_env_dispatch(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "pool")
+        prog = prepared_counter_program(8)
+        ex = make_executor(None, prog.module, prog.plan, workers=2)
+        assert isinstance(ex, PoolDOALLExecutor)
+
+    def test_epoch_timeout_plumbing(self):
+        prog = prepared_counter_program(8)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           epoch_timeout=9.5)
+        assert ex.epoch_timeout == 9.5
+
+    def test_pool_workers_defaults_to_workers(self):
+        prog = prepared_counter_program(8)
+        ex = make_executor("pool", prog.module, prog.plan, workers=3)
+        assert ex.pool_size == 3
+
+    def test_pool_workers_capped_at_workers(self):
+        prog = prepared_counter_program(8)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           pool_workers=8)
+        assert ex.pool_size == 2
+
+    def test_pool_workers_must_be_positive(self):
+        prog = prepared_counter_program(8)
+        with pytest.raises(BackendError, match="pool-workers"):
+            make_executor("pool", prog.module, prog.plan, workers=2,
+                          pool_workers=0)
+
+    def test_pipeline_rejects_pool_workers_on_other_backends(self):
+        prog = prepared_counter_program(8)
+        with pytest.raises(BackendError, match="pool backend"):
+            prog.execute(workers=2, backend="process", pool_workers=2)
+
+
+# -- end-to-end runs ----------------------------------------------------------
+
+
+class TestPoolEndToEnd:
+    def test_clean_run_matches_sequential(self):
+        prog = prepared_counter_program(24)
+        result = prog.execute(workers=4, backend="pool")
+        assert result.output == prog.sequential.output
+        assert result.runtime_stats.checkpoints > 0
+
+    def test_one_spawn_per_clean_invocation(self):
+        """The whole point: a clean multi-epoch run forks the pool once,
+        not once per epoch."""
+        prog = prepared_counter_program(32)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           checkpoint_period=4)
+        result = ex.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        assert result.runtime_stats.checkpoints >= 4
+        assert ex.pool_spawns == 1
+
+    def test_respawn_after_recovery(self):
+        """Every squash/recovery invalidates the resident image; the
+        pool respawns and the run still completes correctly."""
+        prog = prepared_counter_program(32)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           misspec_period=10)
+        result = ex.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        misspecs = result.runtime_stats.misspec_count()
+        assert misspecs > 0
+        # Initial spawn plus one lazy respawn after each recovery that
+        # still had epochs left to run.
+        assert 2 <= ex.pool_spawns <= 1 + misspecs
+
+    def test_pool_workers_multiplexing(self):
+        """Fewer pool processes than workers: each child hosts several
+        worker ids sequentially — output identical, one process."""
+        prog = prepared_counter_program(24)
+        ex = make_executor("pool", prog.module, prog.plan, workers=4,
+                           pool_workers=1)
+        result = ex.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        assert ex.pool_size == 1
+
+    def test_ring_overflow_falls_back_to_pipe(self, monkeypatch):
+        """A ring too small for any payload forces the (counted) pipe
+        fallback without affecting results."""
+        monkeypatch.setattr(pool_backend, "ring_capacity_from_env",
+                            lambda env=None: 16)
+        prog = prepared_counter_program(24)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2)
+        result = ex.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        assert ex.ring_overflows > 0
+
+    def test_shutdown_leaves_no_shm_segments(self):
+        """After run() returns, no repro-pool-* segment may remain in
+        /dev/shm (rings are closed and unlinked in the finally)."""
+        before = _shm_names()
+        prog = prepared_counter_program(24)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           checkpoint_period=4)
+        ex.run(prog.entry, prog.ref_args)
+        assert ex._rings is None and not ex._children
+        leaked = _shm_names() - before
+        assert not leaked, f"leaked shared memory segments: {leaked}"
+
+    def test_shutdown_unlinks_on_crash_too(self):
+        before = _shm_names()
+        prog = prepared_counter_program(8)
+        ex = PoolDOALLExecutor(prog.module, prog.plan, workers=2)
+
+        def boom(worker, i, init):
+            raise ZeroDivisionError("synthetic pool child crash")
+
+        ex._execute_iteration = boom
+        with pytest.raises(RuntimeError, match="synthetic pool child crash"):
+            ex.run("main", prog.ref_args)
+        leaked = _shm_names() - before
+        assert not leaked, f"leaked shared memory segments: {leaked}"
+
+    def test_wedged_pool_hits_deadline(self):
+        prog = prepared_counter_program(8)
+        ex = PoolDOALLExecutor(prog.module, prog.plan, workers=2,
+                               epoch_timeout=1.0)
+
+        def wedge(worker, i, init):
+            os.read(os.pipe()[0], 1)  # blocks forever
+
+        ex._execute_iteration = wedge
+        with pytest.raises(RuntimeError, match="did not report"):
+            ex.run("main", prog.ref_args)
+
+
+class TestWorkerDeathRespawn:
+    def test_sigkilled_worker_respawns_and_run_completes(
+            self, monkeypatch):
+        """SIGKILL of a pool child mid-epoch squashes the epoch through
+        the standard recovery path and respawns the pool; the run
+        completes with the correct output (unlike the fork-per-epoch
+        backend, which aborts)."""
+        orig = PoolDOALLExecutor._child_slice
+
+        def killer(self, worker, frame, epoch_start, epoch_end, init):
+            report = orig(self, worker, frame, epoch_start, epoch_end, init)
+            if worker.wid == 1 and epoch_start == 0:
+                time.sleep(0.5)  # let the sibling's frame land first
+                os.kill(os.getpid(), signal.SIGKILL)
+            return report
+
+        monkeypatch.setattr(PoolDOALLExecutor, "_child_slice", killer)
+        prog = prepared_counter_program(24)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           checkpoint_period=6)
+        result = ex.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        # The death was recorded as a fault misspeculation + recovery …
+        faults = [m for m in result.runtime_stats.misspeculations
+                  if m.kind == "fault"]
+        assert faults and "died mid-epoch" in faults[0].detail
+        assert result.runtime_stats.recoveries >= 1
+        # … and the pool was re-forked.
+        assert ex.pool_spawns >= 2
+
+
+# -- telemetry plane ----------------------------------------------------------
+
+
+class TestPoolTelemetry:
+    def test_worker_metrics_merge_with_stable_wids(self):
+        """worker.N.* labels on the pool backend key the *stable* pool
+        worker ids; totals reconcile with the parent accounting."""
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
+
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        METRICS.reset()
+        try:
+            prog.execute(workers=2, backend="pool")
+            snap = METRICS.snapshot()
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+            METRICS.reset()
+        for wid in (0, 1):
+            assert snap[f"worker.{wid}.epoch.slices"]["value"] > 0
+            assert snap[f"worker.{wid}.epoch.iterations"]["value"] > 0
+        shipped = sum(snap[f"worker.{w}.epoch.iterations"]["value"]
+                      for w in (0, 1))
+        assert shipped == snap["executor.iterations.committed"]["value"]
+        assert snap["pool.spawns"]["value"] >= 1
+
+    def test_worker_epoch_spans_in_worker_pids(self):
+        from repro.obs.trace import TRACER, WORKER_PID_BASE
+
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        try:
+            prog.execute(workers=2, backend="pool")
+            worker_pids = {
+                ev.get("pid") for ev in TRACER.events
+                if ev.get("name") == "backend.worker_epoch"
+            }
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+        assert worker_pids == {WORKER_PID_BASE, WORKER_PID_BASE + 1}
+
+    def test_top_dashboard_shows_stable_worker_rows(self):
+        """`repro top` groups a pool-backend metrics snapshot into one
+        row per *stable* pool worker id, in numeric order."""
+        from repro.obs.metrics import METRICS
+        from repro.obs.top import (payload_from_registry, render_dashboard,
+                                   worker_rows)
+        from repro.obs.trace import TRACER
+
+        prog = prepared_counter_program(16)
+        TRACER.enable()
+        METRICS.reset()
+        try:
+            prog.execute(workers=2, backend="pool")
+            payload = payload_from_registry(METRICS)
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+            METRICS.reset()
+        rows = worker_rows(payload["metrics"])
+        assert [w for w, _ in rows] == ["0", "1"]
+        for _, row in rows:
+            assert row["epoch.iterations"] > 0
+        # And the full dashboard frame renders without blowing up.
+        assert "worker" in render_dashboard(payload).lower()
+
+    def test_no_worker_metrics_when_tracing_off(self):
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
+
+        TRACER.disable()
+        METRICS.reset()
+        prog = prepared_counter_program(8)
+        prog.execute(workers=2, backend="pool")
+        assert not any(name.startswith("worker.")
+                       for name in METRICS.snapshot())

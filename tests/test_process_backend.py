@@ -49,8 +49,8 @@ class TestBackendResolution:
         # argparse and callers catching ValueError keep working.
         assert issubclass(BackendError, ValueError)
 
-    def test_names_cover_both_backends(self):
-        assert set(BACKEND_NAMES) == {"simulated", "process"}
+    def test_names_cover_all_backends(self):
+        assert set(BACKEND_NAMES) == {"simulated", "process", "pool"}
 
 
 class TestMakeExecutor:
