@@ -15,7 +15,7 @@ Lifecycle (docs/BACKENDS.md §"pool lifecycle"):
   worker COW overlays, replica shadows, reduction copies and the loop
   frame — exactly the state a persistent simulated worker starts from.
 * Across *clean* epochs the children stay resident.  Each epoch plan
-  (:class:`_PoolEpoch`) arrives over a per-child task queue and carries
+  (:class:`_PoolEpoch`) arrives over a per-child task pipe and carries
   the previous epoch's **commit delta** (:class:`_CommitDelta`): the
   private bytes the parent's checkpoint merged into main memory plus
   the folded reduction results.  The child patches its own main-memory
@@ -36,8 +36,10 @@ every packed format-2 :class:`~repro.runtime.fragments.EpochFragment`
 ``multiprocessing.shared_memory`` ring per child
 (:mod:`repro.parallel.shm_ring`) as memoryview slice writes — no pickle
 on the payload path; only a tiny ``(offset, length)`` descriptor plus
-the per-iteration records cross the control pipe.  A payload larger
-than the whole ring falls back to the pipe (counted under
+the per-iteration records cross the control pipe.  Ring allocation is
+epoch scoped (the child rewinds the cursor when a plan arrives and
+never wraps mid-epoch); a payload that does not fit in the tail left
+by the epoch's earlier payloads falls back to the pipe (counted under
 ``pool.ring_overflows``).  The control pipe retains everything the
 process backend ships — iteration records, misspeculation terms,
 in-worker metrics dumps and trace events — so the telemetry plane
@@ -67,7 +69,6 @@ import sys
 import time
 import traceback
 from dataclasses import dataclass, field
-from multiprocessing import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp.errors import Misspeculation
@@ -102,6 +103,28 @@ log = get_logger("pool_backend")
 _RING_SEQ = itertools.count()
 
 
+def _read_exact(fd: int, n: int) -> Optional[bytes]:
+    """Blocking read of exactly ``n`` bytes; None on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = os.read(fd, n - len(buf))
+        if not chunk:
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _read_frame(fd: int) -> Optional[bytes]:
+    """Blocking read of one length-prefixed frame (the task-pipe
+    counterpart of :func:`process_backend._write_frame`); None on EOF
+    at a frame boundary or mid-frame (parent gone: exit either way)."""
+    head = _read_exact(fd, _LEN.size)
+    if head is None:
+        return None
+    (length,) = _LEN.unpack(head)
+    return _read_exact(fd, length)
+
+
 @dataclass
 class _CommitDelta:
     """What the parent's last checkpoint changed in main memory.
@@ -120,7 +143,7 @@ class _CommitDelta:
 
 @dataclass
 class _PoolEpoch:
-    """One epoch plan, parent -> child over the task queue."""
+    """One epoch plan, parent -> child over the task pipe."""
 
     epoch_start: int
     epoch_end: int
@@ -151,8 +174,11 @@ class _PoolChild:
 
     cwid: int
     pid: int
+    #: Parent's read end of the report pipe.
     rfd: int
-    queue: object  # multiprocessing.SimpleQueue (task plans)
+    #: Parent's write end of the task pipe (length-prefixed pickled
+    #: :class:`_PoolEpoch` frames).
+    task_wfd: int
     wids: List[int] = field(default_factory=list)
 
 
@@ -225,8 +251,14 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
         self._last_commit_meta = None
 
         plan = _PoolEpoch(epoch_start, epoch_end, init, commit)
+        blob = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
         for child in self._children:
-            child.queue.put(plan)
+            try:
+                _write_frame(child.task_wfd, blob)
+            except BrokenPipeError:
+                # Child already dead: _drain_pool sees EOF on its report
+                # pipe and the epoch is squashed + the pool respawned.
+                pass
 
         payloads: Dict[int, WorkerEpochReport] = {}
         try:
@@ -383,22 +415,24 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
         sys.stderr.flush()
         children: List[_PoolChild] = []
         for cwid in range(self.pool_size):
-            queue: SimpleQueue = SimpleQueue()
+            task_rfd, task_wfd = os.pipe()
             rfd, wfd = os.pipe()
             pid = os.fork()
             if pid == 0:
                 status = 1
                 try:
                     os.close(rfd)
+                    os.close(task_wfd)
                     # fd hygiene: drop inherited ends that belong to
                     # the parent <-> earlier-sibling channels.
                     for prev in children:
-                        try:
-                            os.close(prev.rfd)
-                        except OSError:
-                            pass
-                        prev.queue._writer.close()
-                    self._child_main(cwid, wids_of[cwid], frame, queue, wfd)
+                        for fd in (prev.rfd, prev.task_wfd):
+                            try:
+                                os.close(fd)
+                            except OSError:
+                                pass
+                    self._child_main(cwid, wids_of[cwid], frame,
+                                     task_rfd, wfd)
                     status = 0
                 except BaseException:
                     try:
@@ -409,18 +443,20 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
                     except BaseException:
                         pass
                 finally:
-                    try:
-                        os.close(wfd)
-                    except OSError:
-                        pass
+                    for fd in (wfd, task_rfd):
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
                     # Never run parent atexit/flush machinery in the
                     # forked interpreter image.
                     os._exit(status)
             os.close(wfd)
-            queue._reader.close()
+            os.close(task_rfd)
             os.set_blocking(rfd, False)
             children.append(_PoolChild(cwid=cwid, pid=pid, rfd=rfd,
-                                       queue=queue, wids=wids_of[cwid]))
+                                       task_wfd=task_wfd,
+                                       wids=wids_of[cwid]))
         self._children = children
         self._pool_invocation = self.runtime.invocation_index
         self._pool_stale = False
@@ -510,14 +546,11 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
             return
         self._kill_pool({child.cwid: child.pid for child in children})
         for child in children:
-            try:
-                os.close(child.rfd)
-            except OSError:
-                pass
-            try:
-                child.queue.close()
-            except OSError:
-                pass
+            for fd in (child.rfd, child.task_wfd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
         self._last_commit_meta = None
 
     def _shutdown_pool(self) -> None:
@@ -533,16 +566,15 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
     # -- child side -----------------------------------------------------------
 
     def _child_main(self, cwid: int, wids: List[int], frame: Frame,
-                    queue: SimpleQueue, wfd: int) -> None:
-        """Resident child loop: wait for epoch plans, run the hosted
-        worker slices, ship replies.  Runs until killed (or the queue
-        closes / a ``None`` sentinel arrives)."""
-        queue._writer.close()
+                    task_rfd: int, wfd: int) -> None:
+        """Resident child loop: wait for epoch plans on the task pipe,
+        run the hosted worker slices, ship replies.  Runs until killed
+        (or the task pipe closes / a ``None`` sentinel arrives)."""
         while True:
-            try:
-                plan = queue.get()
-            except EOFError:
+            data = _read_frame(task_rfd)
+            if data is None:
                 return
+            plan = pickle.loads(data)
             if plan is None:
                 return
             reply = self._child_epoch(cwid, wids, frame, plan)
@@ -556,6 +588,11 @@ class PoolDOALLExecutor(ProcessDOALLExecutor):
         if plan.commit is not None:
             self._child_apply_commit(wids, plan.commit)
         runtime.epoch_start = plan.epoch_start
+        # The parent consumed the previous epoch's payloads before it
+        # sent this plan: rewind the ring so this epoch's allocations
+        # (one per hosted wid) bump from 0 without ever wrapping over
+        # a still-live sibling payload.
+        self._rings[cwid].begin_epoch()
         reply = _PoolReply(cwid=cwid)
         for w in wids:
             worker = runtime.workers[w]

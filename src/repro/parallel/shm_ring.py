@@ -13,14 +13,19 @@ path.
 
 Synchronization is by construction, not by locking: each ring has
 exactly one producer (its pool worker) and one consumer (the parent),
-and the parent fully consumes an epoch's payload before it dispatches
+and the parent fully consumes an epoch's payloads before it dispatches
 the next epoch command to that worker, so at most one generation of
-payloads is ever live per ring.  The ring is therefore a plain bump
-allocator that wraps to offset 0 whenever the tail can't hold the next
-payload (see :meth:`ShmRing.alloc`); a payload larger than the whole
-ring reports ``None`` and the caller falls back to shipping those bytes
-on the control pipe (flagged, counted under
-``pool.ring_overflows`` — see docs/BACKENDS.md §"transport formats").
+payloads is ever live per ring.  Allocation is therefore **epoch
+scoped**: the producer calls :meth:`ShmRing.begin_epoch` when a new
+plan arrives (the previous generation is dead by then, so the cursor
+rewinds to 0) and :meth:`ShmRing.alloc` bump-allocates from there.
+``alloc`` never wraps — a multiplexed child ships one payload per
+hosted worker id per epoch, and wrapping mid-epoch would overwrite an
+earlier payload the parent has not read yet.  Any payload that does
+not fit in the remaining tail reports ``None`` and the caller falls
+back to shipping those bytes on the control pipe (flagged, counted
+under ``pool.ring_overflows`` — see docs/BACKENDS.md §"transport
+formats").
 
 Ring capacity comes from ``REPRO_POOL_RING_KB`` (default 256 KiB per
 worker); segments are named ``repro-pool-<pid>-<index>-<seq>`` so leak
@@ -34,6 +39,10 @@ import os
 import struct
 from multiprocessing import shared_memory
 from typing import Optional, Tuple
+
+from ..obs.log import get_logger
+
+log = get_logger("shm_ring")
 
 #: Environment variable sizing each per-worker ring, in KiB.
 RING_KB_ENV = "REPRO_POOL_RING_KB"
@@ -76,9 +85,9 @@ class ShmRing:
 
     The parent constructs it with ``create=True``; forked children
     inherit the mapping (the ``SharedMemory`` object survives ``fork``,
-    no re-attach needed).  ``alloc`` is only ever called on one side at
-    a time — child while producing, never the parent — so the cursor
-    needs no cross-process coordination.
+    no re-attach needed).  ``begin_epoch``/``alloc`` are only ever
+    called on one side at a time — child while producing, never the
+    parent — so the cursor needs no cross-process coordination.
     """
 
     def __init__(self, name: str, capacity: int, create: bool = True):
@@ -90,17 +99,27 @@ class ShmRing:
 
     # -- producer side -----------------------------------------------------
 
+    def begin_epoch(self) -> None:
+        """Start a new epoch's allocations at offset 0.
+
+        Safe because the consumer has fully read the previous epoch's
+        payloads before it dispatched the plan that triggers this call
+        (the one-live-generation invariant in the module docstring).
+        """
+        self.cursor = 0
+
     def alloc(self, size: int) -> Optional[int]:
         """Reserve ``size`` contiguous bytes; returns the start offset.
 
-        Wraps to offset 0 when the tail is too short; returns ``None``
-        when the payload exceeds the whole ring (caller falls back to
-        the control pipe).
+        Returns ``None`` when the payload does not fit in the tail left
+        by this epoch's earlier allocations (caller falls back to the
+        control pipe).  Never wraps: every allocation since the last
+        :meth:`begin_epoch` is still live — a multiplexed child ships
+        several payloads per epoch — and wrapping would silently
+        overwrite one before the parent reads it.
         """
-        if size > self.capacity:
-            return None
         if self.cursor + size > self.capacity:
-            self.cursor = 0
+            return None
         offset = self.cursor
         self.cursor += size
         return offset
@@ -116,11 +135,18 @@ class ShmRing:
 
     def close(self, unlink: bool = False) -> None:
         """Drop this process's mapping; ``unlink`` additionally removes
-        the backing ``/dev/shm`` segment (owner side only)."""
+        the backing ``/dev/shm`` segment (owner side only).  A mapping
+        pinned by an unreleased ``memoryview`` is reported, not silently
+        leaked."""
         try:
             self.shm.close()
-        except (OSError, BufferError):
+        except OSError:
             pass
+        except BufferError:
+            log.warning(
+                "ring %s: mapping not closed — a memoryview into the "
+                "segment is still alive (missing view.release()?)",
+                self.name)
         if unlink:
             try:
                 self.shm.unlink()

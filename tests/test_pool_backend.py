@@ -83,13 +83,21 @@ class TestShmRing:
         return ShmRing(f"repro-pool-test-{os.getpid()}-{time.monotonic_ns()}",
                        capacity, create=True)
 
-    def test_alloc_advances_and_wraps(self):
+    def test_alloc_is_epoch_scoped_and_never_wraps(self):
+        """Every allocation since begin_epoch() is still live (one
+        payload per hosted wid per epoch); an alloc that would wrap
+        must refuse (pipe fallback) instead of overwriting one."""
         ring = self._ring(100)
         try:
             assert ring.alloc(60) == 0
-            # 60 + 60 > 100: wraps back to offset 0.
-            assert ring.alloc(60) == 0
+            # 60 + 60 > 100: refused — wrapping to 0 would overwrite
+            # the live first payload of this same epoch.
+            assert ring.alloc(60) is None
+            # The cursor is untouched by a refused alloc.
             assert ring.alloc(30) == 60
+            # Next epoch: the parent has consumed everything; rewind.
+            ring.begin_epoch()
+            assert ring.alloc(60) == 0
         finally:
             ring.close(unlink=True)
 
@@ -97,6 +105,8 @@ class TestShmRing:
         ring = self._ring(64)
         try:
             assert ring.alloc(64) == 0
+            assert ring.alloc(64) is None
+            ring.begin_epoch()
             assert ring.alloc(64) == 0
         finally:
             ring.close(unlink=True)
@@ -108,6 +118,37 @@ class TestShmRing:
             # The cursor is untouched by a refused alloc.
             assert ring.alloc(10) == 0
         finally:
+            ring.close(unlink=True)
+
+    def test_refused_alloc_preserves_live_payload(self):
+        """The corruption the no-wrap rule prevents: payload A is live,
+        an overflowing payload B must not land on top of it."""
+        ring = self._ring(64)
+        try:
+            off_a = ring.alloc(40)
+            ring.write(off_a, b"A" * 40)
+            assert ring.alloc(40) is None  # would have wrapped onto A
+            view = ring.view(off_a, 40)
+            try:
+                assert bytes(view) == b"A" * 40
+            finally:
+                view.release()
+        finally:
+            ring.close(unlink=True)
+
+    def test_close_warns_on_unreleased_view(self, caplog):
+        """An unreleased memoryview pins the mapping; close() must
+        surface that instead of silently leaking it."""
+        import logging
+
+        ring = self._ring(64)
+        view = ring.view(0, 8)
+        with caplog.at_level(logging.WARNING, logger="repro.shm_ring"):
+            ring.close(unlink=True)
+        try:
+            assert any("still alive" in r.message for r in caplog.records)
+        finally:
+            view.release()
             ring.close(unlink=True)
 
     def test_write_and_view_round_trip(self):
@@ -167,17 +208,19 @@ class TestFragmentFraming:
         assert isinstance(k, bytes) and isinstance(v, bytes)
 
     def test_round_trip_through_shared_memory(self):
-        """Same framing through an actual shm segment with a wrapped
-        cursor — the production transport path."""
+        """Same framing through an actual shm segment at a non-zero
+        epoch offset — the production transport path for the second
+        payload a multiplexed child ships in one epoch."""
         ring = ShmRing(f"repro-pool-test-{os.getpid()}-frame", 4096,
                        create=True)
         try:
             payload = (((0, 8), (16, 32)), ((0, 8, 2),), ((0, 32),),
                        b"\x01" * 8, bytes(range(8)))
             size = payload_size(2, 1, 1, 8, 8)
-            ring.cursor = 4096 - (size - 1)  # force a wrap
+            ring.begin_epoch()
+            assert ring.alloc(64) == 0  # an earlier same-epoch payload
             off = ring.alloc(size)
-            assert off == 0
+            assert off == 64
             pack_fragment_payload(ring.shm.buf, off, *payload)
             view = ring.view(off, size)
             try:
@@ -290,6 +333,87 @@ class TestPoolEndToEnd:
         result = ex.run(prog.entry, prog.ref_args)
         assert result.output == prog.sequential.output
         assert ex.ring_overflows > 0
+
+    def test_multiplexed_epoch_sum_overflow_is_safe(self):
+        """The review-flagged corruption scenario, in-process: a child
+        hosting several wids ships one payload per wid per epoch; each
+        payload fits the ring alone but the epoch sum does not.  The
+        overflowing payload must take the counted pipe fallback and
+        BOTH fragments must rebuild bit-exact (no silent overwrite of
+        the still-live first payload)."""
+        from repro.parallel.backend import WorkerEpochReport
+        from repro.runtime.fragments import EpochFragment
+
+        def frag(wid, fill):
+            n = 50
+            return EpochFragment(
+                wid=wid, epoch_start=0,
+                write_runs=((0, n, 0),),
+                write_kinds=b"\x02" * n,
+                write_values=bytes([fill]) * n,
+                epoch_written_runs=((0, n),))
+
+        frag_a, frag_b = frag(0, 0xAA), frag(1, 0xBB)
+        one = payload_size(0, 1, 1, 50, 50)
+        prog = prepared_counter_program(8)
+        ex = make_executor("pool", prog.module, prog.plan, workers=2,
+                           pool_workers=1)
+        ring = ShmRing(
+            f"repro-pool-test-{os.getpid()}-mux", one + 8, create=True)
+        ex._rings = [ring]
+        try:
+            ring.begin_epoch()
+            entry_a = ex._child_ship_fragment(
+                0, WorkerEpochReport(wid=0, fragment=frag_a))
+            entry_b = ex._child_ship_fragment(
+                0, WorkerEpochReport(wid=1, fragment=frag_b))
+            assert entry_a[1][0] == "ring"
+            assert entry_b[1][0] == "pipe"
+            # Rebuild AFTER shipping both: proves B's overflow did not
+            # land on top of A's live ring payload.
+            assert ex._rebuild_fragment(0, entry_a) == frag_a
+            assert ex._rebuild_fragment(0, entry_b) == frag_b
+            assert ex.ring_overflows == 1
+        finally:
+            ex._rings = None
+            ring.close(unlink=True)
+
+    def test_multiplexed_tiny_ring_end_to_end(self, monkeypatch):
+        """End-to-end variant: size the ring so every payload fits
+        alone but one epoch's multiplexed sum overflows — results stay
+        correct, the ring is still used, and overflows are counted."""
+        transports = []
+        orig = PoolDOALLExecutor._rebuild_fragment
+
+        def spy(self, cwid, entry):
+            desc = entry[1]
+            transports.append(
+                (desc[0], desc[2] if desc[0] == "ring" else len(desc[1])))
+            return orig(self, cwid, entry)
+
+        monkeypatch.setattr(PoolDOALLExecutor, "_rebuild_fragment", spy)
+
+        # Phase 1: discover real payload sizes with an ample ring.
+        prog = prepared_counter_program(24)
+        ex = make_executor("pool", prog.module, prog.plan, workers=4,
+                           pool_workers=1)
+        ex.run(prog.entry, prog.ref_args)
+        sizes = [s for _, s in transports]
+        assert sizes
+        cap = max(sizes)
+
+        # Phase 2: per-payload size <= cap < one epoch's 4-payload sum.
+        transports.clear()
+        monkeypatch.setattr(pool_backend, "ring_capacity_from_env",
+                            lambda env=None: cap)
+        ex2 = make_executor("pool", prog.module, prog.plan, workers=4,
+                            pool_workers=1)
+        result = ex2.run(prog.entry, prog.ref_args)
+        assert result.output == prog.sequential.output
+        kinds = {t for t, _ in transports}
+        assert kinds == {"ring", "pipe"}
+        assert ex2.ring_overflows > 0
+        assert all(s <= cap for _, s in transports)
 
     def test_shutdown_leaves_no_shm_segments(self):
         """After run() returns, no repro-pool-* segment may remain in
