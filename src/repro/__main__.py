@@ -7,8 +7,11 @@ Usage::
     python -m repro trace dijkstra --out-dir traces/
     python -m repro explain dijkstra --misspec-period 7 --misspec-burst 30
     python -m repro baselines prog.c --args 64
-    python -m repro workloads
+    python -m repro workloads --json
     python -m repro report > EXPERIMENTS.md
+    python -m repro serve --port 8517
+    python -m repro submit dijkstra --small --workers 8
+    python -m repro jobs j1
 
 Observability: ``trace`` runs a workload (or source file) with the full
 tracing/metrics layer on and emits a JSONL event stream plus a Chrome
@@ -315,9 +318,184 @@ def cmd_baselines(args: argparse.Namespace) -> int:
 def cmd_workloads(args: argparse.Namespace) -> int:
     from .workloads import ALL_WORKLOADS
 
+    if args.json:
+        import json
+
+        from .service.app import workloads_payload
+        from .service.serializers import envelope
+
+        print(json.dumps(envelope(workloads_payload()), indent=2,
+                         sort_keys=True))
+        return 0
     for w in ALL_WORKLOADS:
         print(f"{w.name:14s} [{w.suite}] train={w.train} ref={w.ref}")
         print(f"    {w.description}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the parallelization-as-a-service job API until SIGTERM/SIGINT
+    (see docs/SERVICE.md).  Deliberately does not call ``obs.enable()``:
+    that would reset the metrics registry and destroy the service
+    counters the endpoint exists to expose."""
+    import signal
+    import threading
+
+    from .service.app import ServiceApp, resolve_serve_port
+
+    try:
+        port = resolve_serve_port(args.port)
+        app = ServiceApp(port=port, queue_depth=args.queue_depth,
+                         retain=args.retain)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    done = threading.Event()
+    previous = {}
+
+    def _on_signal(signum, frame):
+        done.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _on_signal)
+    app.start()
+    print(f"serve: job API on {app.url}")
+    print(f"serve: POST {app.url}/jobs · GET /jobs/<id> · /jobs/<id>/trace "
+          f"· /fingerprints · /workloads · /metrics · /metrics.prom "
+          f"· /health")
+    print(f"serve: queue depth {app.store.queue_depth}, submit with: "
+          f"python -m repro submit <workload> --url {app.url}",
+          flush=True)
+    try:
+        done.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        app.stop()
+        counts = app.store.counts()
+        print("serve: drained and stopped "
+              f"({', '.join(f'{k}={v}' for k, v in counts.items())})")
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service.client import ServiceClient, default_url
+
+    try:
+        url = args.url or default_url(args.port)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    return ServiceClient(url, timeout=args.timeout)
+
+
+def _print_job_summary(job: dict) -> None:
+    state = job["state"]
+    flavor = ("cache hit" if job.get("cache_hit")
+              else "warm" if job.get("warm") else "cold")
+    line = f"{job['id']}: {state} ({job['name']}, {flavor})"
+    result = job.get("result") or {}
+    if state == "done" and result:
+        t1 = result.get("table1") or {}
+        line += (f" speedup={t1.get('speedup')}x"
+                 f" misspec={result.get('misspeculations', 0)}"
+                 f" recoveries={result.get('recoveries', 0)}")
+    if job.get("error"):
+        line += f" error: {job['error']}"
+    print(line)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceError
+    from .workloads import BY_NAME
+
+    payload: dict = {"workers": args.workers}
+    path = Path(args.workload)
+    if args.workload in BY_NAME:
+        payload["workload"] = args.workload
+        if args.small:
+            payload["small"] = True
+    elif path.is_file():
+        payload["source"] = path.read_text()
+        payload["name"] = path.stem
+    else:
+        print(f"error: {args.workload!r} is neither a workload "
+              f"({', '.join(sorted(BY_NAME))}) nor a MiniC source file",
+              file=sys.stderr)
+        return 2
+    if args.args:
+        payload["args"] = [int(v) for v in args.args]
+    if args.train_args:
+        payload["train_args"] = [int(v) for v in args.train_args]
+    for key, value in (("backend", args.backend),
+                       ("pool_workers", args.pool_workers),
+                       ("checkpoint_period", args.checkpoint_period)):
+        if value is not None:
+            payload[key] = value
+    if args.misspec_period:
+        payload["misspec_period"] = args.misspec_period
+    if args.misspec_burst:
+        payload["misspec_burst"] = args.misspec_burst
+    if args.adapt:
+        payload["adapt"] = True
+    if args.trace:
+        payload["trace"] = True
+
+    client = _service_client(args)
+    try:
+        job = client.submit_retrying(payload)
+        if args.wait and job["state"] not in ("done", "failed",
+                                              "misspeculated"):
+            job = client.wait(job["id"], timeout=args.timeout)
+    except (ServiceError, TimeoutError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        _print_job_summary(job)
+    if not args.wait:
+        return 0
+    return 0 if job["state"] == "done" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id)
+            if args.json:
+                print(json.dumps(job, indent=2, sort_keys=True))
+            else:
+                _print_job_summary(job)
+            return 0
+        listing = client.jobs()
+    except ServiceError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    jobs = listing.get("jobs", [])
+    if not jobs:
+        print("(no jobs)")
+        return 0
+    print(f"{'id':<6} {'state':<14} {'name':<14} {'path':<9} fingerprint")
+    for job in jobs:
+        flavor = ("cache-hit" if job.get("cache_hit")
+                  else "warm" if job.get("warm") else "cold")
+        print(f"{job['id']:<6} {job['state']:<14} {job['name']:<14} "
+              f"{flavor:<9} {job['fingerprint']}")
+    counts = listing.get("counts", {})
+    print("counts: " + ", ".join(f"{k}={v}" for k, v in counts.items()
+                                 if v))
     return 0
 
 
@@ -612,7 +790,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_baselines)
 
     p = sub.add_parser("workloads", help="list the five evaluated programs")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable listing (name, args schema, "
+                        "description) — the same payload as GET "
+                        "/workloads on `repro serve`")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("serve", help="run the parallelization-as-a-service "
+                                     "job API (POST /jobs, fingerprint-"
+                                     "batched scheduling, warm result "
+                                     "cache; docs/SERVICE.md)")
+    p.add_argument("--port", type=int, default=None,
+                   help="loopback port to serve on; 0 picks an ephemeral "
+                        "port (default: $REPRO_SERVE_PORT, then 8517)")
+    p.add_argument("--queue-depth", type=_positive_int, default=None,
+                   metavar="N",
+                   help="bound on queued jobs before submits get 429 + "
+                        "Retry-After (default: $REPRO_SERVE_QUEUE, "
+                        "then 64)")
+    p.add_argument("--retain", type=_positive_int, default=256,
+                   metavar="N",
+                   help="finished jobs kept for GET /jobs/<id> before "
+                        "eviction (default: 256)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running "
+                                      "`repro serve` and wait for the "
+                                      "result")
+    p.add_argument("workload", help="workload name (see `repro workloads`) "
+                                    "or a MiniC source file")
+    p.add_argument("--args", nargs="*",
+                   help="integer arguments for main (overrides the "
+                        "workload's input set)")
+    p.add_argument("--small", action="store_true",
+                   help="use the train input instead of ref (CI smoke)")
+    p.add_argument("--train-args", nargs="*",
+                   help="integer profiling arguments (defaults to --args; "
+                        "differing train/ref inputs exercise genuine "
+                        "misspeculation)")
+    p.add_argument("--workers", type=_positive_int, default=4)
+    p.add_argument("--checkpoint-period", type=_epoch_size, default=None)
+    p.add_argument("--misspec-period", type=int, default=0,
+                   help="inject a misspeculation every N iterations")
+    p.add_argument("--misspec-burst", type=int, default=0,
+                   help="limit injection to the first N iterations "
+                        "(0 = no limit)")
+    p.add_argument("--adapt", action="store_true",
+                   help="run the job with the adaptive speculation "
+                        "controller on")
+    p.add_argument("--trace", action="store_true",
+                   help="record a JSONL trace server-side (fetch with "
+                        "GET /jobs/<id>/trace)")
+    p.add_argument("--no-wait", dest="wait", action="store_false",
+                   help="return after the job is queued instead of "
+                        "polling for the result")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw job payload instead of a summary")
+    p.add_argument("--url", default=None,
+                   help="server base URL (default: http://127.0.0.1:"
+                        "$REPRO_SERVE_PORT)")
+    p.add_argument("--port", type=int, default=None,
+                   help="server port on 127.0.0.1 (ignored with --url)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the result (default: 300)")
+    _add_backend_flag(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list jobs on a running `repro serve` "
+                                    "(or show one by id)")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id (e.g. j3); omit to list all retained jobs")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw payload instead of a table")
+    p.add_argument("--url", default=None,
+                   help="server base URL (default: http://127.0.0.1:"
+                        "$REPRO_SERVE_PORT)")
+    p.add_argument("--port", type=int, default=None,
+                   help="server port on 127.0.0.1 (ignored with --url)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="request timeout in seconds (default: 10)")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md content "
                                       "on stdout (slow)")

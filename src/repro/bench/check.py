@@ -13,7 +13,12 @@ own history:
 * ``trace.tracing_off_ips`` — fast path with observability disarmed
   (the ≤2% tracing-off budget's absolute side);
 * ``shadow.<label>.phase1_mbps`` / ``shadow.<label>.merge_mbps`` —
-  vectorized shadow validation and checkpoint-merge throughput.
+  vectorized shadow validation and checkpoint-merge throughput;
+* ``service.cold_rps`` / ``service.warm_rps`` / ``service.cache_hit_rps``
+  — job-API requests/second (the harness additionally hard-gates
+  ``warm_rps >= cold_rps`` point-in-time; here the history gate keeps
+  all three from silently eroding, min-history skipping the fresh
+  section).
 
 All are higher-is-better; entries are only compared against history
 recorded under the same ``quick`` flag (train vs ref inputs are not
@@ -64,6 +69,11 @@ def extract_metrics(run: Dict[str, object]) -> Dict[str, float]:
             data = rec.get(section)
             if isinstance(data, dict) and data.get("vec_mbps"):
                 out[f"shadow.{label}.{key}"] = float(data["vec_mbps"])
+    service = run.get("service")
+    if isinstance(service, dict):
+        for key in ("cold_rps", "warm_rps", "cache_hit_rps"):
+            if service.get(key):
+                out[f"service.{key}"] = float(service[key])
     return out
 
 

@@ -167,6 +167,16 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._metrics.clear()
 
+    def remove(self, prefix: str) -> int:
+        """Drop every metric whose name starts with ``prefix`` and return
+        how many were dropped.  Used by the service tier to evict a
+        retired job's ``job.<id>.*`` entries so a long-lived server's
+        ``/metrics`` payload stays bounded."""
+        doomed = [n for n in self._metrics if n.startswith(prefix)]
+        for name in doomed:
+            del self._metrics[name]
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -227,17 +237,32 @@ def _fmt(v) -> str:
     return f"{v:,}"
 
 
+#: A trailing-number name component like ``j12`` (service job ids).
+_NUMBERED_PART = re.compile(r"^(\D+?)(\d+)$")
+
+
 def metric_sort_key(name: str) -> Tuple:
     """Sort key grouping metric names by dotted namespace, with numeric
     components compared as integers — so ``worker.2.*`` sorts before
     ``worker.10.*`` and each worker's metrics render as one contiguous
-    block instead of interleaving lexicographically."""
-    return tuple((0, int(part), "") if part.isdigit() else (1, 0, part)
-                 for part in name.split("."))
+    block instead of interleaving lexicographically.  Components with a
+    trailing number (service job ids: ``j2``, ``j10``) compare by prefix
+    then numerically, so ``job.j2.*`` sorts before ``job.j10.*``."""
+    parts = []
+    for part in name.split("."):
+        if part.isdigit():
+            parts.append(("", int(part)))
+            continue
+        m = _NUMBERED_PART.match(part)
+        parts.append((m.group(1), int(m.group(2))) if m else (part, -1))
+    return tuple(parts)
 
 
 #: Registry-name shape of a worker-shipped metric: ``worker.<N>.<rest>``.
 _WORKER_NAME = re.compile(r"^worker\.(\d+)\.(.+)$")
+
+#: Registry-name shape of a per-job service metric: ``job.<id>.<rest>``.
+_JOB_NAME = re.compile(r"^job\.(j\d+)\.(.+)$")
 
 
 def split_worker_metric(name: str) -> Tuple[str, Optional[str]]:
@@ -248,6 +273,20 @@ def split_worker_metric(name: str) -> Tuple[str, Optional[str]]:
     if m is None:
         return name, None
     return m.group(2), m.group(1)
+
+
+def split_labeled_metric(name: str) -> Tuple[str, Optional[Tuple[str, str]]]:
+    """Split a labeled registry name into ``(base, (label, value))``:
+    ``worker.N.rest`` -> ``(rest, ("worker", "N"))`` and the service
+    tier's ``job.jN.rest`` -> ``(rest, ("job", "jN"))``; any other name
+    maps to ``(name, None)``."""
+    base, worker = split_worker_metric(name)
+    if worker is not None:
+        return base, ("worker", worker)
+    m = _JOB_NAME.match(name)
+    if m is not None:
+        return m.group(2), ("job", m.group(1))
+    return name, None
 
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
@@ -279,16 +318,18 @@ def render_prometheus(snapshot: Dict[str, Dict[str, object]],
     """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus text
     exposition format (version 0.0.4).
 
-    ``worker.N.`` prefixes are folded into a ``worker="N"`` label so all
-    workers share one metric family; histograms render as summaries
-    (``quantile`` samples plus ``_count``/``_sum``), and gauges that were
-    never set are omitted.  One ``# TYPE`` line is emitted per family,
-    before its first sample.
+    ``worker.N.`` prefixes are folded into a ``worker="N"`` label and the
+    service tier's ``job.jN.`` prefixes into a ``job="jN"`` label, so all
+    workers (and jobs) share one metric family; histograms render as
+    summaries (``quantile`` samples plus ``_count``/``_sum``), and gauges
+    that were never set are omitted.  One ``# TYPE`` line is emitted per
+    family, before its first sample.
     """
-    families: Dict[str, List[Tuple[Optional[str], Dict[str, object]]]] = {}
+    families: Dict[str, List[Tuple[Optional[Tuple[str, str]],
+                                   Dict[str, object]]]] = {}
     types: Dict[str, str] = {}
     for name, snap in snapshot.items():
-        base, worker = split_worker_metric(name)
+        base, labeled = split_labeled_metric(name)
         fam = prometheus_name(base, namespace)
         kind = str(snap.get("type"))
         prom_type = {"counter": "counter", "gauge": "gauge",
@@ -299,32 +340,33 @@ def render_prometheus(snapshot: Dict[str, Dict[str, object]],
             # Same sanitized family from two metric types: keep the first
             # declaration and skip the clashing sample.
             continue
-        families.setdefault(fam, []).append((worker, snap))
+        families.setdefault(fam, []).append((labeled, snap))
 
-    def label(worker: Optional[str], extra: str = "") -> str:
+    def label(labeled: Optional[Tuple[str, str]], extra: str = "") -> str:
         parts = [p for p in
-                 ([f'worker="{worker}"'] if worker is not None else [])
+                 ([f'{labeled[0]}="{labeled[1]}"'] if labeled is not None
+                  else [])
                  + ([extra] if extra else [])]
         return "{" + ",".join(parts) + "}" if parts else ""
 
     lines: List[str] = []
     for fam in sorted(families, key=metric_sort_key):
         lines.append(f"# TYPE {fam} {types[fam]}")
-        for worker, snap in families[fam]:
+        for labeled, snap in families[fam]:
             if types[fam] in ("counter", "gauge"):
                 value = snap.get("value")
                 if value is None:
                     continue
-                lines.append(f"{fam}{label(worker)} {_prom_value(value)}")
+                lines.append(f"{fam}{label(labeled)} {_prom_value(value)}")
                 continue
             for q, key in (("0.5", "p50"), ("0.95", "p95")):
                 if snap.get(key) is not None:
                     quantile = 'quantile="%s"' % q
-                    lines.append(f"{fam}{label(worker, quantile)} "
+                    lines.append(f"{fam}{label(labeled, quantile)} "
                                  f"{_prom_value(snap[key])}")
-            lines.append(f"{fam}_count{label(worker)} "
+            lines.append(f"{fam}_count{label(labeled)} "
                          f"{_prom_value(snap.get('count', 0))}")
-            lines.append(f"{fam}_sum{label(worker)} "
+            lines.append(f"{fam}_sum{label(labeled)} "
                          f"{_prom_value(snap.get('sum', 0.0))}")
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -4,7 +4,8 @@ the live status endpoint (``/metrics`` JSON, ``/metrics.prom`` text).
 
 Usable as a library (:func:`validate_event`, :func:`validate_jsonl`,
 :func:`validate_flight`, :func:`validate_explain`,
-:func:`validate_metrics`, :func:`validate_prom`) and as a script — CI
+:func:`validate_metrics`, :func:`validate_prom`, :func:`validate_job`)
+and as a script — CI
 runs it against the artifacts emitted by ``python -m repro trace`` and
 ``python -m repro explain``, and against live endpoint responses::
 
@@ -14,6 +15,7 @@ runs it against the artifacts emitted by ``python -m repro trace`` and
     PYTHONPATH=src python -m repro.obs.schema --explain out/dijkstra.explain.json
     PYTHONPATH=src python -m repro.obs.schema --metrics /tmp/metrics.json
     PYTHONPATH=src python -m repro.obs.schema --prom /tmp/metrics.prom
+    PYTHONPATH=src python -m repro.obs.schema --job /tmp/job.json
 """
 
 from __future__ import annotations
@@ -278,6 +280,12 @@ _METRIC_FIELDS = {
 
 _WORKER_PREFIX = re.compile(r"^worker\.([^.]+)\.")
 
+#: Service job ids as they appear in ``job.<id>.<metric>`` names and in
+#: job payloads (sequential: ``j1``, ``j2``, ...).
+_JOB_ID = re.compile(r"^j\d+$")
+
+_JOB_PREFIX = re.compile(r"^job\.([^.]+)\.")
+
 #: Prometheus text exposition 0.0.4 line grammar (the subset we emit).
 _PROM_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _PROM_SAMPLE = re.compile(
@@ -337,10 +345,86 @@ def validate_metrics(path: str) -> Dict[str, object]:
         if name.startswith("worker.") and m is None:
             errors.append(f"{where}worker-prefixed name has no metric "
                           f"suffix (expected worker.<N>.<metric>)")
+        j = _JOB_PREFIX.match(name)
+        if j and not _JOB_ID.match(j.group(1)):
+            errors.append(f"{where}job label {j.group(1)!r} is not a job "
+                          f"id (expected job.j<N>.<metric>)")
+        if name.startswith("job.") and j is None:
+            errors.append(f"{where}job-prefixed name has no metric "
+                          f"suffix (expected job.j<N>.<metric>)")
         if len(errors) >= 20:
             errors.append("(stopping after too many errors)")
             break
     return {"metrics": len(metrics), "errors": errors}
+
+
+def validate_job(path: str) -> Dict[str, object]:
+    """Validate a ``GET /jobs/<id>`` payload from ``repro serve``;
+    returns ``{"jobs": n, "errors": [...]}``.  Checks the service
+    envelope (``service_format``, ``generated_unix``), the job identity
+    fields (``j<N>`` id, known lifecycle state), and — for ``done``
+    jobs — the result body's Table-1/Table-3 rows and misspeculation
+    accounting."""
+    from ..service.jobstore import JOB_STATES, STATE_DONE
+
+    errors: List[str] = []
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except ValueError as e:
+            return {"jobs": 0, "errors": [f"invalid JSON ({e})"]}
+    if not isinstance(data, dict):
+        return {"jobs": 0, "errors": ["payload is not a JSON object"]}
+    if not isinstance(data.get("service_format"), int) \
+            or isinstance(data.get("service_format"), bool):
+        errors.append("missing integer service_format")
+    if not isinstance(data.get("generated_unix"), (int, float)) \
+            or isinstance(data.get("generated_unix"), bool):
+        errors.append("missing numeric generated_unix")
+    job = data.get("job")
+    if not isinstance(job, dict):
+        return {"jobs": 0,
+                "errors": errors + ["missing job object"]}
+    if not isinstance(job.get("id"), str) or not _JOB_ID.match(job["id"]):
+        errors.append(f"job id {job.get('id')!r} does not match j<N>")
+    state = job.get("state")
+    if state not in JOB_STATES:
+        errors.append(f"unknown job state {state!r} "
+                      f"(expected one of {', '.join(JOB_STATES)})")
+    for field in ("args", "train_args"):
+        value = job.get(field)
+        if not isinstance(value, list) or any(
+                isinstance(v, bool) or not isinstance(v, int)
+                for v in value):
+            errors.append(f"job {field} is not a list of integers")
+    if not isinstance(job.get("knobs"), dict):
+        errors.append("job missing knobs object")
+    for field in ("cache_hit", "warm"):
+        if not isinstance(job.get(field), bool):
+            errors.append(f"job missing boolean {field}")
+    if not isinstance(job.get("fingerprint"), str) or not job["fingerprint"]:
+        errors.append("job missing fingerprint")
+    if state == STATE_DONE:
+        result = job.get("result")
+        if not isinstance(result, dict):
+            errors.append("done job missing result object")
+        else:
+            for field in ("table1", "table3"):
+                if not isinstance(result.get(field), dict):
+                    errors.append(f"done result missing {field} row")
+            for field in ("misspeculations", "recoveries",
+                          "squashed_iterations", "checkpoints"):
+                value = result.get(field)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(f"done result missing integer {field}")
+            if result.get("output_matches") is not True:
+                errors.append("done result must have output_matches: true")
+            misspecs = result.get("misspeculations")
+            if isinstance(misspecs, int) and misspecs > 0 \
+                    and not isinstance(result.get("forensics"), dict):
+                errors.append("misspeculating done result missing "
+                              "forensics summary")
+    return {"jobs": 1, "errors": errors}
 
 
 def validate_prom(path: str, max_errors: int = 20) -> Dict[str, object]:
@@ -431,6 +515,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     mode.add_argument("--prom", action="store_true",
                       help="validate as Prometheus text exposition "
                            "(/metrics.prom)")
+    mode.add_argument("--job", action="store_true",
+                      help="validate as a `repro serve` GET /jobs/<id> "
+                           "payload")
     args = parser.parse_args(argv)
     if args.chrome:
         validator = validate_chrome
@@ -442,6 +529,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         validator = validate_metrics
     elif args.prom:
         validator = validate_prom
+    elif args.job:
+        validator = validate_job
     else:
         validator = validate_jsonl
     report = validator(args.path)
@@ -451,8 +540,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        report.get("records",
                                   report.get("diagnoses",
                                              report.get("metrics",
-                                                        report.get("samples",
-                                                                   0)))))
+                                                        report.get(
+                                                            "samples",
+                                                            report.get(
+                                                                "jobs",
+                                                                0))))))
     if report["errors"]:
         print(f"FAIL: {args.path}: {len(report['errors'])} error(s) in "
               f"{count} record(s)")

@@ -17,6 +17,11 @@ Two measurements, both repeated ``repeats`` times with
 * **flight** — clean-run executor wall time with the misspeculation
   flight recorder on vs off, best-of timings, gated at <= 2% overhead
   (ISSUE 5): recording must never cost a clean run noticeable time.
+* **service** — requests/second through the ``repro serve`` job API:
+  cold first-submission vs warm same-fingerprint vs cache-hit
+  resubmission, over real HTTP against an in-process server; gated
+  ``warm_rps >= cold_rps`` (the fingerprint-batched warm path must
+  amortize ``prepare()``).
 
 Results are appended to ``BENCH_interp.json`` as a trajectory: one entry
 per run, so future PRs regress against the history rather than a single
@@ -404,6 +409,90 @@ def measure_adaptive(workload: Workload, args: Sequence[object],
             os.environ[ADAPT_DIR_ENV] = saved
 
 
+def measure_service(workload: Workload, repeats: int = 3,
+                    workers: int = 2) -> Dict[str, object]:
+    """Requests/second through the ``repro serve`` job API, cold vs warm.
+
+    Starts an in-process :class:`~repro.service.app.ServiceApp` on an
+    ephemeral port against scratch profile-cache/policy directories (so
+    *cold* really pays the full compile/profile/classify/transform
+    pipeline), then measures three request classes over real HTTP:
+
+    * **cold** — the first submission of a module: full ``prepare()``;
+    * **warm** — same fingerprint, different execution knobs: the
+      scheduler reuses the resident prepared program, so only
+      ``execute()`` runs (this is the amortization the service exists
+      to provide — gated ``warm_rps >= cold_rps`` in ``run_bench``);
+    * **cache_hit** — an identical resubmission: answered at submit time
+      from the warm result cache, no pipeline work at all.
+
+    Train inputs throughout: the section measures service overhead and
+    amortization, not guest throughput.
+    """
+    from ..obs.metrics import MetricsRegistry
+    from ..service.app import ServiceApp
+    from ..service.client import ServiceClient
+
+    registry = MetricsRegistry()
+    saved = {var: os.environ.get(var)
+             for var in ("REPRO_CACHE_DIR", "REPRO_ADAPT_DIR")}
+    base = {"workload": workload.name, "small": True, "workers": workers}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-svc-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+            os.environ["REPRO_ADAPT_DIR"] = os.path.join(tmp, "adapt")
+            with ServiceApp(port=0, registry=registry) as app:
+                client = ServiceClient(app.url)
+
+                def submit_and_wait(payload) -> float:
+                    t0 = time.perf_counter()
+                    job = client.submit(payload)
+                    if job["state"] not in ("done", "failed",
+                                            "misspeculated"):
+                        job = client.wait(job["id"])
+                    elapsed = time.perf_counter() - t0
+                    assert job["state"] == "done", (
+                        f"{workload.name}: service job ended "
+                        f"{job['state']}: {job.get('error')}")
+                    return elapsed
+
+                cold_s = submit_and_wait(dict(base))
+                warms = [submit_and_wait(dict(base, workers=workers + 1 + i))
+                         for i in range(repeats)]
+                cache_times = []
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    job = client.submit(dict(base))
+                    cache_times.append(time.perf_counter() - t0)
+                    assert job["cache_hit"], (
+                        f"{workload.name}: identical resubmission was not "
+                        f"a cache hit")
+                cache_hits = registry.counter("service.cache_hits").value
+                batches = registry.counter("service.batches").value
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+    warm_s = mean(warms)
+    cache_s = mean(cache_times)
+    return {
+        "workload": workload.name,
+        "repeats": repeats,
+        "workers": workers,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "cache_hit_s": round(cache_s, 4),
+        "cold_rps": round(1.0 / cold_s, 2),
+        "warm_rps": round(1.0 / warm_s, 2),
+        "cache_hit_rps": round(1.0 / cache_s, 2),
+        "warm_over_cold": round(cold_s / warm_s, 2),
+        "cache_hits": cache_hits,
+        "batches": batches,
+    }
+
+
 def append_trajectory(entry: Dict[str, object],
                       path: os.PathLike = DEFAULT_OUT) -> None:
     path = Path(path)
@@ -592,6 +681,15 @@ def run_bench(quick: bool = False, repeats: int = 3,
               f"merge {mg['ref_mbps']:>8.1f} -> {mg['vec_mbps']:>8.1f} MB/s "
               f"({mg['speedup']:.1f}x)")
 
+    service_res = measure_service(gate_w, repeats=2 if quick else repeats)
+    print(f"service  {gate_w.name:12s} "
+          f"cold {service_res['cold_s']:.3f}s "
+          f"({service_res['cold_rps']:.1f} req/s)  "
+          f"warm {service_res['warm_s']:.3f}s "
+          f"({service_res['warm_rps']:.1f} req/s)  "
+          f"cache-hit {service_res['cache_hit_s'] * 1000:.1f}ms "
+          f"({service_res['cache_hit_rps']:,.0f} req/s)")
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "quick": quick,
@@ -600,6 +698,7 @@ def run_bench(quick: bool = False, repeats: int = 3,
         "trace": trace_res,
         "flight": flight_res,
         "shadow": shadow_results,
+        "service": service_res,
     }
     if scaling_results:
         entry["process_backend"] = scaling_results
@@ -646,6 +745,12 @@ def run_bench(quick: bool = False, repeats: int = 3,
                   f"{merge_speedup:.2f}x < required "
                   f"{SHADOW_MERGE_GATE:.1f}x over the per-byte oracle")
             return 1
+
+    if service_res["warm_rps"] < service_res["cold_rps"]:
+        print(f"FAIL: service warm path ({service_res['warm_rps']:.2f} "
+              f"req/s) slower than cold ({service_res['cold_rps']:.2f} "
+              f"req/s) — fingerprint batching is not amortizing prepare()")
+        return 1
 
     if flight_res["overhead_pct"] > 100 * FLIGHT_BUDGET:
         print(f"FAIL: flight-recorder overhead "

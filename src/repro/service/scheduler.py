@@ -1,0 +1,256 @@
+"""Fingerprint-batched drain loop over a resident prepared-program cache.
+
+The scheduler claims every queued job, groups the claim set by module
+fingerprint (submission order preserved within and across groups), and
+runs each group as one *batch*: the first job of a batch pays the cold
+:func:`~repro.bench.pipeline.prepare` (itself memoized by the on-disk
+profile cache, so a server restart is only as cold as ``$REPRO_CACHE_DIR``),
+and every later job with the same prepare identity reuses the resident
+:class:`~repro.bench.pipeline.PreparedProgram` — a warm start that skips
+compile/profile/classify/transform entirely.  With ``adapt`` on, the
+batch also shares :class:`~repro.adapt.PolicyStore` state, so demotions
+learned by an earlier job in the batch re-plan later ones.
+
+Execution itself goes through ``PreparedProgram.execute``; on the pool
+backend the persistent worker pool stays resident across all epochs of a
+job (fork once per parallel invocation, not per request — see
+docs/BACKENDS.md).  Jobs run serially on the scheduler thread: the
+parallelism budget belongs to the workers of the job being served, and
+serial drains are what make per-job tracing with the global ``TRACER``
+safe.
+
+Terminal-state mapping (see docs/SERVICE.md):
+
+* output matches the sequential baseline → ``done`` — even when the run
+  misspeculated, as long as every misspeculation was caught and
+  recovered; the payload carries squash/recovery counts and a forensics
+  summary;
+* output diverges → ``misspeculated`` (containment violated — this is
+  the never-happens state the runtime's validation exists to prevent);
+* ``SelectionError`` / guest fault / backend error → ``failed``.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+from ..parallel.backend import BackendError
+from ..transform.plan import SelectionError
+from .jobstore import (
+    Job,
+    JobStore,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_MISSPECULATED,
+)
+
+#: Diagnoses included inline in a job payload (full detail lives in the
+#: flight dump / trace artifacts).
+MAX_INLINE_DIAGNOSES = 8
+
+
+class Scheduler:
+    """Drains the :class:`JobStore` on a daemon thread, batch by batch."""
+
+    def __init__(self, store: JobStore, spool_dir: str,
+                 registry=None, tracer=None):
+        self.store = store
+        #: Trace artifacts (``<job id>.trace.jsonl``) are spooled here.
+        self.spool_dir = Path(spool_dir)
+        self.registry = registry if registry is not None else METRICS
+        self.tracer = tracer if tracer is not None else TRACER
+        #: prepare identity -> resident PreparedProgram (the warm path).
+        self._resident: Dict[Tuple, object] = {}
+        self._batches = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Finish the in-flight job, then stop the drain thread."""
+        self._stop.set()
+        self.store.close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if not self.store.wait_for_work(timeout=0.2):
+                continue
+            claimed = self.store.take_queued()
+            if claimed and not self._stop.is_set():
+                self.drain(claimed)
+
+    # -- batching ----------------------------------------------------------
+
+    def drain(self, jobs: List[Job]) -> None:
+        """Run a claim set as fingerprint batches, submission order
+        preserved within each batch and across batch leaders."""
+        batches: Dict[str, List[Job]] = {}
+        for job in jobs:
+            batches.setdefault(job.fingerprint, []).append(job)
+        for fingerprint, batch in batches.items():
+            self._batches += 1
+            self.registry.counter("service.batches").inc()
+            self.registry.histogram("service.batch.size").observe(len(batch))
+            fstats = self.store.fingerprints.get(fingerprint)
+            if fstats is not None:
+                fstats["batches"] += 1
+            for position, job in enumerate(batch):
+                job.batch = self._batches
+                job.batch_position = position
+                self._run_job(job)
+
+    # -- one job -----------------------------------------------------------
+
+    def _prepare_key(self, job: Job) -> Tuple:
+        spec = job.spec
+        return (job.fingerprint, spec.train_args, spec.args,
+                spec.checkpoint_period, spec.adapt)
+
+    def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        traced = spec.trace
+        trace_path = self.spool_dir / f"{job.id}.trace.jsonl"
+        if traced:
+            self.tracer.enable()  # resets events: the artifact is per-job
+        try:
+            try:
+                self._execute(job)
+            finally:
+                if traced:
+                    try:
+                        self.tracer.write_jsonl(trace_path)
+                        job.trace_path = str(trace_path)
+                    finally:
+                        self.tracer.disable()
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill the drain
+            detail = str(exc) or type(exc).__name__
+            if isinstance(exc, SelectionError):
+                reasons = "; ".join(exc.reasons)
+                detail = f"no parallelizable loop: {reasons}"
+            elif isinstance(exc, BackendError):
+                detail = f"backend error: {detail}"
+            elif not isinstance(exc, (SelectionError, BackendError)):
+                detail = f"{type(exc).__name__}: {detail}"
+                traceback.print_exc()
+            self.store.finish(job, STATE_FAILED, error=detail)
+
+    def _execute(self, job: Job) -> None:
+        from ..bench.pipeline import prepare
+
+        spec = job.spec
+        key = self._prepare_key(job)
+        program = self._resident.get(key)
+        job.warm = program is not None
+        if program is None:
+            self.registry.counter("service.prepare.cold").inc()
+            program = prepare(
+                spec.source, spec.name,
+                args=spec.train_args, ref_args=spec.args,
+                checkpoint_period=spec.checkpoint_period,
+                adapt=spec.adapt or None,
+            )
+            self._resident[key] = program
+        else:
+            self.registry.counter("service.prepare.warm").inc()
+        fstats = self.store.fingerprints.get(job.fingerprint)
+        if fstats is not None:
+            fstats["resident"] = True
+            fstats["warm_runs" if job.warm else "cold_prepares"] += 1
+        import time as _time
+
+        t0 = _time.monotonic()
+        result = program.execute(
+            workers=spec.workers,
+            checkpoint_period=spec.checkpoint_period,
+            misspec_period=spec.misspec_period,
+            misspec_burst=spec.misspec_burst,
+            backend=spec.backend,
+            pool_workers=spec.pool_workers,
+            adapt=spec.adapt or None,
+        )
+        exec_s = _time.monotonic() - t0
+        self.registry.histogram("service.job.exec_us").observe(exec_s * 1e6)
+        payload = self._result_payload(job, program, result)
+        matches = bool(payload["output_matches"])
+        state = STATE_DONE if matches else STATE_MISSPECULATED
+        # A traced run is not cached: a later cache hit could not serve
+        # the trace artifact the client asked for.
+        self.store.finish(job, state, result=payload,
+                          cacheable=matches and not spec.trace,
+                          error=None if matches else
+                          "speculative output diverged from the "
+                          "sequential baseline")
+
+    def _result_payload(self, job: Job, program, result) -> Dict[str, object]:
+        """The Table-1/Table-3 style result rows plus misspec forensics
+        summary reported by ``GET /jobs/<id>``."""
+        from ..bench.figures import table3_row
+
+        stats = result.runtime_stats
+        matches = result.output == program.sequential.output
+        payload: Dict[str, object] = {
+            "output_matches": matches,
+            "output": list(result.output),
+            "return_value": result.return_value,
+            "table1": {
+                "program": program.name,
+                "workers": result.workers,
+                "speedup": round(program.speedup(result), 4),
+                "sequential_cycles": program.sequential.cycles,
+                "wall_cycles": result.total_wall_cycles,
+            },
+            "table3": table3_row(program, result),
+            "misspeculations": stats.misspec_count(),
+            "genuine_misspeculations": stats.misspec_count(
+                include_injected=False),
+            "recoveries": stats.recoveries,
+            "squashed_iterations": sum(
+                inv.recovered_iterations for inv in result.invocations),
+            "checkpoints": stats.checkpoints,
+            "invocations": stats.invocations,
+            "warm": job.warm,
+            "batch": job.batch,
+            "batch_position": job.batch_position,
+            "selected_loop": str(program.plan.ref),
+            "fingerprint": job.fingerprint,
+            "applied_demotions": list(program.applied_demotions),
+        }
+        if stats.misspec_count() > 0:
+            payload["forensics"] = self._forensics_summary(result)
+        return payload
+
+    def _forensics_summary(self, result) -> Dict[str, object]:
+        """Root-cause the run's misspeculations from its flight snapshot
+        (same engine as ``repro explain``)."""
+        from ..forensics.explain import explain_snapshot
+
+        snapshot = getattr(result, "forensics", None) or {}
+        try:
+            diagnoses = explain_snapshot(snapshot)
+        except Exception:  # noqa: BLE001 - forensics are best-effort
+            diagnoses = []
+        return {
+            "diagnoses": [d.to_dict()
+                          for d in diagnoses[:MAX_INLINE_DIAGNOSES]],
+            "total_diagnoses": len(diagnoses),
+            "flight_dump": getattr(result, "flight_dump", None),
+        }

@@ -1,0 +1,663 @@
+"""Parallelization-as-a-service: serializers, job store, scheduler
+batching/caching, the HTTP tier, the CLI entry points, and schema
+validation of the service payloads (docs/SERVICE.md)."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import schema
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    metric_sort_key,
+    render_prometheus,
+    split_labeled_metric,
+)
+from repro.obs.trace import TRACER, Tracer
+from repro.service import (
+    JobStore,
+    QueueFull,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    ServiceApp,
+    ServiceClient,
+    ServiceError,
+    ValidationError,
+    fingerprint_source,
+    parse_submit,
+)
+from repro.service.app import (
+    SERVE_PORT_ENV,
+    SERVE_QUEUE_ENV,
+    resolve_queue_depth,
+    resolve_serve_port,
+    workloads_payload,
+)
+
+SRC = """
+int scratch[8];
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 8; j++) { scratch[j] = i + j; }
+        int acc = 0;
+        for (int r = 0; r < 5; r++) {
+            for (int j = 0; j < 8; j++) { acc += scratch[j]; }
+        }
+        out[i] = acc;
+    }
+    printf("%d\\n", out[2]);
+    return 0;
+}
+"""
+
+BAD_SRC = """
+int state;
+int out[64];
+int main(int n) {
+    for (int i = 0; i < n; i++) {
+        out[i] = state;
+        state = state + i;
+        for (int j = 0; j < 20; j++) { out[i] = out[i] * 3 + j; }
+    }
+    printf("%d\\n", out[0]);
+    return 0;
+}
+"""
+
+# Train input (carry=0) satisfies privatization; ref input (carry=1)
+# creates a true loop-carried flow the runtime must catch and recover
+# (same program as tests/test_genuine_misspeculation.py).
+MISSPEC_SRC = """
+int state[8];
+int out[128];
+int main(int n, int carry) {
+    for (int i = 0; i < n; i++) {
+        if (carry && i > 0) {
+            out[i] = state[0];
+        } else {
+            out[i] = i;
+        }
+        state[0] = i * 7;
+        for (int j = 0; j < 25; j++) { out[i] += j; }
+    }
+    printf("%d %d %d\\n", out[1], out[5], out[n-1]);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs(tmp_path, monkeypatch):
+    """Private scratch caches + clean global obs state per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_ADAPT_DIR", str(tmp_path / "adapt"))
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.reset()
+
+
+@pytest.fixture
+def app(tmp_path):
+    """A started service on an ephemeral port with a private registry."""
+    registry = MetricsRegistry()
+    app = ServiceApp(port=0, registry=registry, tracer=Tracer(),
+                     spool_dir=str(tmp_path / "spool"))
+    with app:
+        yield app
+
+
+def _client(app: ServiceApp) -> ServiceClient:
+    return ServiceClient(app.url, timeout=30.0)
+
+
+class TestParseSubmit:
+    def test_workload_defaults_to_ref(self):
+        spec = parse_submit({"workload": "dijkstra"})
+        from repro.workloads import BY_NAME
+
+        w = BY_NAME["dijkstra"]
+        assert spec.args == w.ref
+        assert spec.train_args == w.train
+        assert spec.source == w.source
+
+    def test_small_uses_train(self):
+        spec = parse_submit({"workload": "dijkstra", "small": True})
+        from repro.workloads import BY_NAME
+
+        assert spec.args == BY_NAME["dijkstra"].train
+
+    def test_inline_source(self):
+        spec = parse_submit({"source": SRC, "name": "mine",
+                             "args": [24], "workers": 2})
+        assert spec.name == "mine"
+        assert spec.args == (24,)
+        assert spec.workers == 2
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown field"):
+            parse_submit({"workload": "dijkstra", "wrokers": 3})
+
+    def test_requires_exactly_one_of_workload_source(self):
+        with pytest.raises(ValidationError, match="exactly one"):
+            parse_submit({})
+        with pytest.raises(ValidationError, match="exactly one"):
+            parse_submit({"workload": "dijkstra", "source": SRC})
+
+    def test_unknown_workload_lists_available(self):
+        with pytest.raises(ValidationError, match="dijkstra"):
+            parse_submit({"workload": "nope"})
+
+    def test_collects_all_errors(self):
+        try:
+            parse_submit({"workload": "nope", "workers": 0,
+                          "args": ["x"], "bogus": 1})
+        except ValidationError as e:
+            joined = "\n".join(e.errors)
+            assert len(e.errors) >= 4
+            assert "workers" in joined
+            assert "args" in joined
+            assert "bogus" in joined
+        else:
+            pytest.fail("expected ValidationError")
+
+    def test_pool_workers_requires_pool_backend(self):
+        with pytest.raises(ValidationError, match="pool backend"):
+            parse_submit({"workload": "dijkstra", "pool_workers": 2})
+        spec = parse_submit({"workload": "dijkstra", "backend": "pool",
+                             "pool_workers": 2})
+        assert spec.pool_workers == 2
+
+    def test_cache_key_ignores_trace_only(self):
+        base = parse_submit({"workload": "dijkstra"})
+        traced = parse_submit({"workload": "dijkstra", "trace": True})
+        other = parse_submit({"workload": "dijkstra", "workers": 5})
+        fp = "f" * 16
+        assert base.cache_key(fp) == traced.cache_key(fp)
+        assert base.cache_key(fp) != other.cache_key(fp)
+        assert base.cache_key(fp) != base.cache_key("e" * 16)
+
+    def test_fingerprint_is_content_keyed(self):
+        a = fingerprint_source(SRC, "a")
+        b = fingerprint_source(SRC, "a")
+        c = fingerprint_source(BAD_SRC, "a")
+        assert a == b  # deterministic for identical source
+        assert a != c
+
+
+class TestJobStore:
+    def _spec(self, **over):
+        payload = {"source": SRC, "name": "t", "args": [16]}
+        payload.update(over)
+        return parse_submit(payload)
+
+    def test_queue_full_raises_with_retry_after(self):
+        store = JobStore(queue_depth=2, registry=MetricsRegistry())
+        store.submit(self._spec(), "fp")
+        store.submit(self._spec(workers=2), "fp")
+        with pytest.raises(QueueFull) as exc:
+            store.submit(self._spec(workers=3), "fp")
+        assert exc.value.retry_after_s >= 1.0
+        assert store.registry.counter("service.queue.rejected").value == 1
+
+    def test_cache_hit_skips_queue(self):
+        store = JobStore(queue_depth=1, registry=MetricsRegistry())
+        job = store.submit(self._spec(), "fp")
+        [claimed] = store.take_queued()
+        store.finish(claimed, STATE_DONE, result={"output_matches": True})
+        # The queue slot is free again AND the identical resubmission is
+        # answered from the result cache without consuming it.
+        hit = store.submit(self._spec(), "fp")
+        assert hit.cache_hit and hit.state == STATE_DONE
+        assert hit.result["cached_from"] == job.id
+        assert store.registry.counter("service.cache_hits").value == 1
+
+    def test_failed_jobs_are_not_cached(self):
+        store = JobStore(registry=MetricsRegistry())
+        store.submit(self._spec(), "fp")
+        [claimed] = store.take_queued()
+        store.finish(claimed, STATE_FAILED, error="boom")
+        again = store.submit(self._spec(), "fp")
+        assert not again.cache_hit and again.state == STATE_QUEUED
+
+    def test_retention_evicts_oldest_and_its_metrics(self):
+        registry = MetricsRegistry()
+        store = JobStore(retain=2, registry=registry)
+        ids = []
+        for workers in (1, 2, 3):
+            store.submit(self._spec(workers=workers), "fp")
+            [claimed] = store.take_queued()
+            store.finish(claimed, STATE_DONE,
+                         result={"output_matches": True})
+            ids.append(claimed.id)
+        assert store.get(ids[0]) is None
+        assert store.get(ids[1]) is not None
+        names = set(registry.snapshot())
+        assert not any(n.startswith(f"job.{ids[0]}.") for n in names)
+        assert any(n.startswith(f"job.{ids[1]}.") for n in names)
+
+    def test_counts_and_fingerprint_payload(self):
+        store = JobStore(registry=MetricsRegistry())
+        store.submit(self._spec(), "fp")
+        counts = store.counts()
+        assert counts[STATE_QUEUED] == 1
+        payload = store.fingerprint_payload()
+        assert payload["fingerprints"]["fp"]["jobs"] == 1
+        assert payload["queue_capacity"] == store.queue_depth
+
+
+class TestServiceEndToEnd:
+    def test_batching_warm_start_and_cache_hit(self, app):
+        client = _client(app)
+        # Two jobs sharing a fingerprint, different knobs: the second
+        # must ride the resident prepared program (warm start).
+        j1 = client.submit({"source": SRC, "name": "p", "args": [24],
+                            "workers": 2})
+        j2 = client.submit({"source": SRC, "name": "p", "args": [24],
+                            "workers": 3})
+        assert j1["fingerprint"] == j2["fingerprint"]
+        j1 = client.wait(j1["id"])
+        j2 = client.wait(j2["id"])
+        assert j1["state"] == "done" and j2["state"] == "done"
+        assert not j1["warm"] and j2["warm"]
+        assert j1["result"]["output_matches"]
+        assert j1["result"]["table1"]["speedup"] > 0
+        assert j1["result"]["table3"]["private_sites"] >= 1
+        r = app.registry
+        assert r.counter("service.prepare.cold").value == 1
+        assert r.counter("service.prepare.warm").value == 1
+
+        # Identical resubmission: served from the warm result cache.
+        j3 = client.submit({"source": SRC, "name": "p", "args": [24],
+                            "workers": 2})
+        assert j3["cache_hit"] and j3["state"] == "done"
+        assert j3["result"]["cached_from"] == j1["id"]
+        assert r.counter("service.cache_hits").value == 1
+
+        fp = client.fingerprints()
+        stats = fp["fingerprints"][j1["fingerprint"]]
+        assert stats["jobs"] == 3
+        assert stats["cache_hits"] == 1
+        assert stats["warm_runs"] == 1
+
+    def test_misspeculating_job_is_done_with_forensics(self, app):
+        client = _client(app)
+        job = client.submit({"source": MISSPEC_SRC, "name": "genuine",
+                             "train_args": [24, 0], "args": [24, 1],
+                             "workers": 4})
+        job = client.wait(job["id"])
+        # Caught-and-recovered misspeculation is a *successful* job: the
+        # output matched the sequential baseline after recovery.
+        assert job["state"] == "done"
+        result = job["result"]
+        assert result["output_matches"]
+        assert result["misspeculations"] > 0
+        assert result["genuine_misspeculations"] > 0
+        assert result["recoveries"] > 0
+        assert result["squashed_iterations"] > 0
+        forensics = result["forensics"]
+        assert forensics["total_diagnoses"] > 0
+        kinds = {d["kind"] for d in forensics["diagnoses"]}
+        assert kinds & {"privacy", "control"}
+
+    def test_unparallelizable_job_fails_with_reasons(self, app):
+        client = _client(app)
+        job = client.submit({"source": BAD_SRC, "name": "bad",
+                             "args": [24]})
+        job = client.wait(job["id"])
+        assert job["state"] == "failed"
+        assert "no parallelizable loop" in job["error"]
+        assert app.registry.counter("service.jobs.failed").value == 1
+
+    def test_injected_misspec_counts_surface(self, app):
+        client = _client(app)
+        job = client.submit({"source": SRC, "name": "inj", "args": [24],
+                             "workers": 2, "misspec_period": 7,
+                             "misspec_burst": 10})
+        job = client.wait(job["id"])
+        assert job["state"] == "done"
+        assert job["result"]["misspeculations"] > 0
+        assert job["result"]["genuine_misspeculations"] == 0
+
+    def test_trace_artifact_round_trip(self, tmp_path):
+        # Pipeline spans land on the global TRACER, so the trace test
+        # runs the server in its production wiring (tracer=None).
+        with ServiceApp(port=0, registry=MetricsRegistry(),
+                        spool_dir=str(tmp_path / "spool")) as app:
+            self._trace_round_trip(app, tmp_path)
+
+    def _trace_round_trip(self, app, tmp_path):
+        client = _client(app)
+        job = client.submit({"source": SRC, "name": "traced",
+                             "args": [24], "workers": 2, "trace": True})
+        job = client.wait(job["id"])
+        assert job["state"] == "done" and job["has_trace"]
+        text = client.trace(job["id"])
+        lines = [json.loads(line) for line in text.splitlines() if line]
+        assert any(ev.get("kind") == "meta" for ev in lines)
+        assert any(ev.get("name") == "pipeline.execute" for ev in lines)
+        # The artifact is the documented JSONL trace schema.
+        path = tmp_path / "job.trace.jsonl"
+        path.write_text(text)
+        report = schema.validate_jsonl(str(path))
+        assert report["errors"] == []
+        # Traced runs are not cache-filled: the resubmission runs fresh.
+        again = client.submit({"source": SRC, "name": "traced",
+                               "args": [24], "workers": 2, "trace": True})
+        assert not again["cache_hit"]
+        client.wait(again["id"])
+
+    def test_validation_errors_are_http_400(self, app):
+        client = _client(app)
+        with pytest.raises(ServiceError) as exc:
+            client.submit({"workload": "nope", "workers": 0})
+        assert exc.value.status == 400
+        assert any("workers" in e for e in exc.value.errors)
+
+    def test_uncompilable_source_is_http_400(self, app):
+        client = _client(app)
+        with pytest.raises(ServiceError) as exc:
+            client.submit({"source": "int main( {", "name": "broken"})
+        assert exc.value.status == 400
+        assert "compile" in str(exc.value)
+
+    def test_unknown_job_is_http_404(self, app):
+        client = _client(app)
+        with pytest.raises(ServiceError) as exc:
+            client.job("j999")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client.trace("j999")
+        assert exc.value.status == 404
+
+    def test_workloads_and_health_endpoints(self, app):
+        client = _client(app)
+        names = {w["name"] for w in client.workloads()}
+        assert {"dijkstra", "enc_md5"} <= names
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["scheduler"] == "running"
+        assert set(health["jobs"]) == {"queued", "running", "done",
+                                       "failed", "misspeculated"}
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        # Unstarted app: the scheduler never drains, so the queue fills.
+        app = ServiceApp(port=0, queue_depth=1,
+                         registry=MetricsRegistry(), tracer=Tracer(),
+                         spool_dir=str(tmp_path / "spool"))
+        status, body, headers = app.handle_submit(
+            {"source": SRC, "name": "q", "args": [16]})
+        assert status == 202
+        status, body, headers = app.handle_submit(
+            {"source": SRC, "name": "q", "args": [16], "workers": 9})
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert "queue is full" in body["error"]
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(SERVE_QUEUE_ENV, "7")
+        assert resolve_queue_depth(None) == 7
+        assert resolve_queue_depth(3) == 3
+        monkeypatch.setenv(SERVE_QUEUE_ENV, "zero")
+        with pytest.raises(ValueError, match="integer"):
+            resolve_queue_depth(None)
+        monkeypatch.setenv(SERVE_PORT_ENV, "18222")
+        assert resolve_serve_port(None) == 18222
+        assert resolve_serve_port(1234) == 1234
+        monkeypatch.setenv(SERVE_PORT_ENV, "eighty")
+        with pytest.raises(ValueError, match="integer"):
+            resolve_serve_port(None)
+        monkeypatch.delenv(SERVE_PORT_ENV)
+        assert resolve_serve_port(None) == 8517
+
+
+class TestConcurrentPolling:
+    def test_no_torn_envelopes_and_clean_shutdown(self, tmp_path):
+        """Hammer /metrics, /metrics.prom and /jobs/<id> from many
+        threads while jobs mutate the registry; every response must be a
+        complete, parseable envelope, and shutdown must leave no service
+        threads behind."""
+        registry = MetricsRegistry()
+        app = ServiceApp(port=0, registry=registry, tracer=Tracer(),
+                         spool_dir=str(tmp_path / "spool"))
+        errors = []
+        stop = threading.Event()
+
+        def hammer(path, check):
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(app.url + path,
+                                                timeout=5) as resp:
+                        check(resp.read())
+                except Exception as e:  # noqa: BLE001 - collected below
+                    errors.append(f"{path}: {e!r}")
+                    return
+
+        def check_metrics(raw):
+            data = json.loads(raw)
+            assert set(data) >= {"status_format", "generated_unix",
+                                 "run", "metrics"}, "torn /metrics"
+
+        def check_job(raw):
+            data = json.loads(raw)
+            job = data["job"]
+            assert set(job) >= {"id", "state", "knobs", "result"}, \
+                "torn job payload"
+
+        def check_prom(raw):
+            text = raw.decode()
+            for line in text.splitlines():
+                assert line.startswith("#") or " " in line, "torn prom"
+
+        with app:
+            client = _client(app)
+            first = client.submit({"source": SRC, "name": "c",
+                                   "args": [24], "workers": 2})
+            threads = [
+                threading.Thread(target=hammer, args=("/metrics",
+                                                      check_metrics)),
+                threading.Thread(target=hammer, args=("/metrics",
+                                                      check_metrics)),
+                threading.Thread(target=hammer, args=("/metrics.prom",
+                                                      check_prom)),
+                threading.Thread(target=hammer,
+                                 args=(f"/jobs/{first['id']}", check_job)),
+                threading.Thread(target=hammer,
+                                 args=(f"/jobs/{first['id']}", check_job)),
+            ]
+            for t in threads:
+                t.start()
+            # Mutate the registry under the pollers: several jobs, some
+            # warm, one cache hit.
+            for workers in (3, 4, 2):
+                client.submit({"source": SRC, "name": "c", "args": [24],
+                               "workers": workers})
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                counts = app.store.counts()
+                if counts["queued"] == counts["running"] == 0:
+                    break
+                time.sleep(0.05)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert errors == []
+        # Clean shutdown: no service/scheduler threads left.
+        for _ in range(100):
+            leaked = [t.name for t in threading.enumerate()
+                      if t.name.startswith("repro-serve")
+                      or t.name.startswith("repro-service")]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert leaked == []
+        assert not app.scheduler.alive
+
+
+class TestServiceMetricsSchema:
+    def _served_payloads(self, app, client):
+        j = client.submit({"source": SRC, "name": "m", "args": [24],
+                           "workers": 2})
+        client.wait(j["id"])
+        metrics = json.loads(
+            urllib.request.urlopen(app.url + "/metrics",
+                                   timeout=5).read())
+        prom = urllib.request.urlopen(app.url + "/metrics.prom",
+                                      timeout=5).read().decode()
+        job = json.loads(
+            urllib.request.urlopen(app.url + f"/jobs/{j['id']}",
+                                   timeout=5).read())
+        return metrics, prom, job
+
+    def test_live_payloads_validate(self, app, tmp_path):
+        metrics, prom, job = self._served_payloads(app, _client(app))
+        names = set(metrics["metrics"])
+        assert "service.jobs.submitted" in names
+        assert "service.queue.depth" in names
+        assert "service.job.latency_us" in names
+        assert any(n.startswith("job.j1.") for n in names)
+
+        mpath = tmp_path / "metrics.json"
+        mpath.write_text(json.dumps(metrics))
+        report = schema.validate_metrics(str(mpath))
+        assert report["errors"] == []
+
+        ppath = tmp_path / "metrics.prom"
+        ppath.write_text(prom)
+        report = schema.validate_prom(str(ppath))
+        assert report["errors"] == []
+        assert 'job="j1"' in prom
+
+        jpath = tmp_path / "job.json"
+        jpath.write_text(json.dumps(job))
+        report = schema.validate_job(str(jpath))
+        assert report["errors"] == []
+
+    def test_job_schema_rejects_bad_payloads(self, tmp_path):
+        bad = {"service_format": 1, "generated_unix": 1.0,
+               "job": {"id": "job-1", "state": "sideways",
+                       "args": ["x"], "train_args": [], "knobs": {},
+                       "cache_hit": False, "warm": False,
+                       "fingerprint": ""}}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        report = schema.validate_job(str(path))
+        joined = "\n".join(report["errors"])
+        assert "does not match j<N>" in joined
+        assert "unknown job state" in joined
+        assert "fingerprint" in joined
+
+    def test_metrics_schema_flags_bad_job_names(self, tmp_path):
+        payload = {"status_format": 1, "generated_unix": 1.0, "run": {},
+                   "metrics": {
+                       "job.banana.latency_us":
+                           {"type": "gauge", "value": 1},
+                       "job.j3.latency_us":
+                           {"type": "gauge", "value": 1},
+                   }}
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(payload))
+        report = schema.validate_metrics(str(path))
+        joined = "\n".join(report["errors"])
+        assert "banana" in joined
+        assert "j3" not in joined
+
+    def test_sort_key_orders_job_ids_numerically(self):
+        names = ["job.j10.latency_us", "job.j2.latency_us",
+                 "service.batches", "worker.10.busy", "worker.2.busy"]
+        ordered = sorted(names, key=metric_sort_key)
+        assert ordered.index("job.j2.latency_us") \
+            < ordered.index("job.j10.latency_us")
+        assert ordered.index("worker.2.busy") \
+            < ordered.index("worker.10.busy")
+
+    def test_split_labeled_metric(self):
+        assert split_labeled_metric("worker.3.busy") == \
+            ("busy", ("worker", "3"))
+        assert split_labeled_metric("job.j7.latency_us") == \
+            ("latency_us", ("job", "j7"))
+        assert split_labeled_metric("service.batches") == \
+            ("service.batches", None)
+
+    def test_registry_remove(self):
+        r = MetricsRegistry()
+        r.counter("job.j1.a").inc()
+        r.gauge("job.j1.b").set(2)
+        r.counter("job.j10.a").inc()
+        assert r.remove("job.j1.") == 2
+        assert set(r.snapshot()) == {"job.j10.a"}
+
+    def test_prometheus_job_label_folding(self):
+        r = MetricsRegistry()
+        r.gauge("job.j1.latency_us").set(10)
+        r.gauge("job.j2.latency_us").set(20)
+        text = render_prometheus(r.snapshot())
+        assert 'repro_latency_us{job="j1"} 10' in text
+        assert 'repro_latency_us{job="j2"} 20' in text
+        assert text.count("# TYPE repro_latency_us gauge") == 1
+
+
+class TestServiceCLI:
+    def test_workloads_json(self, capsys):
+        rc = main(["workloads", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["service_format"] == 1
+        by_name = {w["name"]: w for w in data["workloads"]}
+        assert by_name["dijkstra"]["args_schema"]["arity"] == 3
+        assert by_name["dijkstra"]["train_args"] == [24, 16, 7]
+        assert "description" in by_name["enc_md5"]
+
+    def test_workloads_json_matches_endpoint(self):
+        payload = workloads_payload()
+        assert [w["name"] for w in payload["workloads"]] == \
+            ["alvinn", "dijkstra", "blackscholes", "swaptions", "enc_md5"]
+
+    def test_submit_and_jobs_against_live_server(self, app, tmp_path,
+                                                 capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SRC)
+        rc = main(["submit", str(src), "--args", "24", "--workers", "2",
+                   "--url", app.url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "done" in out and "speedup=" in out
+
+        rc = main(["jobs", "--url", app.url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "j1" in out and "done" in out
+
+        rc = main(["jobs", "j1", "--json", "--url", app.url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["state"] == "done"
+
+    def test_submit_unknown_workload_is_exit_2(self, capsys):
+        rc = main(["submit", "not-a-workload", "--url",
+                   "http://127.0.0.1:1"])
+        assert rc == 2
+        assert "neither a workload" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_is_exit_2(self, capsys):
+        rc = main(["submit", "dijkstra", "--small", "--url",
+                   "http://127.0.0.1:9", "--timeout", "2"])
+        assert rc == 2
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_jobs_unreachable_server_is_exit_2(self, capsys):
+        rc = main(["jobs", "--url", "http://127.0.0.1:9", "--timeout",
+                   "2"])
+        assert rc == 2
