@@ -346,7 +346,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         port = resolve_serve_port(args.port)
         app = ServiceApp(port=port, queue_depth=args.queue_depth,
-                         retain=args.retain)
+                         retain=args.retain, history_dir=args.history_dir)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -364,6 +364,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serve: POST {app.url}/jobs · GET /jobs/<id> · /jobs/<id>/trace "
           f"· /fingerprints · /workloads · /metrics · /metrics.prom "
           f"· /health")
+    if app.history is not None:
+        print(f"serve: metrics history ring at {app.history.path} "
+              f"(render with: python -m repro dash --history-dir "
+              f"{app.history.dir})")
     print(f"serve: queue depth {app.store.queue_depth}, submit with: "
           f"python -m repro submit <workload> --url {app.url}",
           flush=True)
@@ -812,6 +816,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="finished jobs kept for GET /jobs/<id> before "
                         "eviction (default: 256)")
+    p.add_argument("--history-dir", default=None, metavar="DIR",
+                   help="append periodic metrics snapshots to "
+                        "DIR/history.jsonl — the bounded ring `repro "
+                        "dash` renders (default: $REPRO_HISTORY_DIR, "
+                        "else disabled)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a job to a running "
@@ -902,6 +911,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER)
     p.set_defaults(func=cmd_top)
 
+    p = sub.add_parser("dash", add_help=False,
+                       help="render a self-contained HTML dashboard from "
+                            "the metrics history ring (`repro serve "
+                            "--history-dir` / $REPRO_HISTORY_DIR)")
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_dash)
+
     p = sub.add_parser("bench-check", add_help=False,
                        help="fail if the latest BENCH_interp.json entry "
                             "regressed against the trajectory median")
@@ -914,6 +930,12 @@ def cmd_top(args: argparse.Namespace) -> int:
     from .obs.top import main as top_main
 
     return top_main(args.rest)
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    from .obs.dash import main as dash_main
+
+    return dash_main(args.rest)
 
 
 def cmd_bench_check(args: argparse.Namespace) -> int:
@@ -933,6 +955,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs.top import main as top_main
 
         return top_main(argv[1:])
+    if argv[:1] == ["dash"]:
+        from .obs.dash import main as dash_main
+
+        return dash_main(argv[1:])
     if argv[:1] == ["bench-check"]:
         from .bench.check import main as check_main
 

@@ -18,18 +18,22 @@ own history:
   — job-API requests/second (the harness additionally hard-gates
   ``warm_rps >= cold_rps`` point-in-time; here the history gate keeps
   all three from silently eroding, min-history skipping the fresh
-  section).
+  section);
+* ``service.<tier>_p99_s`` — job-API tail-latency SLOs per cache tier,
+  the one *lower-is-better* family: a p99 that grows past the inverted
+  gate is the regression.
 
-All are higher-is-better; entries are only compared against history
-recorded under the same ``quick`` flag (train vs ref inputs are not
-comparable).  Metrics with fewer than ``--min-history`` prior samples
-are reported but not gated, so a freshly added section never fails its
-first run.
+Entries are only compared against history recorded under the same
+``quick`` flag (train vs ref inputs are not comparable).  Metrics with
+fewer than ``--min-history`` prior samples are reported but not gated,
+so a freshly added section never fails its first run.
 
-The gate is ``latest >= min(median * (1 - threshold), min(history))``:
-a run only fails when it is both >15% below the trajectory median *and*
-worse than every sample ever recorded — single-machine trajectories are
-noisy, and a value inside the historical range is not a regression.
+The higher-is-better gate is ``latest >= min(median * (1 - threshold),
+min(history))``: a run only fails when it is both >15% below the
+trajectory median *and* worse than every sample ever recorded —
+single-machine trajectories are noisy, and a value inside the
+historical range is not a regression.  Lower-is-better metrics invert
+it: ``latest <= max(median * (1 + threshold), max(history))``.
 """
 
 from __future__ import annotations
@@ -46,6 +50,12 @@ DEFAULT_THRESHOLD = 0.15
 
 #: Prior samples required before a metric is gated.
 DEFAULT_MIN_HISTORY = 3
+
+
+def lower_is_better(metric: str) -> bool:
+    """Latency SLO metrics regress *upward*; everything else gated here
+    is a throughput."""
+    return metric.endswith("_p99_s")
 
 
 def extract_metrics(run: Dict[str, object]) -> Dict[str, float]:
@@ -71,7 +81,8 @@ def extract_metrics(run: Dict[str, object]) -> Dict[str, float]:
                 out[f"shadow.{label}.{key}"] = float(data["vec_mbps"])
     service = run.get("service")
     if isinstance(service, dict):
-        for key in ("cold_rps", "warm_rps", "cache_hit_rps"):
+        for key in ("cold_rps", "warm_rps", "cache_hit_rps",
+                    "cold_p99_s", "warm_p99_s", "cache_hit_p99_s"):
             if service.get(key):
                 out[f"service.{key}"] = float(service[key])
     return out
@@ -118,14 +129,26 @@ def check_trajectory(data: Dict[str, object],
             continue
         mid = median(samples)
         ratio = latest_metrics[name] / mid if mid else float("inf")
-        gate = min(mid * (1.0 - threshold), min(samples))
-        row_ok = latest_metrics[name] >= gate
+        if lower_is_better(name):
+            gate = max(mid * (1.0 + threshold), max(samples))
+            row_ok = latest_metrics[name] <= gate
+        else:
+            gate = min(mid * (1.0 - threshold), min(samples))
+            row_ok = latest_metrics[name] >= gate
         ok = ok and row_ok
         rows.append({"metric": name, "latest": latest_metrics[name],
                      "median": mid, "samples": len(samples),
-                     "ratio": ratio, "gate": gate, "ok": row_ok})
+                     "ratio": ratio, "gate": gate, "ok": row_ok,
+                     "direction": ("lower" if lower_is_better(name)
+                                   else "higher")})
     return {"ok": ok, "rows": rows, "skipped": skipped, "quick": quick,
             "timestamp": latest.get("timestamp")}
+
+
+def _fmt_num(v: float) -> str:
+    """Throughputs are large integers, latency SLOs are fractional
+    seconds — format by magnitude so both stay readable."""
+    return f"{v:,.0f}" if abs(v) >= 100 else f"{v:,.4f}"
 
 
 def render_report(report: Dict[str, object],
@@ -143,8 +166,8 @@ def render_report(report: Dict[str, object],
                      f"  {'n':>3}  {'ratio':>7}  status")
         for r in rows:
             lines.append(
-                f"{r['metric']:<{name_w}}  {r['latest']:>14,.0f}  "
-                f"{r['median']:>14,.0f}  {r['samples']:>3}  "
+                f"{r['metric']:<{name_w}}  {_fmt_num(r['latest']):>14}  "
+                f"{_fmt_num(r['median']):>14}  {r['samples']:>3}  "
                 f"{r['ratio']:>6.2f}x  "
                 f"{'ok' if r['ok'] else 'REGRESSION'}")
     for s in report.get("skipped") or []:

@@ -12,6 +12,12 @@ See DESIGN.md ("Observability") for the event taxonomy and file formats.
 
 from __future__ import annotations
 
+from .history import (
+    HISTORY_DIR_ENV,
+    HistorySampler,
+    read_history,
+    resolve_history_dir,
+)
 from .log import configure_from_env, get_logger
 from .metrics import (
     METRICS,
@@ -19,6 +25,8 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    labeled,
+    parse_metric_name,
     render_prometheus,
 )
 from .server import (
@@ -38,12 +46,13 @@ from .trace import (
 )
 
 __all__ = [
-    "CYCLES_PER_US", "Counter", "Gauge", "Histogram", "METRICS",
-    "MetricsRegistry", "NULL_SPAN", "STATUS_PORT_ENV", "Span",
-    "StatusServer", "TRACE_FORMAT", "TRACER", "Tracer",
-    "configure_from_env", "disable", "enable", "enabled", "get_logger",
-    "render_prometheus", "resolve_status_port", "start_status_server",
-    "timeline_to_chrome",
+    "CYCLES_PER_US", "Counter", "Gauge", "HISTORY_DIR_ENV", "Histogram",
+    "HistorySampler", "METRICS", "MetricsRegistry", "NULL_SPAN",
+    "STATUS_PORT_ENV", "Span", "StatusServer", "TRACE_FORMAT", "TRACER",
+    "Tracer", "configure_from_env", "disable", "enable", "enabled",
+    "get_logger", "labeled", "parse_metric_name", "read_history",
+    "render_prometheus", "resolve_history_dir", "resolve_status_port",
+    "start_status_server", "timeline_to_chrome",
 ]
 
 

@@ -1,0 +1,199 @@
+"""Metrics history ring: periodic registry snapshots on bounded disk.
+
+A :class:`HistorySampler` thread appends one compact registry snapshot
+per interval to ``<dir>/history.jsonl``.  The file is a *ring*: when it
+grows past ``max_records`` lines it is rewritten in place (tmp +
+``os.replace``) keeping only the newest half, so a long-lived ``repro
+serve`` produces a bounded artifact no matter how long it runs.
+
+The ring is what powers trend views that a point-in-time ``/metrics``
+scrape cannot: ``repro dash`` renders rps / latency percentile /
+misspeculation-rate / queue-depth sparklines from it, and ``repro top``
+keeps working unchanged against the live endpoint.
+
+Records are compact on purpose — counters and gauges keep only their
+value, histograms only ``count``/``sum``/``p50``/``p99`` — because the
+ring trades per-sample detail for time depth.  Per-job metrics
+(``job.<id>.*``) are skipped: retention-evicted jobs would otherwise
+leave dead series behind in every record.
+
+Enable by directory: pass ``history_dir`` to :class:`ServiceApp` /
+``repro serve --history-dir``, or set ``$REPRO_HISTORY_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .log import get_logger
+from .metrics import METRICS, MetricsRegistry
+
+log = get_logger("obs.history")
+
+#: Environment variable enabling the history ring (a directory path).
+HISTORY_DIR_ENV = "REPRO_HISTORY_DIR"
+
+#: The ring file inside the history directory.
+HISTORY_FILE = "history.jsonl"
+
+#: Default seconds between snapshots.
+DEFAULT_INTERVAL_S = 2.0
+
+#: Default ring bound (lines); the rewrite keeps the newest half.
+DEFAULT_MAX_RECORDS = 2048
+
+#: History record format version.
+HISTORY_FORMAT = 1
+
+
+def resolve_history_dir(history_dir: Optional[str] = None) -> Optional[str]:
+    """Explicit flag > ``$REPRO_HISTORY_DIR`` > disabled (None)."""
+    if history_dir is not None:
+        return history_dir
+    raw = os.environ.get(HISTORY_DIR_ENV, "").strip()
+    return raw or None
+
+
+def compact_snapshot(registry: MetricsRegistry) -> Dict[str, Dict[str, object]]:
+    """A bounded per-record view of the registry: values for counters
+    and gauges, ``count``/``sum``/``p50``/``p99`` for histograms, and no
+    per-job (``job.<id>.*``) series."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, snap in registry.snapshot().items():
+        if name.startswith("job."):
+            continue
+        if snap.get("type") == "histogram":
+            out[name] = {
+                "type": "histogram",
+                "count": snap.get("count"),
+                "sum": snap.get("sum"),
+                "p50": snap.get("p50"),
+                "p99": snap.get("p99"),
+            }
+        else:
+            out[name] = {"type": snap.get("type"),
+                         "value": snap.get("value")}
+    return out
+
+
+class HistorySampler:
+    """Daemon thread appending registry snapshots to the on-disk ring."""
+
+    def __init__(self, history_dir: str,
+                 registry: Optional[MetricsRegistry] = None,
+                 interval_s: float = DEFAULT_INTERVAL_S,
+                 max_records: int = DEFAULT_MAX_RECORDS):
+        self.registry = registry if registry is not None else METRICS
+        self.dir = Path(history_dir)
+        self.path = self.dir / HISTORY_FILE
+        self.interval_s = max(0.05, float(interval_s))
+        self.max_records = max(8, int(max_records))
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lines = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "HistorySampler":
+        if self._thread is not None:
+            return self
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._lines = self._count_lines()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-history", daemon=True)
+        self._thread.start()
+        log.info("history ring sampling to %s every %.1fs",
+                 self.path, self.interval_s)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Take one final snapshot, then stop; idempotent."""
+        thread = self._thread
+        self._thread = None
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout)
+            self.sample()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample()
+            except OSError as e:  # disk trouble must not kill the server
+                log.warning("history sample failed: %s", e)
+
+    # -- the ring ----------------------------------------------------------
+
+    def _count_lines(self) -> int:
+        try:
+            with open(self.path) as fh:
+                return sum(1 for _ in fh)
+        except OSError:
+            return 0
+
+    def sample(self) -> Dict[str, object]:
+        """Append one snapshot record; compacts the ring when full."""
+        record = {
+            "history_format": HISTORY_FORMAT,
+            "ts_unix": time.time(),
+            "metrics": compact_snapshot(self.registry),
+        }
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+        self._lines += 1
+        if self._lines > self.max_records:
+            self._compact()
+        return record
+
+    def _compact(self) -> None:
+        """Rewrite the ring keeping the newest half (tmp + replace, so a
+        concurrent reader always sees a complete file)."""
+        keep = self.max_records // 2
+        try:
+            with open(self.path) as fh:
+                lines = fh.readlines()
+        except OSError:
+            self._lines = 0
+            return
+        lines = lines[-keep:]
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as fh:
+            fh.writelines(lines)
+        os.replace(tmp, self.path)
+        self._lines = len(lines)
+
+
+def read_history(path) -> List[Dict[str, object]]:
+    """Load ring records (oldest first) from a history file or the
+    directory that contains one; malformed lines are skipped (a crash
+    mid-append leaves at most one)."""
+    p = Path(path)
+    if p.is_dir():
+        p = p / HISTORY_FILE
+    records: List[Dict[str, object]] = []
+    try:
+        with open(p) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(rec, dict) and "metrics" in rec:
+                    records.append(rec)
+    except OSError:
+        return []
+    return records

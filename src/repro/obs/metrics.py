@@ -25,11 +25,25 @@ Prometheus text exposition format (``worker.N.`` prefixes become a
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+import zlib
+from bisect import bisect_left
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Cap on raw samples retained per histogram; count/sum/min/max stay
-#: exact beyond it, percentiles become estimates over the first N.
+#: Cap on raw samples retained per histogram; count/sum/min/max/buckets
+#: stay exact beyond it, percentiles become reservoir estimates.
 HISTOGRAM_SAMPLE_CAP = 4096
+
+#: Fixed ``le`` bucket ladder shared by every histogram: a 1-2.5-5
+#: log sweep from 1 to 1e8, sized for microsecond latencies (1us ..
+#: 100s) while still resolving small-integer distributions (batch
+#: sizes) in the bottom decades.  A shared ladder keeps cross-process
+#: :meth:`Histogram.merge` a straight element-wise add and gives
+#: ``/metrics.prom`` real ``_bucket{le="..."}`` series.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7)
+    for base in (1.0, 2.5, 5.0)) + (1e8,)
 
 
 class Counter:
@@ -78,25 +92,57 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution summary with capped raw-sample retention."""
+    """Distribution summary: exact count/sum/min/max/bucket counts plus
+    a uniform reservoir of raw samples for percentile estimates.
 
-    __slots__ = ("name", "count", "total", "min", "max", "samples")
+    The reservoir (Vitter's algorithm R) replaces the old first-N cap,
+    which froze percentiles on the first :data:`HISTOGRAM_SAMPLE_CAP`
+    observations — on a long-lived server that biased ``p50``/``p99``
+    toward startup traffic forever.  The replacement RNG is seeded from
+    the metric name (crc32), so runs are reproducible and two processes
+    recording the same stream agree.
 
-    def __init__(self, name: str):
+    Bucket counts are *exact* regardless of the reservoir: ``observe``
+    increments the matching ``le`` bucket (shared ladder, see
+    :data:`DEFAULT_BUCKETS`), which is what ``/metrics.prom`` exports.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "buckets", "bucket_counts", "_offered", "_rng")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.samples: List[float] = []
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        #: Per-bucket (non-cumulative) counts; the extra last slot is the
+        #: +Inf overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self._offered = 0
+        self._rng = Random(zlib.crc32(name.encode()))
 
     def observe(self, v: float) -> None:
         self.count += 1
         self.total += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        # Prometheus `le` is inclusive: bisect_left lands v on the first
+        # bound >= v, equal values included.
+        self.bucket_counts[bisect_left(self.buckets, v)] += 1
+        self._reservoir_add(v)
+
+    def _reservoir_add(self, v: float) -> None:
+        self._offered += 1
         if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
             self.samples.append(v)
+            return
+        slot = self._rng.randrange(self._offered)
+        if slot < HISTOGRAM_SAMPLE_CAP:
+            self.samples[slot] = v
 
     @property
     def mean(self) -> Optional[float]:
@@ -109,20 +155,36 @@ class Histogram:
         idx = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
         return ordered[idx]
 
+    def cumulative_buckets(self) -> List[Tuple[object, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``("+Inf",
+        count)`` — the Prometheus histogram series."""
+        out: List[Tuple[object, int]] = []
+        running = 0
+        for le, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((le, running))
+        out.append(("+Inf", running + self.bucket_counts[-1]))
+        return out
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "type": "histogram", "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max, "mean": self.mean,
             "p50": self.percentile(50), "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": [[le, n] for le, n in self.cumulative_buckets()],
         }
 
     def dump(self) -> Dict[str, object]:
-        """Shipping form: exact aggregates plus the retained raw samples,
-        so a merge on the receiving side keeps percentiles meaningful."""
+        """Shipping form: exact aggregates, the bucket ladder/counts, and
+        the retained reservoir, so a merge on the receiving side keeps
+        both buckets exact and percentiles meaningful."""
         return {
             "type": "histogram", "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max,
             "samples": list(self.samples),
+            "le": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
         }
 
     def merge(self, data: Dict[str, object]) -> None:
@@ -134,9 +196,23 @@ class Histogram:
                 ours = getattr(self, bound)
                 setattr(self, bound,
                         other if ours is None else pick(ours, other))
-        room = HISTOGRAM_SAMPLE_CAP - len(self.samples)
-        if room > 0:
-            self.samples.extend(list(data.get("samples") or ())[:room])
+        samples = list(data.get("samples") or ())
+        shipped_le = tuple(data.get("le") or ())
+        shipped_counts = list(data.get("bucket_counts") or ())
+        if shipped_le == self.buckets \
+                and len(shipped_counts) == len(self.bucket_counts):
+            for i, n in enumerate(shipped_counts):
+                self.bucket_counts[i] += int(n)
+        else:
+            # Ladder mismatch (old dump format, or a custom ladder):
+            # rebucket from the shipped reservoir — approximate beyond
+            # the shipper's sample cap, exact below it.
+            for v in samples:
+                self.bucket_counts[bisect_left(self.buckets, v)] += 1
+        # Feed shipped samples through the reservoir so long-run merges
+        # stay uniform-ish instead of first-N biased.
+        for v in samples:
+            self._reservoir_add(v)
 
 
 class MetricsRegistry:
@@ -289,6 +365,44 @@ def split_labeled_metric(name: str) -> Tuple[str, Optional[Tuple[str, str]]]:
     return name, None
 
 
+#: Registry-name shape of an explicitly labeled metric:
+#: ``base{key="value",...}`` (produced by :func:`labeled`).
+_BRACED_NAME = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>[^{}]*)\}$")
+
+_LABEL_PAIR = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"\\{}]*)"$')
+
+
+def labeled(name: str, **labels: str) -> str:
+    """Build the canonical registry name for a labeled metric:
+    ``labeled("service.job.total_us", outcome="done", tier="warm")`` ->
+    ``service.job.total_us{outcome="done",tier="warm"}``.  Keys are
+    sorted so one label set always maps to one registry entry; the
+    Prometheus renderer folds all label sets of a base name into one
+    metric family."""
+    pairs = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{pairs}}}" if pairs else name
+
+
+def parse_metric_name(name: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split any registry name into ``(base, [(label, value), ...])``:
+    handles the ``worker.N.``/``job.jN.`` positional prefixes *and*
+    explicit ``{key="value"}`` suffixes from :func:`labeled`.  A name
+    with neither returns ``(name, [])``; a malformed brace suffix is
+    treated as unlabeled rather than raising."""
+    m = _BRACED_NAME.match(name)
+    if m is not None:
+        pairs: List[Tuple[str, str]] = []
+        for chunk in filter(None, m.group("labels").split(",")):
+            pm = _LABEL_PAIR.match(chunk)
+            if pm is None:
+                return name, []
+            pairs.append((pm.group("key"), pm.group("value")))
+        return m.group("base"), pairs
+    base, pair = split_labeled_metric(name)
+    return base, ([pair] if pair is not None else [])
+
+
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Prefix for every exported Prometheus metric family.
@@ -318,57 +432,72 @@ def render_prometheus(snapshot: Dict[str, Dict[str, object]],
     """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus text
     exposition format (version 0.0.4).
 
-    ``worker.N.`` prefixes are folded into a ``worker="N"`` label and the
-    service tier's ``job.jN.`` prefixes into a ``job="jN"`` label, so all
-    workers (and jobs) share one metric family; histograms render as
-    summaries (``quantile`` samples plus ``_count``/``_sum``), and gauges
-    that were never set are omitted.  One ``# TYPE`` line is emitted per
-    family, before its first sample.
+    ``worker.N.`` prefixes are folded into a ``worker="N"`` label, the
+    service tier's ``job.jN.`` prefixes into a ``job="jN"`` label, and
+    explicit ``{key="value"}`` suffixes (see :func:`labeled`) into label
+    pairs, so all label sets of one base name share one metric family.
+    Histograms render as real Prometheus histograms — cumulative
+    ``_bucket{le="..."}`` series ending in ``le="+Inf"`` plus
+    ``_count``/``_sum`` (snapshots without bucket data fall back to a
+    ``summary`` with quantile samples).  Gauges that were never set are
+    omitted.  One ``# TYPE`` line is emitted per family, before its
+    first sample.
     """
-    families: Dict[str, List[Tuple[Optional[Tuple[str, str]],
+    families: Dict[str, List[Tuple[List[Tuple[str, str]],
                                    Dict[str, object]]]] = {}
     types: Dict[str, str] = {}
     for name, snap in snapshot.items():
-        base, labeled = split_labeled_metric(name)
+        base, pairs = parse_metric_name(name)
         fam = prometheus_name(base, namespace)
         kind = str(snap.get("type"))
-        prom_type = {"counter": "counter", "gauge": "gauge",
-                     "histogram": "summary"}.get(kind)
+        if kind == "histogram":
+            prom_type = "histogram" if snap.get("buckets") else "summary"
+        else:
+            prom_type = {"counter": "counter", "gauge": "gauge"}.get(kind)
         if prom_type is None:
             continue
         if types.setdefault(fam, prom_type) != prom_type:
             # Same sanitized family from two metric types: keep the first
             # declaration and skip the clashing sample.
             continue
-        families.setdefault(fam, []).append((labeled, snap))
+        families.setdefault(fam, []).append((pairs, snap))
 
-    def label(labeled: Optional[Tuple[str, str]], extra: str = "") -> str:
-        parts = [p for p in
-                 ([f'{labeled[0]}="{labeled[1]}"'] if labeled is not None
-                  else [])
-                 + ([extra] if extra else [])]
+    def label(pairs: List[Tuple[str, str]], extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in pairs] + \
+            ([extra] if extra else [])
         return "{" + ",".join(parts) + "}" if parts else ""
 
     lines: List[str] = []
     for fam in sorted(families, key=metric_sort_key):
         lines.append(f"# TYPE {fam} {types[fam]}")
-        for labeled, snap in families[fam]:
+        for pairs, snap in families[fam]:
             if types[fam] in ("counter", "gauge"):
                 value = snap.get("value")
                 if value is None:
                     continue
-                lines.append(f"{fam}{label(labeled)} {_prom_value(value)}")
+                lines.append(f"{fam}{label(pairs)} {_prom_value(value)}")
                 continue
-            for q, key in (("0.5", "p50"), ("0.95", "p95")):
-                if snap.get(key) is not None:
-                    quantile = 'quantile="%s"' % q
-                    lines.append(f"{fam}{label(labeled, quantile)} "
-                                 f"{_prom_value(snap[key])}")
-            lines.append(f"{fam}_count{label(labeled)} "
+            if types[fam] == "histogram":
+                for le, cumulative in snap.get("buckets") or []:
+                    le_txt = "+Inf" if le == "+Inf" else _prom_value(le)
+                    lines.append(
+                        f"{fam}_bucket{label(pairs, 'le=%s' % _quote(le_txt))}"
+                        f" {_prom_value(cumulative)}")
+            else:
+                for q, key in (("0.5", "p50"), ("0.95", "p95")):
+                    if snap.get(key) is not None:
+                        quantile = 'quantile="%s"' % q
+                        lines.append(f"{fam}{label(pairs, quantile)} "
+                                     f"{_prom_value(snap[key])}")
+            lines.append(f"{fam}_count{label(pairs)} "
                          f"{_prom_value(snap.get('count', 0))}")
-            lines.append(f"{fam}_sum{label(labeled)} "
+            lines.append(f"{fam}_sum{label(pairs)} "
                          f"{_prom_value(snap.get('sum', 0.0))}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _quote(v: str) -> str:
+    return f'"{v}"'
 
 
 #: The process-wide registry; cleared by ``obs.enable()``.

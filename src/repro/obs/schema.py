@@ -295,6 +295,12 @@ _PROM_SAMPLE = re.compile(
 _PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
 _PROM_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
 
+#: Brace-labeled registry names (``base{k="v",...}`` — see
+#: :func:`repro.obs.metrics.labeled`).
+_METRIC_LABELED = re.compile(
+    r'^[^{}]+\{[a-zA-Z_][a-zA-Z0-9_]*="[^"{}\\]*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"{}\\]*")*\}$')
+
 
 def validate_metrics(path: str) -> Dict[str, object]:
     """Validate a ``/metrics`` JSON payload from the status endpoint;
@@ -352,6 +358,9 @@ def validate_metrics(path: str) -> Dict[str, object]:
         if name.startswith("job.") and j is None:
             errors.append(f"{where}job-prefixed name has no metric "
                           f"suffix (expected job.j<N>.<metric>)")
+        if ("{" in name or "}" in name) and not _METRIC_LABELED.match(name):
+            errors.append(f"{where}malformed labeled metric name "
+                          f'(expected base{{k="v",...}})')
         if len(errors) >= 20:
             errors.append("(stopping after too many errors)")
             break
@@ -427,15 +436,58 @@ def validate_job(path: str) -> Dict[str, object]:
     return {"jobs": 1, "errors": errors}
 
 
+def _check_bucket_series(fam: str, label_key, series, count,
+                         errors: List[str]) -> None:
+    """Lint one histogram bucket series (a family + one label set minus
+    ``le``): le ladder parseable and strictly ascending, ``+Inf`` last,
+    counts cumulative, and the ``+Inf`` bucket equal to ``_count``."""
+    ctx = fam if not label_key else \
+        fam + "{" + ",".join(f'{k}="{v}"' for k, v in label_key) + "}"
+    prev_le = float("-inf")
+    prev_n = float("-inf")
+    for le_txt, n in series:
+        if le_txt == "+Inf":
+            le = float("inf")
+        else:
+            try:
+                le = float(le_txt)
+            except ValueError:
+                errors.append(f"{ctx}: unparseable le {le_txt!r}")
+                return
+        if le <= prev_le:
+            errors.append(f"{ctx}: le ladder not strictly ascending "
+                          f"at le={le_txt}")
+            return
+        if n < prev_n:
+            errors.append(f"{ctx}: bucket counts not cumulative at "
+                          f"le={le_txt} ({n} < {prev_n})")
+            return
+        prev_le, prev_n = le, n
+    if series[-1][0] != "+Inf":
+        errors.append(f"{ctx}: bucket series missing +Inf bucket")
+        return
+    if count is not None and series[-1][1] != count:
+        errors.append(f"{ctx}: +Inf bucket {series[-1][1]} != _count "
+                      f"{count}")
+
+
 def validate_prom(path: str, max_errors: int = 20) -> Dict[str, object]:
     """Line-lint a ``/metrics.prom`` Prometheus text exposition body;
     returns ``{"samples": n, "families": {...}, "errors": [...]}``.
     Checks ``# TYPE`` declarations, sample-line grammar, label syntax,
     float-parsable values, and that every sample belongs to a declared
-    family (allowing the ``_count``/``_sum`` summary suffixes)."""
+    family (allowing the ``_count``/``_sum``/``_bucket`` suffixes).
+    Families declared ``histogram`` are additionally held to the bucket
+    invariants: every label set has a strictly ascending ``le`` ladder
+    ending in ``+Inf``, cumulative bucket counts, and a ``+Inf`` bucket
+    equal to the matching ``_count``."""
     errors: List[str] = []
     families: Dict[str, str] = {}
     samples = 0
+    # (family, label-set-minus-le) -> [(le_text, value), ...] in file order.
+    bucket_series: Dict[tuple, List[tuple]] = {}
+    # (family, label-set-minus-le) -> _count value.
+    bucket_counts: Dict[tuple, float] = {}
     with open(path) as fh:
         for lineno, raw in enumerate(fh, 1):
             line = raw.rstrip("\n")
@@ -469,27 +521,61 @@ def validate_prom(path: str, max_errors: int = 20) -> Dict[str, object]:
             samples += 1
             name = m.group("name")
             base = name
-            for suffix in ("_count", "_sum", "_bucket"):
-                if name.endswith(suffix) and name[:-len(suffix)] in families:
-                    base = name[:-len(suffix)]
+            suffix = ""
+            for cand in ("_count", "_sum", "_bucket"):
+                if name.endswith(cand) and name[:-len(cand)] in families:
+                    base = name[:-len(cand)]
+                    suffix = cand
                     break
             if base not in families:
                 errors.append(f"{where}sample {name!r} has no preceding "
                               f"TYPE declaration")
             labels = m.group("labels")
+            pairs: List[tuple] = []
+            bad_label = False
             if labels:
                 for pair in labels.split(","):
                     if not _PROM_LABEL.match(pair):
                         errors.append(f"{where}bad label pair {pair!r}")
+                        bad_label = True
                         break
+                    key, _, value = pair.partition("=")
+                    pairs.append((key, value.strip('"')))
             try:
-                float(m.group("value"))
+                value = float(m.group("value"))
             except ValueError:
                 errors.append(f"{where}non-numeric value "
                               f"{m.group('value')!r}")
+                value = None
+            if (families.get(base) == "histogram" and value is not None
+                    and not bad_label):
+                le = [v for k, v in pairs if k == "le"]
+                key = (base, tuple(sorted(
+                    (k, v) for k, v in pairs if k != "le")))
+                if suffix == "_bucket":
+                    if not le:
+                        errors.append(f"{where}histogram _bucket sample "
+                                      f"missing le label")
+                    else:
+                        bucket_series.setdefault(key, []).append(
+                            (le[0], value))
+                elif suffix == "_count":
+                    bucket_counts[key] = value
             if len(errors) >= max_errors:
                 errors.append("(stopping after too many errors)")
                 break
+    if len(errors) < max_errors:
+        for key, series in bucket_series.items():
+            _check_bucket_series(key[0], key[1], series,
+                                 bucket_counts.get(key), errors)
+            if len(errors) >= max_errors:
+                errors.append("(stopping after too many errors)")
+                break
+        for fam, ftype in families.items():
+            if ftype == "histogram" and not any(
+                    k[0] == fam for k in bucket_series):
+                errors.append(f"{fam}: histogram family has no _bucket "
+                              f"samples")
     if samples == 0:
         errors.append("exposition contains no samples")
     return {"samples": samples, "families": families, "errors": errors}

@@ -83,6 +83,16 @@ def _bar(fraction: float, width: int = 20) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def _fmt_us(v: object) -> str:
+    if not isinstance(v, (int, float)):
+        return "-"
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}s"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}ms"
+    return f"{v:.0f}us"
+
+
 def worker_rows(metrics: Dict[str, Dict[str, object]]
                 ) -> List[Tuple[str, Dict[str, float]]]:
     """Group ``worker.N.*`` metrics into per-worker dicts keyed by the
@@ -150,6 +160,34 @@ def render_dashboard(payload: Dict[str, object],
         frac = progress_at / trips
         lines.append(f"invocation       [{_bar(frac)}] "
                      f"{progress_at:,.0f}/{trips:,.0f} iters")
+
+    # -- service tier (repro serve) ---------------------------------------
+    if any(name.startswith("service.") for name in metrics):
+        submitted = _value(metrics, "service.jobs.submitted")
+        completed = _value(metrics, "service.jobs.completed")
+        failed = _value(metrics, "service.jobs.failed")
+        misspec_jobs = _value(metrics, "service.jobs.misspeculated")
+        cache_hits = _value(metrics, "service.cache_hits")
+        depth = _value(metrics, "service.queue.depth")
+        retry = _value(metrics, "service.retry_after_s")
+        job_rate = None
+        if prev:
+            job_rate = _rate(
+                completed,
+                _value(prev_metrics, "service.jobs.completed"), dt)
+        latency = metrics.get("service.job.latency_us") or {}
+        queue_wait = metrics.get("service.job.queue_wait_us") or {}
+        lines.append("")
+        lines.append("service")
+        lines.append(
+            f"  jobs: {submitted:,.0f} submitted  {completed:,.0f} done "
+            f"({_fmt_rate(job_rate, 'job/s')})  {failed:,.0f} failed  "
+            f"{misspec_jobs:,.0f} misspec  {cache_hits:,.0f} cache hits")
+        lines.append(
+            f"  queue depth {depth:>4,.0f}   retry-after {retry:,.1f}s   "
+            f"latency p50 {_fmt_us(latency.get('p50'))} "
+            f"p99 {_fmt_us(latency.get('p99'))}   "
+            f"queue wait p99 {_fmt_us(queue_wait.get('p99'))}")
 
     # -- adaptive controller ---------------------------------------------
     if any(name.startswith("adapt.") for name in metrics):

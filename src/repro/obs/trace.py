@@ -140,6 +140,13 @@ class Tracer:
         #: Run-identifying fields merged into the JSONL meta header
         #: (version, argv, backend ... — see Tracer.set_run_metadata).
         self.run_metadata: Dict[str, object] = {}
+        #: Ambient attributes merged into every recorded event (explicit
+        #: event attrs win).  The service tier sets ``job``/``job_span``
+        #: here so the whole causal chain of a traced job — including
+        #: events recorded by forked workers, which inherit this dict —
+        #: carries the job's span id without touching every call site.
+        self.context: Dict[str, object] = {}
+        self._span_seq = 0
         # Optional streaming JSONL sink: events are appended as they are
         # recorded so a crash mid-run loses at most the unflushed tail
         # instead of the whole buffer.  Guarded by the opening pid so
@@ -159,16 +166,43 @@ class Tracer:
         self.close_sink()
 
     def reset(self) -> None:
+        # The span-id sequence deliberately survives resets: a service
+        # scheduler re-enables the tracer per traced job, and two jobs
+        # of one batch must not reuse root span ids.
         self.close_sink()
         with self._lock:
             self.events = []
             self.run_metadata = {}
+            self.context = {}
             self._epoch = self.clock()
             self.epoch_unix = time.time()
 
     def set_run_metadata(self, **fields: object) -> None:
         """Merge run-identifying fields into the JSONL meta header."""
         self.run_metadata.update(fields)
+
+    def set_context(self, **fields: object) -> None:
+        """Merge ambient attributes propagated onto every subsequent
+        event (spans, instants, and — via fork inheritance — worker
+        events).  Cleared by :meth:`reset`/:meth:`clear_context`."""
+        self.context.update(fields)
+
+    def clear_context(self, *fields: str) -> None:
+        """Drop the named context fields (all of them when none given)."""
+        if not fields:
+            self.context = {}
+            return
+        for field in fields:
+            self.context.pop(field, None)
+
+    def next_span_id(self) -> int:
+        """Allocate a span id, unique within this process's stream.
+        Spans get one automatically in ``attrs["span_id"]``; callers that
+        need the id *before* the span exists (to propagate it as a
+        parent reference) allocate here and pass ``span_id=`` through."""
+        with self._lock:
+            self._span_seq += 1
+            return self._span_seq
 
     # -- streaming sink ----------------------------------------------------
 
@@ -222,9 +256,12 @@ class Tracer:
     def span(self, name: str, cat: str = "phase", tid: int = 0,
              **attrs: object):
         """Begin a span.  Returns :data:`NULL_SPAN` when disabled, so
-        ``with TRACER.span(...)`` is safe (and cheap) unconditionally."""
+        ``with TRACER.span(...)`` is safe (and cheap) unconditionally.
+        Every real span gets a process-unique ``attrs["span_id"]``
+        (pass ``span_id=`` to pin a pre-allocated one)."""
         if not self.enabled:
             return NULL_SPAN
+        attrs.setdefault("span_id", self.next_span_id())
         return Span(self, name, cat, tid, attrs)
 
     def _finish_span(self, span: Span) -> None:
@@ -241,7 +278,7 @@ class Tracer:
                 "pid": WALL_PID,
                 "tid": span.tid,
                 "thread": threading.get_ident(),
-                "attrs": span.attrs,
+                "attrs": {**self.context, **span.attrs},
             }
             self.events.append(event)
             self._sink_write(event)
@@ -259,7 +296,32 @@ class Tracer:
                 "pid": WALL_PID,
                 "tid": tid,
                 "thread": threading.get_ident(),
-                "attrs": attrs,
+                "attrs": {**self.context, **attrs},
+            }
+            self.events.append(event)
+            self._sink_write(event)
+
+    def emit_span(self, name: str, cat: str = "phase", tid: int = 0,
+                  dur_us: float = 0.0, **attrs: object) -> None:
+        """Append an already-measured span — for phases that completed
+        *before* the tracer was enabled (a service job's submit-time
+        validation or queue wait).  The span lands at the current
+        position on the monotonic axis with the given duration; real
+        wall-clock anchors belong in attrs (``submitted_unix`` ...)."""
+        if not self.enabled:
+            return
+        attrs.setdefault("span_id", self.next_span_id())
+        with self._lock:
+            event = {
+                "kind": "span",
+                "name": name,
+                "cat": cat,
+                "ts_us": round(self._now_us(), 3),
+                "dur_us": round(max(0.0, float(dur_us)), 3),
+                "pid": WALL_PID,
+                "tid": tid,
+                "thread": threading.get_ident(),
+                "attrs": {**self.context, **attrs},
             }
             self.events.append(event)
             self._sink_write(event)

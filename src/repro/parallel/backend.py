@@ -421,14 +421,25 @@ class BaseDOALLExecutor:
             if controller is not None:
                 k = controller.next_epoch_size()
             epoch_end = min(next_iter + k, trips)
+            # One span per checkpoint epoch, in the shared base class, so
+            # the simulated / process / pool backends all record the same
+            # parent-side span chain (the service tier's per-job traces
+            # rely on this being structurally identical across backends).
+            epoch_span = TRACER.span("executor.epoch", cat="executor",
+                                     invocation=runtime.invocation_index,
+                                     epoch_start=next_iter,
+                                     epoch_end=epoch_end)
             earliest, fragments = self._execute_epoch(
                 frame, inv, next_iter, epoch_end, init)
 
             if earliest is None:
                 ckpt0 = stats.checkpoint_cycles
                 try:
-                    runtime.checkpoint(next_iter, epoch_end,
-                                       fragments=fragments)
+                    with TRACER.span("executor.commit", cat="executor",
+                                     epoch_start=next_iter,
+                                     epoch_end=epoch_end):
+                        runtime.checkpoint(next_iter, epoch_end,
+                                           fragments=fragments)
                     ckpt_cost = stats.checkpoint_cycles - ckpt0
                     share = ckpt_cost // max(1, workers)
                     for worker in runtime.workers:
@@ -444,6 +455,8 @@ class BaseDOALLExecutor:
                         t = max(w.clock for w in runtime.workers)
                         self.timeline.add("checkpoint", None, t - share, t,
                                           f"iters [{next_iter},{epoch_end})")
+                    epoch_span.end(outcome="committed",
+                                   iterations=epoch_end - next_iter)
                     next_iter = epoch_end
                 except Misspeculation as exc:
                     runtime.record_misspeculation(exc)
@@ -454,6 +467,9 @@ class BaseDOALLExecutor:
                 if controller is not None:
                     controller.on_squash(earliest[0] + 1 - next_iter,
                                          earliest[1].kind)
+                epoch_span.end(outcome="misspeculated",
+                               at_iteration=earliest[0],
+                               misspec_kind=earliest[1].kind)
                 next_iter = self._recover(frame, inv, next_iter, earliest, init)
 
         # Join: final state is already committed by the last checkpoint.

@@ -490,7 +490,26 @@ def measure_service(workload: Workload, repeats: int = 3,
         "warm_over_cold": round(cold_s / warm_s, 2),
         "cache_hits": cache_hits,
         "batches": batches,
+        # Latency SLO percentiles per cache tier (seconds; cold is a
+        # single sample so its p50 == p99 == cold_s).  bench-check gates
+        # the p99s lower-is-better against the trajectory history.
+        "cold_p50_s": round(cold_s, 4),
+        "cold_p99_s": round(cold_s, 4),
+        "warm_p50_s": round(_pct(warms, 50), 4),
+        "warm_p99_s": round(_pct(warms, 99), 4),
+        "cache_hit_p50_s": round(_pct(cache_times, 50), 6),
+        "cache_hit_p99_s": round(_pct(cache_times, 99), 6),
     }
+
+
+def _pct(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (exact for the harness's small sample
+    counts; matches Histogram.percentile's convention)."""
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    rank = max(1, -(-len(vals) * q // 100))  # ceil without math
+    return vals[int(rank) - 1]
 
 
 def append_trajectory(entry: Dict[str, object],
@@ -689,6 +708,13 @@ def run_bench(quick: bool = False, repeats: int = 3,
           f"({service_res['warm_rps']:.1f} req/s)  "
           f"cache-hit {service_res['cache_hit_s'] * 1000:.1f}ms "
           f"({service_res['cache_hit_rps']:,.0f} req/s)")
+    print(f"service  {gate_w.name:12s} "
+          f"p50/p99  cold {service_res['cold_p50_s']:.3f}/"
+          f"{service_res['cold_p99_s']:.3f}s  "
+          f"warm {service_res['warm_p50_s']:.3f}/"
+          f"{service_res['warm_p99_s']:.3f}s  "
+          f"cache-hit {service_res['cache_hit_p50_s'] * 1000:.1f}/"
+          f"{service_res['cache_hit_p99_s'] * 1000:.1f}ms")
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),

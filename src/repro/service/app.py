@@ -32,10 +32,12 @@ import json
 import os
 import tempfile
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..obs.history import HistorySampler, resolve_history_dir
 from ..obs.log import get_logger
 from ..obs.server import DEFAULT_HOST, StatusServer
 from .jobstore import DEFAULT_QUEUE_DEPTH, JobStore, QueueFull
@@ -135,7 +137,8 @@ class ServiceApp:
     def __init__(self, port: int = 0, host: str = DEFAULT_HOST,
                  queue_depth: Optional[int] = None, retain: int = 256,
                  registry=None, tracer=None,
-                 spool_dir: Optional[str] = None):
+                 spool_dir: Optional[str] = None,
+                 history_dir: Optional[str] = None):
         self.store = JobStore(queue_depth=resolve_queue_depth(queue_depth),
                               retain=retain, registry=registry)
         self._own_spool = spool_dir is None
@@ -143,6 +146,12 @@ class ServiceApp:
                           if spool_dir is None else spool_dir)
         self.scheduler = Scheduler(self.store, self.spool_dir,
                                    registry=registry, tracer=tracer)
+        #: Metrics history ring (``repro dash`` substrate); enabled by
+        #: the ``--history-dir`` flag or ``$REPRO_HISTORY_DIR``.
+        history = resolve_history_dir(history_dir)
+        self.history: Optional[HistorySampler] = (
+            None if history is None else
+            HistorySampler(history, registry=registry))
         #: Never started: composed purely for its payload methods, so
         #: ``/metrics`` here and a standalone StatusServer stay identical.
         self.status = StatusServer(registry=registry, tracer=tracer)
@@ -161,6 +170,7 @@ class ServiceApp:
         layers below and mapped here.
         """
         self.registry.counter("service.http.submits").inc()
+        t0 = time.monotonic()
         try:
             spec = parse_submit(payload)
         except ValidationError as e:
@@ -171,8 +181,10 @@ class ServiceApp:
             return 400, error_payload(
                 f"source does not compile: {e}",
                 [f"source: {type(e).__name__}: {e}"]), {}
+        validate_s = time.monotonic() - t0
         try:
-            job = self.store.submit(spec, fingerprint)
+            job = self.store.submit(spec, fingerprint,
+                                    validate_s=validate_s)
         except QueueFull as e:
             retry = max(1, round(e.retry_after_s))
             return 429, error_payload(str(e)), {"Retry-After": str(retry)}
@@ -221,6 +233,8 @@ class ServiceApp:
             return self
         app = self
         self.scheduler.start()
+        if self.history is not None:
+            self.history.start()
 
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
@@ -337,6 +351,8 @@ class ServiceApp:
         if thread is not None:
             thread.join(timeout=5.0)
         self.scheduler.stop()
+        if self.history is not None:
+            self.history.stop()
 
     def __enter__(self) -> "ServiceApp":
         return self.start()

@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, labeled
 from .serializers import SERVICE_FORMAT, JobSpec
 
 STATE_QUEUED = "queued"
@@ -82,6 +82,9 @@ class Job:
     finished_unix: Optional[float] = None
     #: Served straight from the warm result cache at submit time.
     cache_hit: bool = False
+    #: Submit-side validation + fingerprinting wall time (seconds),
+    #: measured by the HTTP tier; lands in the trace as ``job.submit``.
+    validate_s: float = 0.0
     #: Drain batch this job ran in (jobs sharing a fingerprint share one).
     batch: Optional[int] = None
     #: Position of this job within its fingerprint batch (0 = the cold
@@ -121,6 +124,14 @@ class Job:
         if verbose:
             out["result"] = self.result
         return out
+
+
+def cache_tier(job: Job) -> str:
+    """The cache tier a job was served from — the ``tier`` label on the
+    service latency histograms (``cold``/``warm``/``cache_hit``)."""
+    if job.cache_hit:
+        return "cache_hit"
+    return "warm" if job.warm else "cold"
 
 
 class JobStore:
@@ -164,7 +175,8 @@ class JobStore:
             return 1.0
         return max(1.0, self._latency_sum / self._latency_count)
 
-    def submit(self, spec: JobSpec, fingerprint: str) -> Job:
+    def submit(self, spec: JobSpec, fingerprint: str,
+               validate_s: float = 0.0) -> Job:
         """Register a new job.
 
         Returns it in ``queued`` state — or, when the warm result cache
@@ -172,14 +184,21 @@ class JobStore:
         ``done`` state with ``cache_hit=True`` and the cached result
         attached.  Raises :class:`QueueFull` when the queue is at
         capacity (cache hits never consume a queue slot).
+        ``validate_s`` is the submit-side validation wall time measured
+        by the HTTP tier (traced as the ``job.submit`` span).
+
+        Traced submissions bypass the cache lookup entirely: the client
+        asked for a trace artifact, and a cache hit could not serve one
+        (the cache key already ignores ``trace``, so an earlier untraced
+        run of the same job would otherwise answer here).
         """
         key = spec.cache_key(fingerprint)
         with self._lock:
             if self._closed:
                 raise RuntimeError("job store is closed")
-            cached = self._cache.get(key)
+            cached = None if spec.trace else self._cache.get(key)
             job = Job(id=f"j{next(self._ids)}", spec=spec,
-                      fingerprint=fingerprint)
+                      fingerprint=fingerprint, validate_s=validate_s)
             fstats = self.fingerprints.setdefault(fingerprint, {
                 "jobs": 0, "cache_hits": 0, "batches": 0,
                 "cold_prepares": 0, "warm_runs": 0, "resident": False,
@@ -195,16 +214,31 @@ class JobStore:
                 fstats["cache_hits"] += 1
                 self.registry.counter("service.cache_hits").inc()
                 self.registry.counter(f"job.{job.id}.cache_hit").inc()
+                # A cache hit's whole latency is the submit-side
+                # validation; it never waits in the queue.
+                self.registry.histogram(labeled(
+                    "service.job.total_us",
+                    outcome=STATE_DONE, tier="cache_hit")).observe(
+                        max(0.0, validate_s) * 1e6)
                 self._remember(job)
                 return job
             depth = self._queue_len_locked()
             if depth >= self.queue_depth:
                 self.registry.counter("service.queue.rejected").inc()
+                self._publish_backpressure_locked(depth)
                 raise QueueFull(depth, self._retry_after_locked())
             self._remember(job)
-            self.registry.gauge("service.queue.depth").set(depth + 1)
+            self._publish_backpressure_locked(depth + 1)
             self._lock.notify_all()
             return job
+
+    def _publish_backpressure_locked(self, depth: int) -> None:
+        """Keep the live backpressure gauges current: queue depth and
+        the Retry-After hint a 429 would carry *right now*, so saturation
+        is visible on ``/metrics`` before clients start seeing 429s."""
+        self.registry.gauge("service.queue.depth").set(depth)
+        self.registry.gauge("service.retry_after_s").set(
+            round(self._retry_after_locked(), 3))
 
     def _remember(self, job: Job) -> None:
         self._jobs[job.id] = job
@@ -243,7 +277,7 @@ class JobStore:
             for job in claimed:
                 job.state = STATE_RUNNING
                 job.started_unix = now
-            self.registry.gauge("service.queue.depth").set(0)
+            self._publish_backpressure_locked(0)
             return claimed
 
     def finish(self, job: Job, state: str,
@@ -277,6 +311,14 @@ class JobStore:
             r.histogram("service.job.latency_us").observe(latency * 1e6)
             r.histogram("service.job.queue_wait_us").observe(
                 queue_wait * 1e6)
+            tier = cache_tier(job)
+            r.histogram(labeled("service.job.total_us",
+                                outcome=state, tier=tier)).observe(
+                                    latency * 1e6)
+            r.histogram(labeled("service.job.queue_wait_us",
+                                outcome=state, tier=tier)).observe(
+                                    queue_wait * 1e6)
+            self._publish_backpressure_locked(self._queue_len_locked())
             r.gauge(f"job.{job.id}.latency_us").set(round(latency * 1e6))
             r.gauge(f"job.{job.id}.queue_wait_us").set(
                 round(queue_wait * 1e6))

@@ -37,7 +37,7 @@ import traceback
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from ..obs.metrics import METRICS
+from ..obs.metrics import METRICS, labeled
 from ..obs.trace import TRACER
 from ..parallel.backend import BackendError
 from ..transform.plan import SelectionError
@@ -47,6 +47,7 @@ from .jobstore import (
     STATE_DONE,
     STATE_FAILED,
     STATE_MISSPECULATED,
+    cache_tier,
 )
 
 #: Diagnoses included inline in a job payload (full detail lives in the
@@ -125,21 +126,48 @@ class Scheduler:
         return (job.fingerprint, spec.train_args, spec.args,
                 spec.checkpoint_period, spec.adapt)
 
+    def _begin_job_trace(self, job: Job):
+        """Open the per-job root span, set the ambient ``job``/``job_span``
+        context every later event inherits (including events shipped back
+        from forked workers), and land the phases that completed *before*
+        the tracer existed — submit-side validation and queue wait — as
+        synthetic spans carrying their wall-clock durations."""
+        t = self.tracer
+        span = t.span("job", cat="service", job=job.id,
+                      fingerprint=job.fingerprint, program=job.spec.name,
+                      workload=job.spec.workload, backend=job.spec.backend)
+        t.set_context(job=job.id, job_span=span.attrs["span_id"])
+        t.set_run_metadata(job=job.id, fingerprint=job.fingerprint)
+        t.emit_span("job.submit", cat="service",
+                    dur_us=max(0.0, job.validate_s) * 1e6,
+                    submitted_unix=job.submitted_unix)
+        started = job.started_unix or job.submitted_unix
+        t.emit_span("job.queue_wait", cat="service",
+                    dur_us=max(0.0, started - job.submitted_unix) * 1e6,
+                    started_unix=job.started_unix)
+        t.instant("job.batch", cat="service", batch=job.batch,
+                  batch_position=job.batch_position)
+        return span
+
     def _run_job(self, job: Job) -> None:
         spec = job.spec
         traced = spec.trace
         trace_path = self.spool_dir / f"{job.id}.trace.jsonl"
+        job_span = None
         if traced:
             self.tracer.enable()  # resets events: the artifact is per-job
+            job_span = self._begin_job_trace(job)
         try:
             try:
                 self._execute(job)
             finally:
                 if traced:
                     try:
+                        job_span.end(state=job.state)
                         self.tracer.write_jsonl(trace_path)
                         job.trace_path = str(trace_path)
                     finally:
+                        self.tracer.clear_context()
                         self.tracer.disable()
         except Exception as exc:  # noqa: BLE001 - jobs must not kill the drain
             detail = str(exc) or type(exc).__name__
@@ -155,50 +183,62 @@ class Scheduler:
 
     def _execute(self, job: Job) -> None:
         from ..bench.pipeline import prepare
+        import time as _time
 
         spec = job.spec
         key = self._prepare_key(job)
         program = self._resident.get(key)
         job.warm = program is not None
-        if program is None:
-            self.registry.counter("service.prepare.cold").inc()
-            program = prepare(
-                spec.source, spec.name,
-                args=spec.train_args, ref_args=spec.args,
-                checkpoint_period=spec.checkpoint_period,
-                adapt=spec.adapt or None,
-            )
-            self._resident[key] = program
-        else:
-            self.registry.counter("service.prepare.warm").inc()
+        tier = cache_tier(job)
+        t0 = _time.monotonic()
+        with self.tracer.span("job.prepare", cat="service", tier=tier):
+            if program is None:
+                self.registry.counter("service.prepare.cold").inc()
+                program = prepare(
+                    spec.source, spec.name,
+                    args=spec.train_args, ref_args=spec.args,
+                    checkpoint_period=spec.checkpoint_period,
+                    adapt=spec.adapt or None,
+                )
+                self._resident[key] = program
+            else:
+                self.registry.counter("service.prepare.warm").inc()
+        self.registry.histogram(labeled(
+            "service.job.prepare_us", tier=tier)).observe(
+                (_time.monotonic() - t0) * 1e6)
         fstats = self.store.fingerprints.get(job.fingerprint)
         if fstats is not None:
             fstats["resident"] = True
             fstats["warm_runs" if job.warm else "cold_prepares"] += 1
-        import time as _time
 
         t0 = _time.monotonic()
-        result = program.execute(
-            workers=spec.workers,
-            checkpoint_period=spec.checkpoint_period,
-            misspec_period=spec.misspec_period,
-            misspec_burst=spec.misspec_burst,
-            backend=spec.backend,
-            pool_workers=spec.pool_workers,
-            adapt=spec.adapt or None,
-        )
+        with self.tracer.span("job.execute", cat="service", tier=tier,
+                              backend=spec.backend, workers=spec.workers):
+            result = program.execute(
+                workers=spec.workers,
+                checkpoint_period=spec.checkpoint_period,
+                misspec_period=spec.misspec_period,
+                misspec_burst=spec.misspec_burst,
+                backend=spec.backend,
+                pool_workers=spec.pool_workers,
+                adapt=spec.adapt or None,
+            )
         exec_s = _time.monotonic() - t0
         self.registry.histogram("service.job.exec_us").observe(exec_s * 1e6)
-        payload = self._result_payload(job, program, result)
-        matches = bool(payload["output_matches"])
-        state = STATE_DONE if matches else STATE_MISSPECULATED
-        # A traced run is not cached: a later cache hit could not serve
-        # the trace artifact the client asked for.
-        self.store.finish(job, state, result=payload,
-                          cacheable=matches and not spec.trace,
-                          error=None if matches else
-                          "speculative output diverged from the "
-                          "sequential baseline")
+        with self.tracer.span("job.commit", cat="service", tier=tier):
+            payload = self._result_payload(job, program, result)
+            matches = bool(payload["output_matches"])
+            state = STATE_DONE if matches else STATE_MISSPECULATED
+            # A traced run is not cached: a later cache hit could not
+            # serve the trace artifact the client asked for.
+            self.store.finish(job, state, result=payload,
+                              cacheable=matches and not spec.trace,
+                              error=None if matches else
+                              "speculative output diverged from the "
+                              "sequential baseline")
+        self.registry.histogram(labeled(
+            "service.job.execute_us", outcome=state, tier=tier)).observe(
+                exec_s * 1e6)
 
     def _result_payload(self, job: Job, program, result) -> Dict[str, object]:
         """The Table-1/Table-3 style result rows plus misspec forensics

@@ -47,6 +47,19 @@ class TestExtractMetrics:
         assert extract_metrics({}) == {}
         assert extract_metrics({"interp": None, "trace": None}) == {}
 
+    def test_flattens_service_slos(self):
+        run = {"service": {"cold_rps": 2.0, "warm_rps": 8.0,
+                           "cache_hit_rps": 900.0, "cold_p99_s": 0.6,
+                           "warm_p99_s": 0.12, "cache_hit_p99_s": 0.002}}
+        assert extract_metrics(run) == {
+            "service.cold_rps": 2.0,
+            "service.warm_rps": 8.0,
+            "service.cache_hit_rps": 900.0,
+            "service.cold_p99_s": 0.6,
+            "service.warm_p99_s": 0.12,
+            "service.cache_hit_p99_s": 0.002,
+        }
+
 
 class TestCheckTrajectory:
     def test_synthetic_20pct_regression_fails(self):
@@ -93,6 +106,47 @@ class TestCheckTrajectory:
         traj = _trajectory(100.0, 100.0, 100.0, 89.0)
         assert check_trajectory(traj, threshold=0.10)["ok"] is False
         assert check_trajectory(traj, threshold=0.15)["ok"] is True
+
+
+class TestLowerIsBetterGate:
+    """``service.<tier>_p99_s`` latency SLOs regress *upward*: the gate
+    is ``latest <= max(median * 1.15, max(history))``."""
+
+    def _traj(self, *p99s):
+        return {"benchmark": "interp",
+                "runs": [{"quick": False, "service": {"warm_p99_s": v}}
+                         for v in p99s]}
+
+    def test_p99_blowup_is_a_regression(self):
+        report = check_trajectory(self._traj(0.10, 0.11, 0.09, 0.30))
+        assert report["ok"] is False
+        (row,) = report["rows"]
+        assert row["metric"] == "service.warm_p99_s"
+        assert row["direction"] == "lower"
+        assert row["ok"] is False
+
+    def test_p99_within_tolerance_passes(self):
+        # median 0.10, gate max(0.115, 0.11) = 0.115: 0.11 is fine.
+        report = check_trajectory(self._traj(0.10, 0.11, 0.09, 0.11))
+        assert report["ok"] is True
+
+    def test_p99_within_historical_ceiling_passes(self):
+        # 0.14 is >15% above the median (0.10) but not above the worst
+        # sample ever recorded (0.15): noise, not a regression.
+        report = check_trajectory(self._traj(0.10, 0.15, 0.09, 0.14))
+        assert report["ok"] is True
+
+    def test_p99_improvement_passes(self):
+        report = check_trajectory(self._traj(0.10, 0.11, 0.09, 0.01))
+        assert report["ok"] is True
+
+    def test_rps_direction_is_unchanged(self):
+        traj = {"runs": [{"quick": False, "service": {"warm_rps": v}}
+                         for v in (100.0, 101.0, 99.0, 80.0)]}
+        report = check_trajectory(traj)
+        assert report["ok"] is False
+        (row,) = report["rows"]
+        assert row["direction"] == "higher"
 
 
 class TestRenderReport:

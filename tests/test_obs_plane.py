@@ -1,0 +1,502 @@
+"""The job-observability plane: bucketed histograms, labeled metric
+names, the extended Prometheus lint, span-id context propagation, the
+on-disk metrics history ring, and the ``repro dash`` renderer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import schema
+from repro.obs.dash import (
+    main as dash_main,
+    misspec_rate_series,
+    render_dash_html,
+    series_rate,
+    sparkline,
+)
+from repro.obs.history import (
+    HISTORY_DIR_ENV,
+    HistorySampler,
+    compact_snapshot,
+    read_history,
+    resolve_history_dir,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HISTOGRAM_SAMPLE_CAP,
+    METRICS,
+    MetricsRegistry,
+    labeled,
+    parse_metric_name,
+    render_prometheus,
+)
+from repro.obs.trace import TRACER, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.reset()
+
+
+class TestBucketedHistogram:
+    def test_default_ladder_is_ascending_and_bounded(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] == 1e8
+
+    def test_le_is_inclusive(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)  # == the first bound: must land in le=1.0
+        (le0, n0), *_ = h.cumulative_buckets()
+        assert le0 == 1.0 and n0 == 1
+
+    def test_cumulative_series_ends_at_count(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.5, 3.0, 7.0, 1e9):  # last overflows every bound
+            h.observe(v)
+        series = h.cumulative_buckets()
+        counts = [n for _, n in series]
+        assert counts == sorted(counts)  # cumulative
+        assert series[-1] == ("+Inf", 4)
+        snap = h.snapshot()
+        assert snap["buckets"][-1] == ["+Inf", 4]
+
+    def test_reservoir_is_deterministic_per_name(self):
+        a = MetricsRegistry().histogram("same")
+        b = MetricsRegistry().histogram("same")
+        for v in range(HISTOGRAM_SAMPLE_CAP + 200):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.samples == b.samples
+
+    def test_merge_adds_buckets_exactly(self):
+        a = MetricsRegistry().histogram("m")
+        b = MetricsRegistry().histogram("m")
+        for v in (0.5, 3.0):
+            a.observe(v)
+        for v in (7.0, 1e9):
+            b.observe(v)
+        a.merge(b.dump())
+        assert a.count == 4
+        assert a.min == 0.5 and a.max == 1e9
+        series = a.cumulative_buckets()
+        assert series[-1] == ("+Inf", 4)
+        # Exact, not reservoir-approximated: all four observations are
+        # bucketed even though they were recorded in two registries.
+        assert sum(a.bucket_counts) == 4
+
+    def test_merge_ladder_mismatch_rebuckets_from_samples(self):
+        h = MetricsRegistry().histogram("m")
+        h.merge({"type": "histogram", "count": 2, "sum": 4.0,
+                 "min": 1.5, "max": 2.5, "samples": [1.5, 2.5],
+                 "le": [1.0, 2.0],  # foreign ladder
+                 "bucket_counts": [0, 1, 1]})
+        assert h.count == 2
+        assert h.cumulative_buckets()[-1] == ("+Inf", 2)
+
+
+class TestLabeledNames:
+    def test_labeled_sorts_keys(self):
+        assert labeled("x.y", tier="warm", outcome="done") == \
+            'x.y{outcome="done",tier="warm"}'
+        assert labeled("x.y") == "x.y"
+
+    def test_parse_round_trip(self):
+        name = labeled("service.job.total_us", outcome="done", tier="cold")
+        base, pairs = parse_metric_name(name)
+        assert base == "service.job.total_us"
+        assert pairs == [("outcome", "done"), ("tier", "cold")]
+
+    def test_parse_positional_prefixes(self):
+        assert parse_metric_name("worker.3.ship_us") == \
+            ("ship_us", [("worker", "3")])
+        assert parse_metric_name("job.j7.latency_us") == \
+            ("latency_us", [("job", "j7")])
+        assert parse_metric_name("plain.name") == ("plain.name", [])
+
+    def test_malformed_braces_degrade_to_unlabeled(self):
+        assert parse_metric_name("x{not-a-pair}") == ("x{not-a-pair}", [])
+
+
+class TestPromRender:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs.completed").inc(3)
+        reg.gauge("service.queue.depth").set(2)
+        reg.histogram("service.job.total_us").observe(10.0)
+        reg.histogram(
+            labeled("service.job.total_us", outcome="done",
+                    tier="warm")).observe(250.0)
+        return reg
+
+    def test_labeled_and_unlabeled_share_one_family(self):
+        text = render_prometheus(self._registry().snapshot())
+        assert text.count("# TYPE repro_service_job_total_us histogram") == 1
+        assert 'repro_service_job_total_us_bucket{le="+Inf"} 1' in text
+        assert ('repro_service_job_total_us_bucket{outcome="done",'
+                'tier="warm",le="+Inf"} 1') in text
+        assert "repro_service_job_total_us_count 1" in text
+        assert ('repro_service_job_total_us_count{outcome="done",'
+                'tier="warm"} 1') in text
+        assert ('repro_service_job_total_us_sum{outcome="done",'
+                'tier="warm"} 250.0') in text
+
+    def test_rendered_exposition_passes_the_lint(self, tmp_path):
+        p = tmp_path / "m.prom"
+        p.write_text(render_prometheus(self._registry().snapshot()))
+        report = schema.validate_prom(str(p))
+        assert report["errors"] == []
+        assert report["families"]["repro_service_job_total_us"] == \
+            "histogram"
+
+    def test_bucketless_snapshot_falls_back_to_summary(self, tmp_path):
+        # Old dumps (and worker-merged snapshots predating buckets) have
+        # no bucket data: they must render as a summary, not a broken
+        # histogram.
+        snap = {"x.y_us": {"type": "histogram", "count": 2, "sum": 30.0,
+                           "p50": 10.0, "p95": 20.0}}
+        text = render_prometheus(snap)
+        assert "# TYPE repro_x_y_us summary" in text
+        assert 'repro_x_y_us{quantile="0.5"} 10.0' in text
+        p = tmp_path / "m.prom"
+        p.write_text(text)
+        assert schema.validate_prom(str(p))["errors"] == []
+
+
+class TestPromLint:
+    def _lint(self, tmp_path, text):
+        p = tmp_path / "m.prom"
+        p.write_text(text)
+        return schema.validate_prom(str(p))["errors"]
+
+    def test_missing_inf_bucket(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="1.0"} 1',
+            "repro_h_count 1",
+            "repro_h_sum 0.5",
+        ]) + "\n")
+        assert any("missing +Inf" in e for e in errors)
+
+    def test_non_cumulative_counts(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="1.0"} 5',
+            'repro_h_bucket{le="2.0"} 3',
+            'repro_h_bucket{le="+Inf"} 5',
+            "repro_h_count 5",
+            "repro_h_sum 4.0",
+        ]) + "\n")
+        assert any("not cumulative" in e for e in errors)
+
+    def test_non_ascending_ladder(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="2.0"} 1',
+            'repro_h_bucket{le="1.0"} 1',
+            'repro_h_bucket{le="+Inf"} 1',
+            "repro_h_count 1",
+            "repro_h_sum 1.0",
+        ]) + "\n")
+        assert any("not strictly ascending" in e for e in errors)
+
+    def test_inf_bucket_must_equal_count(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="1.0"} 1',
+            'repro_h_bucket{le="+Inf"} 1',
+            "repro_h_count 2",
+            "repro_h_sum 1.0",
+        ]) + "\n")
+        assert any("!= _count" in e for e in errors)
+
+    def test_histogram_family_requires_buckets(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            "repro_h_count 1",
+            "repro_h_sum 1.0",
+        ]) + "\n")
+        assert any("no _bucket samples" in e for e in errors)
+
+    def test_bucket_sample_requires_le(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{tier="warm"} 1',
+            'repro_h_bucket{le="+Inf"} 1',
+            "repro_h_count 1",
+            "repro_h_sum 1.0",
+        ]) + "\n")
+        assert any("missing le label" in e for e in errors)
+
+    def test_per_labelset_series_are_checked_independently(self, tmp_path):
+        errors = self._lint(tmp_path, "\n".join([
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{tier="a",le="1.0"} 1',
+            'repro_h_bucket{tier="a",le="+Inf"} 1',
+            'repro_h_count{tier="a"} 1',
+            'repro_h_sum{tier="a"} 0.5',
+            'repro_h_bucket{tier="b",le="1.0"} 9',
+            'repro_h_bucket{tier="b",le="+Inf"} 2',  # broken series
+            'repro_h_count{tier="b"} 2',
+            'repro_h_sum{tier="b"} 0.5',
+        ]) + "\n")
+        assert len(errors) == 1
+        assert 'tier="b"' in errors[0]
+
+
+class TestMetricsPayloadLint:
+    def _payload(self, tmp_path, metrics):
+        p = tmp_path / "metrics.json"
+        p.write_text(json.dumps({
+            "status_format": 1, "generated_unix": 1.0, "run": {},
+            "metrics": metrics}))
+        return schema.validate_metrics(str(p))
+
+    def test_labeled_names_are_accepted(self, tmp_path):
+        name = labeled("service.job.total_us", outcome="done", tier="warm")
+        report = self._payload(tmp_path, {
+            name: {"type": "histogram", "count": 1, "sum": 2.0}})
+        assert report["errors"] == []
+
+    def test_malformed_labeled_names_are_flagged(self, tmp_path):
+        report = self._payload(tmp_path, {
+            "x{oops}": {"type": "counter", "value": 1}})
+        assert any("malformed labeled metric name" in e
+                   for e in report["errors"])
+
+
+class TestTracerContext:
+    def test_context_rides_every_event(self):
+        t = Tracer()
+        t.enable()
+        t.set_context(job="j1", job_span=7)
+        with t.span("work", cat="test"):
+            pass
+        t.instant("tick")
+        span_ev, instant_ev = t.events
+        for ev in (span_ev, instant_ev):
+            assert ev["attrs"]["job"] == "j1"
+            assert ev["attrs"]["job_span"] == 7
+
+    def test_explicit_attrs_beat_context(self):
+        t = Tracer()
+        t.enable()
+        t.set_context(tier="cold")
+        with t.span("work", cat="test", tier="warm"):
+            pass
+        (ev,) = t.events
+        assert ev["attrs"]["tier"] == "warm"
+
+    def test_clear_context(self):
+        t = Tracer()
+        t.set_context(a=1, b=2)
+        t.clear_context("a")
+        assert t.context == {"b": 2}
+        t.clear_context()
+        assert t.context == {}
+
+    def test_reset_clears_context(self):
+        t = Tracer()
+        t.set_context(job="j1")
+        t.reset()
+        assert t.context == {}
+
+    def test_span_ids_are_unique_across_threads(self):
+        t = Tracer()
+        out = []
+        lock = threading.Lock()
+
+        def grab():
+            ids = [t.next_span_id() for _ in range(200)]
+            with lock:
+                out.extend(ids)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(out) == len(set(out)) == 800
+
+    def test_emit_span_records_given_duration(self):
+        t = Tracer()
+        t.emit_span("job.queue_wait", cat="service", dur_us=1234.5)
+        assert t.events == []  # disabled: no-op
+        t.enable()
+        t.instant("first")
+        t.emit_span("job.queue_wait", cat="service", dur_us=1234.5,
+                    started_unix=42.0)
+        first, ev = t.events
+        assert ev["kind"] == "span"
+        assert ev["dur_us"] == 1234.5
+        assert ev["attrs"]["started_unix"] == 42.0
+        assert ev["attrs"]["span_id"] > 0
+        # Lands at the current monotonic position, never before it.
+        assert ev["ts_us"] >= first["ts_us"] >= 0
+
+    def test_span_ids_unique_across_span_kinds(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a", cat="test"):
+            pass
+        t.emit_span("b", cat="test", dur_us=1.0)
+        ids = [ev["attrs"]["span_id"] for ev in t.events]
+        assert len(ids) == len(set(ids)) == 2
+
+
+class TestHistoryRing:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs.completed").inc(5)
+        reg.gauge("service.queue.depth").set(1)
+        reg.histogram("service.job.latency_us").observe(1500.0)
+        reg.counter("job.j1.retries").inc()  # per-job: must be skipped
+        return reg
+
+    def test_compact_snapshot_shape(self):
+        snap = compact_snapshot(self._registry())
+        assert snap["service.jobs.completed"] == \
+            {"type": "counter", "value": 5}
+        hist = snap["service.job.latency_us"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 1 and hist["p50"] == 1500.0
+        assert set(hist) == {"type", "count", "sum", "p50", "p99"}
+        assert not any(n.startswith("job.") for n in snap)
+
+    def test_sample_appends_readable_records(self, tmp_path):
+        s = HistorySampler(str(tmp_path), registry=self._registry())
+        s.dir.mkdir(parents=True, exist_ok=True)
+        s.sample()
+        s.sample()
+        records = read_history(str(tmp_path))
+        assert len(records) == 2
+        assert records[0]["history_format"] == 1
+        assert records[0]["metrics"]["service.queue.depth"]["value"] == 1
+
+    def test_ring_stays_bounded(self, tmp_path):
+        s = HistorySampler(str(tmp_path), registry=MetricsRegistry(),
+                           max_records=8)
+        s.dir.mkdir(parents=True, exist_ok=True)
+        for _ in range(40):
+            s.sample()
+        assert s._count_lines() <= 8
+        assert read_history(s.path)  # still a readable ring
+
+    def test_read_history_skips_malformed_lines(self, tmp_path):
+        s = HistorySampler(str(tmp_path), registry=MetricsRegistry())
+        s.dir.mkdir(parents=True, exist_ok=True)
+        s.sample()
+        with open(s.path, "a") as fh:
+            fh.write('{"truncated-mid-append\n')
+        s.sample()
+        assert len(read_history(str(tmp_path))) == 2
+
+    def test_read_history_missing_path(self, tmp_path):
+        assert read_history(str(tmp_path / "nope")) == []
+
+    def test_resolve_history_dir_precedence(self, monkeypatch):
+        monkeypatch.delenv(HISTORY_DIR_ENV, raising=False)
+        assert resolve_history_dir(None) is None
+        monkeypatch.setenv(HISTORY_DIR_ENV, "/tmp/env-ring")
+        assert resolve_history_dir(None) == "/tmp/env-ring"
+        assert resolve_history_dir("/tmp/explicit") == "/tmp/explicit"
+
+    def test_start_stop_takes_final_sample(self, tmp_path):
+        s = HistorySampler(str(tmp_path), registry=self._registry(),
+                           interval_s=30.0)
+        s.start()
+        assert s.alive
+        s.stop()
+        assert not s.alive
+        s.stop()  # idempotent
+        # The interval never elapsed, but stop() flushed one snapshot.
+        assert len(read_history(str(tmp_path))) == 1
+
+
+class TestDash:
+    def _records(self):
+        def rec(ts, completed, submitted, p50, p99, depth,
+                misspecs=0, epochs=0):
+            return {"history_format": 1, "ts_unix": ts, "metrics": {
+                "service.jobs.completed":
+                    {"type": "counter", "value": completed},
+                "service.jobs.submitted":
+                    {"type": "counter", "value": submitted},
+                "service.job.latency_us":
+                    {"type": "histogram", "count": completed,
+                     "sum": 0.0, "p50": p50, "p99": p99},
+                "service.queue.depth": {"type": "gauge", "value": depth},
+                "service.retry_after_s": {"type": "gauge", "value": 1.0},
+                "runtime.misspec.privacy":
+                    {"type": "counter", "value": misspecs},
+                "executor.epochs": {"type": "counter", "value": epochs},
+            }}
+        return [rec(100.0, 0, 0, None, None, 0),
+                rec(102.0, 4, 6, 1500.0, 9000.0, 2, misspecs=1, epochs=9),
+                rec(104.0, 10, 10, 1200.0, 7000.0, 0, misspecs=1,
+                    epochs=19)]
+
+    def test_series_rate(self):
+        rates = series_rate(self._records(), "service.jobs.completed")
+        assert rates[0] is None
+        assert rates[1] == pytest.approx(2.0)  # 4 jobs / 2s
+        assert rates[2] == pytest.approx(3.0)
+
+    def test_misspec_rate(self):
+        rates = misspec_rate_series(self._records())
+        assert rates[0] is None
+        assert rates[1] == pytest.approx(0.1)   # 1 of (1 + 9)
+        assert rates[2] == pytest.approx(0.0)   # no new misspecs
+
+    def test_sparkline_handles_gaps_and_empty(self):
+        assert "no data" in sparkline([None, None])
+        svg = sparkline([1.0, None, 2.0, 3.0])
+        assert svg.startswith("<svg")
+        assert "polyline" in svg      # the 2-point run
+        assert "circle" in svg        # the isolated point
+
+    def test_render_dash_html(self):
+        page = render_dash_html(self._records(), source="/tmp/ring")
+        assert page.startswith("<!DOCTYPE html>")
+        for title in ("jobs completed /s", "job latency p99",
+                      "misspeculation rate", "queue depth"):
+            assert title in page
+        assert "service.job.latency_us" in page  # the latest-values table
+        assert "3 snapshot(s)" in page
+        assert "/tmp/ring" in page
+        assert "<script" not in page  # self-contained, no JS
+
+    def test_cli_requires_history(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv(HISTORY_DIR_ENV, raising=False)
+        assert dash_main([]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert dash_main(["--history-dir", str(empty)]) == 1
+        capsys.readouterr()
+
+    def test_cli_writes_html(self, tmp_path, capsys):
+        s = HistorySampler(str(tmp_path), registry=MetricsRegistry())
+        s.dir.mkdir(parents=True, exist_ok=True)
+        s.sample()
+        out = tmp_path / "dash.html"
+        assert dash_main(["--history-dir", str(tmp_path),
+                          "--out", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+        capsys.readouterr()
+
+    def test_repro_subcommand_delegates(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+        s = HistorySampler(str(tmp_path), registry=MetricsRegistry())
+        s.dir.mkdir(parents=True, exist_ok=True)
+        s.sample()
+        rc = repro_main(["dash", "--history-dir", str(tmp_path)])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")

@@ -661,3 +661,251 @@ class TestServiceCLI:
         rc = main(["jobs", "--url", "http://127.0.0.1:9", "--timeout",
                    "2"])
         assert rc == 2
+
+
+class TestObservabilityPlane:
+    """PR 10: the job lifecycle observability plane — span-id'd job
+    traces, labeled latency histograms, live backpressure gauges, and
+    the metrics history ring (docs/OBSERVABILITY.md)."""
+
+    def _spec(self, **over):
+        payload = {"source": SRC, "name": "t", "args": [16]}
+        payload.update(over)
+        return parse_submit(payload)
+
+    # -- backpressure gauges ----------------------------------------------
+
+    def test_queue_depth_and_retry_after_gauges(self):
+        store = JobStore(queue_depth=4, registry=MetricsRegistry())
+        depth = store.registry.gauge("service.queue.depth")
+        retry = store.registry.gauge("service.retry_after_s")
+        store.submit(self._spec(), "fp")
+        store.submit(self._spec(workers=2), "fp")
+        assert depth.value == 2
+        assert retry.value >= 1.0
+        claimed = store.take_queued()
+        assert depth.value == 0  # the claim empties the queue
+        for job in claimed:
+            store.finish(job, STATE_DONE, result={"output_matches": True})
+        assert depth.value == 0
+        assert retry.value >= 1.0
+
+    # -- labeled latency histograms ---------------------------------------
+
+    def test_finish_observes_outcome_and_tier_labels(self):
+        from repro.obs.metrics import labeled
+
+        registry = MetricsRegistry()
+        store = JobStore(registry=registry)
+        store.submit(self._spec(), "fp")
+        [job] = store.take_queued()
+        store.finish(job, STATE_DONE, result={"output_matches": True})
+        snap = registry.snapshot()
+        name = labeled("service.job.total_us", outcome="done", tier="cold")
+        assert snap[name]["count"] == 1
+        wait = labeled("service.job.queue_wait_us", outcome="done",
+                       tier="cold")
+        assert snap[wait]["count"] == 1
+        # A cache hit of the finished job lands in the cache_hit tier
+        # with the submit-side validation time as its total latency.
+        store.submit(self._spec(), "fp", validate_s=0.25)
+        hit = labeled("service.job.total_us", outcome="done",
+                      tier="cache_hit")
+        assert registry.snapshot()[hit]["count"] == 1
+        assert registry.snapshot()[hit]["p50"] == pytest.approx(0.25e6)
+
+    def test_labeled_histograms_render_and_lint(self, tmp_path):
+        from repro.obs.metrics import labeled
+
+        registry = MetricsRegistry()
+        store = JobStore(registry=registry)
+        store.submit(self._spec(), "fp")
+        [job] = store.take_queued()
+        store.finish(job, STATE_DONE, result={"output_matches": True})
+        text = render_prometheus(registry.snapshot())
+        assert ('repro_service_job_total_us_bucket{outcome="done",'
+                'tier="cold",le="+Inf"} 1') in text
+        p = tmp_path / "m.prom"
+        p.write_text(text)
+        assert schema.validate_prom(str(p))["errors"] == []
+
+    # -- the traced-job span chain ----------------------------------------
+
+    def _drain_traced(self, tmp_path, specs):
+        """Submit the given specs as one claim set and drain it through
+        a real scheduler wired to the global TRACER (the production
+        configuration); returns the finished jobs."""
+        from repro.service.scheduler import Scheduler
+
+        registry = MetricsRegistry()
+        store = JobStore(registry=registry)
+        sched = Scheduler(store, spool_dir=str(tmp_path / "spool"),
+                          registry=registry)
+        sched.spool_dir.mkdir(parents=True, exist_ok=True)
+        jobs = [store.submit(spec, "fp", validate_s=0.01)
+                for spec in specs]
+        sched.drain(store.take_queued())
+        return jobs
+
+    @staticmethod
+    def _events(job):
+        with open(job.trace_path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    @staticmethod
+    def _chain(events):
+        """The job-level causal chain: service spans plus the epoch
+        loop, in recorded order, reduced to structural tuples."""
+        keep = ("job", "job.submit", "job.queue_wait", "job.prepare",
+                "job.execute", "job.commit", "executor.invocation",
+                "executor.epoch", "executor.commit")
+        return [(ev["name"], ev["attrs"].get("epoch_start"),
+                 ev["attrs"].get("epoch_end"), ev["attrs"].get("outcome"))
+                for ev in events
+                if ev.get("kind") == "span" and ev.get("pid") == 1
+                and ev["name"] in keep]
+
+    def test_span_chain_and_batch_propagation(self, tmp_path):
+        spec = {"source": SRC, "name": "p", "args": [24], "workers": 2,
+                "trace": True}
+        j1, j2 = self._drain_traced(
+            tmp_path, [self._spec(**spec), self._spec(**spec)])
+        assert j1.state == "done" and j2.state == "done"
+        assert not j1.warm and j2.warm  # one batch, shared program
+        root_ids = []
+        for position, job in enumerate((j1, j2)):
+            events = self._events(job)
+            names = [ev["name"] for ev in events if ev.get("kind") == "span"]
+            for expected in ("job", "job.submit", "job.queue_wait",
+                             "job.prepare", "job.execute", "job.commit",
+                             "executor.epoch", "executor.commit",
+                             "pipeline.execute"):
+                assert expected in names, (job.id, expected)
+            (root,) = [ev for ev in events if ev.get("name") == "job"
+                       and ev.get("kind") == "span"]
+            assert root["attrs"]["job"] == job.id
+            assert root["attrs"]["state"] == "done"
+            root_ids.append(root["attrs"]["span_id"])
+            # Every non-meta event in the artifact carries the ambient
+            # job + root-span context, including worker-shipped events.
+            for ev in events:
+                if ev.get("kind") == "meta":
+                    continue
+                assert ev["attrs"]["job"] == job.id, ev
+                assert ev["attrs"]["job_span"] == root["attrs"]["span_id"]
+            (batch_ev,) = [ev for ev in events
+                           if ev.get("name") == "job.batch"]
+            assert batch_ev["attrs"]["batch"] == j1.batch
+            assert batch_ev["attrs"]["batch_position"] == position
+        # Distinct root spans per job, even within one batch.
+        assert root_ids[0] != root_ids[1]
+        # The artifacts themselves are schema-clean.
+        report = schema.validate_jsonl(str(j2.trace_path))
+        assert report["errors"] == []
+        # Tracer left disarmed and context-free between jobs.
+        assert not TRACER.enabled and TRACER.context == {}
+
+    def test_span_chain_is_identical_across_backends(self, tmp_path):
+        base = {"source": SRC, "name": "p", "args": [24], "workers": 2,
+                "trace": True}
+        sim, pool = self._drain_traced(
+            tmp_path, [self._spec(**base),
+                       self._spec(backend="pool", **base)])
+        assert sim.state == "done" and pool.state == "done"
+        sim_chain = self._chain(self._events(sim))
+        pool_chain = self._chain(self._events(pool))
+        assert sim_chain == pool_chain
+        assert ("job.execute", None, None, None) in sim_chain
+        assert any(name == "executor.epoch" and outcome == "committed"
+                   for name, _, _, outcome in sim_chain)
+
+    def test_tracer_rearms_cleanly_after_failed_traced_run(self, app):
+        client = _client(app)
+        job = client.submit({"source": BAD_SRC, "name": "bad",
+                             "args": [24], "trace": True})
+        job = client.wait(job["id"])
+        assert job["state"] == "failed"
+        tracer = app.scheduler.tracer
+        assert not tracer.enabled
+        assert tracer.context == {}
+        # The next traced job must still produce a clean artifact.
+        ok = client.submit({"source": SRC, "name": "ok", "args": [16],
+                            "workers": 2, "trace": True})
+        ok = client.wait(ok["id"])
+        assert ok["state"] == "done" and ok["has_trace"]
+        assert not tracer.enabled and tracer.context == {}
+
+    def test_concurrent_trace_fetch_vs_eviction(self, tmp_path):
+        """GET /jobs/<id>/trace raced against retention eviction must
+        yield complete artifacts or clean 404s — never torn bodies."""
+        with ServiceApp(port=0, registry=MetricsRegistry(),
+                        tracer=Tracer(), retain=1,
+                        spool_dir=str(tmp_path / "spool")) as app:
+            client = _client(app)
+            first = client.submit({"source": SRC, "name": "p",
+                                   "args": [8], "workers": 2,
+                                   "trace": True})
+            first = client.wait(first["id"])
+            assert first["has_trace"]
+            stop = threading.Event()
+            outcomes = []
+            failures = []
+
+            def hammer():
+                poll = ServiceClient(app.url, timeout=30.0)
+                while not stop.is_set():
+                    try:
+                        text = poll.trace(first["id"])
+                        lines = text.splitlines()
+                        if not lines or not all(
+                                json.loads(l) for l in lines if l):
+                            failures.append("torn artifact")
+                        outcomes.append(200)
+                    except ServiceError as e:
+                        if e.status != 404:
+                            failures.append(f"HTTP {e.status}")
+                        outcomes.append(404)
+                    except Exception as e:  # noqa: BLE001
+                        failures.append(repr(e))
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                # retain=1: each finished job evicts its predecessor.
+                for k in (1, 2):
+                    job = client.submit({"source": SRC, "name": "p",
+                                         "args": [8], "workers": 2 + k,
+                                         "trace": True})
+                    client.wait(job["id"])
+            finally:
+                stop.set()
+                thread.join(10.0)
+            assert failures == []
+            assert 404 in outcomes  # the eviction was actually observed
+
+    # -- history ring through the service ---------------------------------
+
+    def test_serve_with_history_ring_feeds_the_dash(self, tmp_path):
+        from repro.obs.dash import render_dash_html
+        from repro.obs.history import read_history
+
+        ring = tmp_path / "ring"
+        app = ServiceApp(port=0, registry=MetricsRegistry(),
+                         tracer=Tracer(), spool_dir=str(tmp_path / "spool"),
+                         history_dir=str(ring))
+        with app:
+            assert app.history is not None and app.history.alive
+            client = _client(app)
+            job = client.submit({"source": SRC, "name": "p", "args": [8],
+                                 "workers": 2})
+            client.wait(job["id"])
+        assert not app.history.alive  # stop() joined the sampler
+        records = read_history(str(ring))
+        assert records  # stop() flushed at least the final snapshot
+        last = records[-1]["metrics"]
+        assert last["service.jobs.submitted"]["value"] == 1
+        assert last["service.jobs.completed"]["value"] == 1
+        assert not any(n.startswith("job.") for n in last)
+        page = render_dash_html(records, source=str(ring))
+        assert "jobs completed /s" in page
+        assert "service.jobs.completed" in page
